@@ -1,0 +1,75 @@
+//! Criterion microbenchmarks of the algorithm kernels (wall-clock of
+//! the in-process simulation, complementing the simulated-time harness).
+
+use ampc_core::matching::{ampc_matching, greedy_matching};
+use ampc_core::mis::{ampc_mis, greedy_mis};
+use ampc_core::msf::in_memory::kruskal;
+use ampc_core::msf::{ampc_msf, kkt_msf};
+use ampc_core::one_vs_two::ampc_one_vs_two;
+use ampc_runtime::AmpcConfig;
+use ampc_graph::datasets::{Dataset, Scale};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn cfg() -> AmpcConfig {
+    let mut c = AmpcConfig::default();
+    c.num_machines = 8;
+    c.in_memory_threshold = 2_000;
+    c
+}
+
+fn bench_mis(c: &mut Criterion) {
+    let g = Dataset::Orkut.generate(Scale::Test, 1);
+    let conf = cfg();
+    let mut group = c.benchmark_group("mis");
+    group.sample_size(10);
+    group.bench_function("ampc_query_process", |b| {
+        b.iter(|| ampc_mis(&g, &conf))
+    });
+    group.bench_function("mpc_rootset", |b| b.iter(|| ampc_mpc::mpc_mis(&g, &conf)));
+    group.bench_function("sequential_greedy", |b| b.iter(|| greedy_mis(&g, conf.seed)));
+    group.finish();
+}
+
+fn bench_matching(c: &mut Criterion) {
+    let g = Dataset::Orkut.generate(Scale::Test, 1);
+    let conf = cfg();
+    let mut group = c.benchmark_group("matching");
+    group.sample_size(10);
+    group.bench_function("ampc_vertex_process", |b| {
+        b.iter(|| ampc_matching(&g, &conf))
+    });
+    group.bench_function("mpc_rootset", |b| {
+        b.iter(|| ampc_mpc::mpc_matching(&g, &conf))
+    });
+    group.bench_function("sequential_greedy", |b| {
+        b.iter(|| greedy_matching(&g, conf.seed))
+    });
+    group.finish();
+}
+
+fn bench_msf(c: &mut Criterion) {
+    let w = Dataset::Orkut.generate_weighted(Scale::Test, 1);
+    let conf = cfg();
+    let mut group = c.benchmark_group("msf");
+    group.sample_size(10);
+    group.bench_function("ampc_pipeline", |b| b.iter(|| ampc_msf(&w, &conf)));
+    group.bench_function("kkt_sampling", |b| b.iter(|| kkt_msf(&w, &conf)));
+    group.bench_function("mpc_boruvka", |b| b.iter(|| ampc_mpc::mpc_msf(&w, &conf)));
+    group.bench_function("sequential_kruskal", |b| b.iter(|| kruskal(&w)));
+    group.finish();
+}
+
+fn bench_cycle(c: &mut Criterion) {
+    let g = ampc_graph::gen::two_cycles(50_000, 7);
+    let conf = cfg();
+    let mut group = c.benchmark_group("one_vs_two");
+    group.sample_size(10);
+    group.bench_function("ampc_sampling", |b| b.iter(|| ampc_one_vs_two(&g, &conf)));
+    group.bench_function("mpc_local_contraction", |b| {
+        b.iter(|| ampc_mpc::local_contraction::mpc_one_vs_two(&g, &conf))
+    });
+    group.finish();
+}
+
+criterion_group!(kernels, bench_mis, bench_matching, bench_msf, bench_cycle);
+criterion_main!(kernels);

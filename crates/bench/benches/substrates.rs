@@ -1,0 +1,90 @@
+//! Criterion microbenchmarks of the substrate layers: DHT throughput,
+//! graph construction, tree-index builds — the pieces whose constants
+//! the cost model abstracts.
+
+use ampc_dht::store::{Generation, GenerationWriter};
+use ampc_dht::MachineHandle;
+use ampc_trees::flight::FlightIndex;
+use ampc_trees::lca::LcaIndex;
+use ampc_trees::rooting::root_forest;
+use ampc_trees::UnionFind;
+use ampc_graph::{gen, GraphBuilder, WeightedEdge};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_dht(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dht");
+    group.bench_function("put_100k", |b| {
+        b.iter(|| {
+            let w: GenerationWriter<u64> = GenerationWriter::new();
+            for k in 0..100_000u64 {
+                w.put(k, k);
+            }
+            w.seal()
+        })
+    });
+    let g: Generation<u64> = Generation::from_iter((0..100_000u64).map(|k| (k, k)));
+    group.bench_function("get_100k_metered", |b| {
+        b.iter(|| {
+            let mut h: MachineHandle<u64> = MachineHandle::new(&g, None);
+            let mut acc = 0u64;
+            for k in 0..100_000u64 {
+                acc ^= *h.get(k).unwrap();
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+fn bench_graph_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.sample_size(10);
+    group.bench_function("rmat_100k_edges", |b| {
+        b.iter(|| gen::rmat(14, 100_000, gen::RmatParams::SOCIAL, 1))
+    });
+    let edges: Vec<(u32, u32)> = gen::rmat(14, 100_000, gen::RmatParams::SOCIAL, 1)
+        .edges()
+        .map(|e| (e.u, e.v))
+        .collect();
+    group.bench_function("csr_build_100k", |b| {
+        b.iter(|| {
+            let mut builder = GraphBuilder::with_capacity(1 << 14, edges.len());
+            for &(u, v) in &edges {
+                builder.push_edge(u, v, 0);
+            }
+            builder.build()
+        })
+    });
+    group.finish();
+}
+
+fn bench_trees(c: &mut Criterion) {
+    let mut group = c.benchmark_group("trees");
+    let tree = gen::random_tree(50_000, 3);
+    group.bench_function("root_plus_lca_50k", |b| {
+        b.iter(|| {
+            let f = root_forest(&tree);
+            LcaIndex::new(&f)
+        })
+    });
+    let forest_edges: Vec<WeightedEdge> = tree
+        .edges()
+        .map(|e| WeightedEdge::new(e.u, e.v, (e.u + e.v) as u64 + 1))
+        .collect();
+    group.bench_function("flight_index_50k", |b| {
+        b.iter(|| FlightIndex::new(50_000, &forest_edges))
+    });
+    group.bench_function("union_find_100k", |b| {
+        b.iter(|| {
+            let mut uf = UnionFind::new(100_000);
+            for i in 0..99_999u32 {
+                uf.union(i, i + 1);
+            }
+            uf.num_components()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(substrates, bench_dht, bench_graph_build, bench_trees);
+criterion_main!(substrates);

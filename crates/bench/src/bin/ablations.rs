@@ -1,0 +1,5 @@
+//! Harness binary: regenerates the paper's ablations comparison.
+fn main() {
+    let scale = ampc_graph::datasets::Scale::from_env();
+    print!("{}", ampc_bench::experiments::ablations::run(scale));
+}

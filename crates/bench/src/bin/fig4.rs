@@ -1,0 +1,5 @@
+//! Harness binary: regenerates the paper's fig4 comparison.
+fn main() {
+    let scale = ampc_graph::datasets::Scale::from_env();
+    print!("{}", ampc_bench::experiments::fig4::run(scale));
+}

@@ -1,0 +1,5 @@
+//! Harness binary: regenerates the paper's fig7 comparison.
+fn main() {
+    let scale = ampc_graph::datasets::Scale::from_env();
+    print!("{}", ampc_bench::experiments::runtime_cmp::run_fig7(scale));
+}

@@ -1,0 +1,14 @@
+//! Regenerates every table and figure and writes `EXPERIMENTS.md`.
+use std::io::Write;
+
+fn main() {
+    let scale = ampc_graph::datasets::Scale::from_env();
+    let md = ampc_bench::experiments::run_all(scale);
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "EXPERIMENTS.md".to_string());
+    let mut f = std::fs::File::create(&path).expect("create output file");
+    f.write_all(md.as_bytes()).expect("write output");
+    eprintln!("[run_all] wrote {path}");
+    println!("{md}");
+}

@@ -1,0 +1,5 @@
+//! Harness binary: regenerates the paper's table2 comparison.
+fn main() {
+    let scale = ampc_graph::datasets::Scale::from_env();
+    print!("{}", ampc_bench::experiments::table2::run(scale));
+}

@@ -1,0 +1,52 @@
+//! Figure 3 — bytes shuffled by the AMPC and MPC MIS implementations,
+//! plus the AMPC algorithm's total KV-store communication.
+
+use crate::util::{bytes, harness_config, load, Md};
+use ampc_core::mis::ampc_mis;
+use ampc_graph::datasets::{Dataset, Scale};
+
+/// Runs the experiment, returning a markdown section.
+pub fn run(scale: Scale) -> String {
+    let cfg = harness_config(scale);
+    let mut rows = Vec::new();
+    let mut always_less = true;
+    for d in Dataset::REAL_WORLD {
+        let g = load(d, scale);
+        let a = ampc_mis(&g, &cfg);
+        let m = ampc_mpc::mpc_mis(&g, &cfg);
+        let a_shuf = a.report.shuffle_bytes();
+        let a_kv = a.report.kv_comm().kv_bytes();
+        let m_shuf = m.report.shuffle_bytes();
+        always_less &= a_shuf < m_shuf;
+        rows.push(vec![
+            d.name(),
+            bytes(a_shuf),
+            bytes(a_kv),
+            bytes(m_shuf),
+            format!("{:.1}x", m_shuf as f64 / a_shuf.max(1) as f64),
+        ]);
+    }
+
+    let mut md = Md::new();
+    md.heading(2, "Figure 3 — bytes shuffled (MIS) and AMPC KV communication");
+    md.table(
+        &[
+            "Dataset",
+            "AMPC-Shuffle",
+            "AMPC-KV-Communication",
+            "MPC-Shuffle",
+            "MPC/AMPC shuffle ratio",
+        ],
+        &rows,
+    );
+    md.para(&format!(
+        "Shape check: the AMPC algorithm shuffles **{}** fewer bytes than MPC on every \
+         dataset (paper: \"In all cases, the AMPC algorithm shuffles significantly fewer \
+         bytes, since the single shuffle it performs writes bytes only proportional to \
+         the input graph size\"). KV communication is charged to the high-throughput \
+         network rather than durable storage, which is why AMPC wins on time even where \
+         its KV bytes approach MPC's shuffle bytes (the paper's ClueWeb observation).",
+        if always_less { "strictly" } else { "mostly" }
+    ));
+    md.finish()
+}

@@ -1,0 +1,58 @@
+//! Figure 9 — total bytes of KV-store communication vs. edge count, for
+//! MIS, MM and MSF across all datasets.
+//!
+//! Paper: *"for all of the problems there is a consistent linear trend
+//! in terms of the total amount of communication with respect to the
+//! number of edges."*
+
+use crate::util::{bytes, harness_config, load, load_weighted, Md};
+use ampc_core::matching::ampc_matching;
+use ampc_core::mis::ampc_mis;
+use ampc_core::msf::ampc_msf;
+use ampc_graph::datasets::{Dataset, Scale};
+
+/// Runs the experiment, returning a markdown section.
+pub fn run(scale: Scale) -> String {
+    let cfg = harness_config(scale);
+    let mut rows = Vec::new();
+    let mut ratios: [Vec<f64>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+    for d in Dataset::REAL_WORLD {
+        let g = load(d, scale);
+        let w = load_weighted(d, scale);
+        let m = g.num_edges() as u64;
+        let mis = ampc_mis(&g, &cfg).report.kv_comm().kv_bytes();
+        let mm = ampc_matching(&g, &cfg).report.kv_comm().kv_bytes();
+        let msf = ampc_msf(&w, &cfg).report.kv_comm().kv_bytes();
+        for (i, v) in [mis, mm, msf].into_iter().enumerate() {
+            ratios[i].push(v as f64 / m as f64);
+        }
+        rows.push(vec![
+            d.name(),
+            m.to_string(),
+            format!("{} ({:.1} B/edge)", bytes(mis), mis as f64 / m as f64),
+            format!("{} ({:.1} B/edge)", bytes(mm), mm as f64 / m as f64),
+            format!("{} ({:.1} B/edge)", bytes(msf), msf as f64 / m as f64),
+        ]);
+    }
+
+    let spreads: Vec<String> = ["MIS", "MM", "MSF"]
+        .iter()
+        .zip(&ratios)
+        .map(|(name, r)| {
+            let spread =
+                r.iter().cloned().fold(f64::MIN, f64::max) / r.iter().cloned().fold(f64::MAX, f64::min);
+            format!("{name} {spread:.1}x")
+        })
+        .collect();
+
+    let mut md = Md::new();
+    md.heading(2, "Figure 9 — KV-store communication vs. edges (AMPC algorithms)");
+    md.table(&["Dataset", "m", "MIS KV bytes", "MM KV bytes", "MSF KV bytes"], &rows);
+    md.para(&format!(
+        "Shape check: per-problem bytes-per-edge stays within small bands across two \
+         orders of magnitude of edge counts ({}) — the linear trend of the paper's \
+         log-log plot.",
+        spreads.join(", ")
+    ));
+    md.finish()
+}

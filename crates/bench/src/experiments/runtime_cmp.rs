@@ -1,0 +1,141 @@
+//! Figures 5, 6 and 7 — normalized running times of the AMPC vs MPC
+//! implementations with per-stage breakdowns.
+//!
+//! Paper shapes: AMPC always wins; MIS speedups 2.31–3.18x, MM
+//! 1.16–1.72x, MSF 2.6–7.19x; for small graphs the MIS shuffle costs
+//! 2.06–3.24x the search, for large ones the search dominates by
+//! 1.38–1.43x; in MSF the contraction stages carry the largest share.
+
+use crate::util::{harness_config, load, load_weighted, secs, speedup, Md};
+use ampc_core::matching::ampc_matching;
+use ampc_core::mis::ampc_mis;
+use ampc_core::msf::ampc_msf;
+use ampc_runtime::JobReport;
+use ampc_graph::datasets::{Dataset, Scale};
+
+/// Sums the simulated time of stages whose name starts with any prefix.
+fn group(r: &JobReport, prefixes: &[&str]) -> u64 {
+    r.stages
+        .iter()
+        .filter(|s| prefixes.iter().any(|p| s.name.starts_with(p)))
+        .map(|s| s.sim_ns)
+        .sum()
+}
+
+fn section(
+    title: &str,
+    note: &str,
+    stage_groups: &[(&str, Vec<&'static str>)],
+    runs: Vec<(String, JobReport, JobReport)>,
+) -> String {
+    let mut md = Md::new();
+    md.heading(2, title);
+    let mut header: Vec<&str> = vec!["Dataset"];
+    for (label, _) in stage_groups {
+        header.push(label);
+    }
+    header.extend(["AMPC total", "MPC total", "Speedup"]);
+    let mut rows = Vec::new();
+    let (mut lo, mut hi) = (f64::MAX, 0f64);
+    for (name, ampc, mpc) in &runs {
+        let mut row = vec![name.clone()];
+        for (_, prefixes) in stage_groups {
+            row.push(secs(group(ampc, prefixes)));
+        }
+        row.push(secs(ampc.sim_ns()));
+        row.push(secs(mpc.sim_ns()));
+        row.push(speedup(mpc.sim_ns(), ampc.sim_ns()));
+        let s = mpc.sim_ns() as f64 / ampc.sim_ns().max(1) as f64;
+        lo = lo.min(s);
+        hi = hi.max(s);
+        rows.push(row);
+    }
+    md.table(&header, &rows);
+    md.para(&format!(
+        "{note} Measured speedup range here: {lo:.2}–{hi:.2}x."
+    ));
+    md.finish()
+}
+
+/// Figure 5: MIS.
+pub fn run_fig5(scale: Scale) -> String {
+    let cfg = harness_config(scale);
+    let runs: Vec<(String, JobReport, JobReport)> = Dataset::REAL_WORLD
+        .iter()
+        .map(|&d| {
+            let g = load(d, scale);
+            (
+                d.name(),
+                ampc_mis(&g, &cfg).report,
+                ampc_mpc::mpc_mis(&g, &cfg).report,
+            )
+        })
+        .collect();
+    section(
+        "Figure 5 — MIS running times (sim seconds) and AMPC breakdown",
+        "Paper: AMPC always faster, 2.31–3.18x; the IsInMIS search grows relative to \
+         the DirectGraph shuffle as graphs get larger.",
+        &[
+            ("DirectGraph (Shuf.)", vec!["DirectGraph"]),
+            ("KV-Write", vec!["KV-Write"]),
+            ("IsInMIS", vec!["IsInMIS", "StatusWrite"]),
+        ],
+        runs,
+    )
+}
+
+/// Figure 6: maximal matching.
+pub fn run_fig6(scale: Scale) -> String {
+    let cfg = harness_config(scale);
+    let runs: Vec<(String, JobReport, JobReport)> = Dataset::REAL_WORLD
+        .iter()
+        .map(|&d| {
+            let g = load(d, scale);
+            (
+                d.name(),
+                ampc_matching(&g, &cfg).report,
+                ampc_mpc::mpc_matching(&g, &cfg).report,
+            )
+        })
+        .collect();
+    section(
+        "Figure 6 — Maximal matching running times (sim seconds) and AMPC breakdown",
+        "Paper: AMPC always faster, 1.16–1.72x — a smaller margin than MIS because the \
+         IsInMM search costs more and the full (undirected) adjacency is shuffled.",
+        &[
+            ("PermuteGraph (Shuf.)", vec!["PermuteGraph"]),
+            ("KV-Write", vec!["KV-Write"]),
+            ("IsInMM", vec!["IsInMM"]),
+        ],
+        runs,
+    )
+}
+
+/// Figure 7: minimum spanning forest.
+pub fn run_fig7(scale: Scale) -> String {
+    let cfg = harness_config(scale);
+    let runs: Vec<(String, JobReport, JobReport)> = Dataset::REAL_WORLD
+        .iter()
+        .map(|&d| {
+            let w = load_weighted(d, scale);
+            (
+                d.name(),
+                ampc_msf(&w, &cfg).report,
+                ampc_mpc::mpc_msf(&w, &cfg).report,
+            )
+        })
+        .collect();
+    section(
+        "Figure 7 — MSF running times (sim seconds) and AMPC breakdown",
+        "Paper: AMPC always faster, 2.6–7.19x; unlike MIS/MM the graph-contraction \
+         stages take the largest share of the time, and pointer jumping stays ~10%.",
+        &[
+            ("SortGraph (Shuf.)", vec!["SortGraph"]),
+            ("KV-Write", vec!["KV-Write"]),
+            ("PrimSearch", vec!["PrimSearch"]),
+            ("PointerJump", vec!["Combine", "PointerJump", "PJ-Write"]),
+            ("Contract (Shuf.)", vec!["Contract", "Rebuild", "InMemoryMSF"]),
+        ],
+        runs,
+    )
+}

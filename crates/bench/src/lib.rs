@@ -1,0 +1,16 @@
+//! # ampc-bench — the reproduction harness
+//!
+//! One module (and one binary) per table/figure of the paper's
+//! evaluation; `run_all` regenerates everything into `EXPERIMENTS.md`.
+//! See DESIGN.md §4 for the experiment index.
+//!
+//! Scale is controlled by the `AMPC_SCALE` environment variable:
+//! `test` (seconds), `mid` (default; minutes), `bench` (the full
+//! laptop-scale analogues).
+
+#![deny(missing_docs)]
+
+pub mod experiments;
+pub mod util;
+
+pub use util::{md_table, Md};

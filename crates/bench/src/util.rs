@@ -1,0 +1,190 @@
+//! Harness utilities: configurations, dataset caching, markdown tables.
+
+use ampc_runtime::AmpcConfig;
+use ampc_graph::datasets::{Dataset, Scale};
+use ampc_graph::{CsrGraph, WeightedCsrGraph};
+
+/// The shared experiment configuration: machine count, in-memory
+/// thresholds and the cost model's `data_scale` calibration matched to
+/// the analogue scale the harness runs at (DESIGN.md §6). The
+/// `data_scale` is the downscale factor of the analogues relative to
+/// the paper's inputs, so that simulated data volumes land at the
+/// magnitudes of the paper's environment at every harness scale.
+pub fn harness_config(scale: Scale) -> AmpcConfig {
+    let mut cfg = AmpcConfig::default();
+    cfg.num_machines = 10;
+    cfg.seed = 0x5EED_2020;
+    cfg.in_memory_threshold = match scale {
+        Scale::Test => 500,
+        Scale::Mid => 2_000,
+        Scale::Bench => 10_000,
+    };
+    cfg.cost.data_scale = match scale {
+        Scale::Test => 12_000,
+        Scale::Mid => 1_500,
+        Scale::Bench => 190,
+    };
+    cfg
+}
+
+/// Configuration for the `2 × k` cycle experiments: the cycle family is
+/// 10⁴x smaller than the paper's (k up to 2×10¹⁰), a different downscale
+/// factor than the RMAT analogues, so it gets its own `data_scale`; the
+/// paper also runs these on the full 100 machines.
+pub fn cycle_config(scale: Scale) -> AmpcConfig {
+    let mut cfg = harness_config(scale);
+    cfg.num_machines = 100;
+    cfg.cost.data_scale = match scale {
+        Scale::Test => 50_000,
+        Scale::Mid => 10_000,
+        Scale::Bench => 1_000,
+    };
+    cfg
+}
+
+/// The `2 × k` sizes exercised at each scale (paper: 2×10⁸ … 2×10¹⁰).
+pub fn cycle_sizes(scale: Scale) -> &'static [usize] {
+    match scale {
+        Scale::Test => &[20_000, 100_000],
+        Scale::Mid => &[20_000, 200_000, 2_000_000],
+        Scale::Bench => &[200_000, 2_000_000, 20_000_000],
+    }
+}
+
+/// Generation seed shared by all experiments (graphs are identical
+/// across harness binaries).
+pub const GRAPH_SEED: u64 = 20;
+
+/// Generates (and memoizes per process) a dataset analogue.
+pub fn load(d: Dataset, scale: Scale) -> CsrGraph {
+    d.generate(scale, GRAPH_SEED)
+}
+
+/// Weighted variant (degree weights, §5.2).
+pub fn load_weighted(d: Dataset, scale: Scale) -> WeightedCsrGraph {
+    d.generate_weighted(scale, GRAPH_SEED)
+}
+
+/// A markdown accumulator.
+#[derive(Default)]
+pub struct Md {
+    buf: String,
+}
+
+impl Md {
+    /// New empty document.
+    pub fn new() -> Self {
+        Md::default()
+    }
+
+    /// Appends a heading.
+    pub fn heading(&mut self, level: usize, text: &str) -> &mut Self {
+        self.buf.push_str(&format!("\n{} {}\n\n", "#".repeat(level), text));
+        self
+    }
+
+    /// Appends a paragraph.
+    pub fn para(&mut self, text: &str) -> &mut Self {
+        self.buf.push_str(text);
+        self.buf.push_str("\n\n");
+        self
+    }
+
+    /// Appends a preformatted table.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) -> &mut Self {
+        self.buf.push_str(&md_table(header, rows));
+        self.buf.push('\n');
+        self
+    }
+
+    /// The accumulated markdown.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Renders a markdown table.
+pub fn md_table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}"))
+            .collect();
+        format!("| {} |\n", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(
+        &header.iter().map(|s| s.to_string()).collect::<Vec<_>>(),
+        &widths,
+    ));
+    out.push_str(&fmt_row(
+        &widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>(),
+        &widths,
+    ));
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+    }
+    out
+}
+
+/// Ratio formatted as `X.XXx`.
+pub fn speedup(baseline_ns: u64, ours_ns: u64) -> String {
+    format!("{:.2}x", baseline_ns as f64 / ours_ns.max(1) as f64)
+}
+
+/// Seconds with 2 decimals from nanoseconds.
+pub fn secs(ns: u64) -> String {
+    format!("{:.2}", ns as f64 / 1e9)
+}
+
+/// Human-readable byte count.
+pub fn bytes(b: u64) -> String {
+    if b >= 1_000_000_000 {
+        format!("{:.2}GB", b as f64 / 1e9)
+    } else if b >= 1_000_000 {
+        format!("{:.1}MB", b as f64 / 1e6)
+    } else if b >= 1_000 {
+        format!("{:.1}KB", b as f64 / 1e3)
+    } else {
+        format!("{b}B")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn md_table_renders() {
+        let t = md_table(
+            &["a", "bb"],
+            &[vec!["1".into(), "2".into()], vec!["33".into(), "4".into()]],
+        );
+        assert!(t.contains("| a  | bb |"));
+        assert!(t.contains("| 33 | 4  |"));
+    }
+
+    #[test]
+    fn helpers_format() {
+        assert_eq!(speedup(2_000, 1_000), "2.00x");
+        assert_eq!(secs(1_500_000_000), "1.50");
+        assert_eq!(bytes(2_500_000), "2.5MB");
+    }
+
+    #[test]
+    fn config_scales_threshold() {
+        assert!(
+            harness_config(Scale::Test).in_memory_threshold
+                < harness_config(Scale::Bench).in_memory_threshold
+        );
+    }
+}

@@ -1,0 +1,411 @@
+//! The AMPC MIS algorithm (Figure 1 of the paper; Proposition 4.2).
+//!
+//! Three steps, mirroring the Flume-C++ pseudocode of §5.3:
+//!
+//! 1. **DirectGraph** (1 shuffle): sort each vertex's neighborhood by
+//!    priority, keeping only the neighbors *earlier in the permutation*
+//!    (those that can block `v`).
+//! 2. **KV-Write**: store the directed graph in the DHT.
+//! 3. **IsInMIS** (KV round): from every vertex, run the recursive query
+//!    process of Yoshida et al.: `v ∈ MIS` iff none of its directed
+//!    (earlier) neighbors is in the MIS. The recursion is evaluated
+//!    iteratively with an explicit stack; with the caching optimization
+//!    the per-machine result table short-circuits repeat queries, and
+//!    multithreading (modeled in the cost config) hides lookup latency.
+//!
+//! The truncated multi-round variant of [19] (each round re-runs
+//! unresolved vertices with an `n^ε`-times larger budget) is available
+//! through [`MisOptions::truncated`]; as the paper observes, the
+//! practical configuration resolves everything in a single round.
+
+use crate::priorities::node_rank;
+use ampc_dht::cache::DenseCache;
+use ampc_dht::hasher::FxHashMap;
+use ampc_dht::store::{Dht, GenerationWriter};
+use ampc_runtime::executor::MachineCtx;
+use ampc_runtime::{AmpcConfig, Job, JobReport};
+use ampc_graph::{CsrGraph, NodeId};
+
+/// Options for the AMPC MIS run (Figure 4's ablation axes).
+#[derive(Clone, Copy, Debug)]
+pub struct MisOptions {
+    /// Enable the per-machine caching optimization (§5.3).
+    pub caching: bool,
+    /// Use the theoretically-truncated multi-round query process of
+    /// [19] instead of a single unbounded round.
+    pub truncated: bool,
+}
+
+impl Default for MisOptions {
+    fn default() -> Self {
+        MisOptions {
+            caching: true,
+            truncated: false,
+        }
+    }
+}
+
+/// Result of an AMPC MIS run.
+#[derive(Clone, Debug)]
+pub struct MisOutcome {
+    /// Membership per vertex.
+    pub in_mis: Vec<bool>,
+    /// Execution record for the harness.
+    pub report: JobReport,
+}
+
+/// Runs AMPC MIS with the configuration's defaults (caching per
+/// `cfg.caching`, single-round query process).
+///
+/// ```
+/// use ampc_core::{mis, validate};
+/// use ampc_runtime::AmpcConfig;
+///
+/// let g = ampc_graph::gen::erdos_renyi(100, 300, 7);
+/// let out = mis::ampc_mis(&g, &AmpcConfig::for_tests());
+/// assert!(validate::is_maximal_independent_set(&g, &out.in_mis));
+/// assert_eq!(out.report.num_shuffles(), 1); // Table 3
+/// ```
+pub fn ampc_mis(g: &CsrGraph, cfg: &AmpcConfig) -> MisOutcome {
+    ampc_mis_with_options(
+        g,
+        cfg,
+        MisOptions {
+            caching: cfg.caching,
+            ..Default::default()
+        },
+    )
+}
+
+/// Tri-state per-vertex status in the machine cache.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Status {
+    InMis,
+    NotInMis,
+}
+
+/// Runs AMPC MIS with explicit options.
+pub fn ampc_mis_with_options(g: &CsrGraph, cfg: &AmpcConfig, opts: MisOptions) -> MisOutcome {
+    let n = g.num_nodes();
+    let seed = cfg.seed;
+    let mut job = Job::new(*cfg);
+
+    // ------------------------------------------------------ DirectGraph
+    // One record per vertex: its earlier-in-π neighbors, sorted by rank.
+    let records: Vec<(NodeId, Vec<NodeId>)> = g
+        .nodes()
+        .map(|v| {
+            let rv = node_rank(seed, v);
+            let mut dir: Vec<NodeId> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| node_rank(seed, u) < rv)
+                .collect();
+            dir.sort_unstable_by_key(|&u| node_rank(seed, u));
+            (v, dir)
+        })
+        .collect();
+    let buckets = job.shuffle_by_key("DirectGraph", records, |r| r.0 as u64);
+
+    // -------------------------------------------------------- KV-Write
+    let mut dht: Dht<Vec<NodeId>> = Dht::new();
+    let writer = GenerationWriter::new();
+    job.kv_round_chunked(
+        "KV-Write",
+        dht.current(),
+        Some(&writer),
+        &buckets,
+        |ctx, items: &[(NodeId, Vec<NodeId>)]| {
+            for (v, dir) in items {
+                ctx.handle.put(*v as u64, dir.clone());
+            }
+            Vec::<()>::new()
+        },
+    );
+    dht.push(writer.seal());
+
+    // --------------------------------------------------------- IsInMIS
+    // Round loop: in the default configuration one round with an
+    // unbounded budget resolves every vertex (what the paper observed in
+    // practice); the truncated variant multiplies the budget by n^ε per
+    // round, consulting statuses resolved in earlier rounds.
+    let mut resolved: Vec<u8> = vec![0; n]; // 0 unknown, 1 in, 2 out
+    let mut pending: Vec<NodeId> = (0..n as NodeId).collect();
+    let mut budget = if opts.truncated {
+        cfg.search_budget(n)
+    } else {
+        u64::MAX
+    };
+    let mut round = 0usize;
+    while !pending.is_empty() {
+        round += 1;
+        assert!(round <= 64, "IsInMIS failed to converge");
+        let resolved_ro = &resolved;
+        let outputs: Vec<(NodeId, Option<bool>)> = job.kv_round(
+            &format!("IsInMIS{}", if round == 1 { String::new() } else { format!("-r{round}") }),
+            dht.current(),
+            None,
+            pending.clone(),
+            |ctx, items| {
+                let mut cache: DenseCache<Status> = if opts.caching {
+                    DenseCache::unbounded(n)
+                } else {
+                    DenseCache::disabled()
+                };
+                items
+                    .iter()
+                    .map(|&v| (v, evaluate(v, ctx, &mut cache, resolved_ro, budget, opts.caching)))
+                    .collect()
+            },
+        );
+        // Commit resolutions; unresolved vertices go to the next round
+        // with a larger budget (statuses become next-round hints, the
+        // status write being metered as a KV round).
+        pending.clear();
+        let mut newly = 0u64;
+        for (v, st) in outputs {
+            match st {
+                Some(true) => resolved[v as usize] = 1,
+                Some(false) => resolved[v as usize] = 2,
+                None => pending.push(v),
+            }
+            if st.is_some() {
+                newly += 1;
+            }
+        }
+        if !pending.is_empty() {
+            // Meter the write of newly-resolved statuses that the next
+            // round's machines will consult.
+            let status_writer: GenerationWriter<Vec<NodeId>> = GenerationWriter::new();
+            job.kv_round(
+                "StatusWrite",
+                dht.current(),
+                Some(&status_writer),
+                vec![(); newly as usize],
+                |ctx, items: &[()]| {
+                    for _ in items {
+                        ctx.add_ops(1);
+                        ctx.handle.put(0, Vec::new());
+                    }
+                    Vec::<()>::new()
+                },
+            );
+            budget = budget.saturating_mul(cfg.search_budget(n).max(2));
+        }
+    }
+
+    MisOutcome {
+        in_mis: resolved.iter().map(|&s| s == 1).collect(),
+        report: job.into_report(),
+    }
+}
+
+/// Iterative evaluation of the Yoshida et al. recursion from `v`.
+///
+/// Returns `None` if the evaluation was truncated by `budget`.
+fn evaluate<'a>(
+    v: NodeId,
+    ctx: &mut MachineCtx<'a, Vec<NodeId>>,
+    cache: &mut DenseCache<Status>,
+    resolved: &[u8],
+    budget: u64,
+    caching: bool,
+) -> Option<bool> {
+    // Status lookup that never touches the network: per-machine cache
+    // plus globally-resolved statuses from earlier rounds.
+    #[inline]
+    fn known(
+        x: NodeId,
+        cache: &DenseCache<Status>,
+        local: &FxHashMap<NodeId, Status>,
+        resolved: &[u8],
+    ) -> Option<Status> {
+        match resolved[x as usize] {
+            1 => return Some(Status::InMis),
+            2 => return Some(Status::NotInMis),
+            _ => {}
+        }
+        if let Some(&s) = cache.get(x as u64) {
+            return Some(s);
+        }
+        local.get(&x).copied()
+    }
+
+    // Local memo (within this evaluation) used when the shared cache is
+    // disabled: required for the DFS itself (a node's status must not be
+    // recomputed mid-traversal) but discarded between evaluations, which
+    // is exactly the "unoptimized" configuration of Figure 4.
+    let mut local: FxHashMap<NodeId, Status> = FxHashMap::default();
+    let record = |x: NodeId,
+                      s: Status,
+                      cache: &mut DenseCache<Status>,
+                      local: &mut FxHashMap<NodeId, Status>| {
+        if caching {
+            cache.put(x as u64, s);
+        } else {
+            local.insert(x, s);
+        }
+    };
+
+    if let Some(s) = known(v, cache, &local, resolved) {
+        ctx.handle.note_cache_hit();
+        return Some(s == Status::InMis);
+    }
+
+    let mut queries_here = 0u64;
+    // Frame: (vertex, its directed neighbor list, cursor).
+    let mut stack: Vec<(NodeId, &'a [NodeId], usize)> = Vec::new();
+    let list = ctx.handle.get(v as u64).map(|l| l.as_slice()).unwrap_or(&[]);
+    queries_here += 1;
+    stack.push((v, list, 0));
+
+    while let Some(&mut (x, nbrs, ref mut idx)) = stack.last_mut() {
+        ctx.add_ops(1);
+        let mut decided: Option<Status> = None;
+        let mut push_child: Option<NodeId> = None;
+        while *idx < nbrs.len() {
+            let u = nbrs[*idx];
+            match known(u, cache, &local, resolved) {
+                Some(Status::InMis) => {
+                    decided = Some(Status::NotInMis);
+                    break;
+                }
+                Some(Status::NotInMis) => {
+                    *idx += 1;
+                }
+                None => {
+                    push_child = Some(u);
+                    break;
+                }
+            }
+        }
+        if let Some(s) = decided {
+            record(x, s, cache, &mut local);
+            stack.pop();
+            continue;
+        }
+        if let Some(u) = push_child {
+            if queries_here >= budget {
+                return None; // truncated; retried next round
+            }
+            let list = ctx.handle.get(u as u64).map(|l| l.as_slice()).unwrap_or(&[]);
+            queries_here += 1;
+            stack.push((u, list, 0));
+            continue;
+        }
+        // All directed neighbors are out: x joins the MIS.
+        record(x, Status::InMis, cache, &mut local);
+        stack.pop();
+    }
+
+    known(v, cache, &local, resolved).map(|s| s == Status::InMis)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mis::greedy::greedy_mis;
+    use crate::validate;
+    use ampc_graph::gen;
+
+    fn cfg() -> AmpcConfig {
+        AmpcConfig::for_tests()
+    }
+
+    #[test]
+    fn matches_greedy_on_small_graphs() {
+        for seed in 0..8 {
+            let g = gen::erdos_renyi(120, 360, seed);
+            let c = cfg().with_seed(seed * 13 + 5);
+            let out = ampc_mis(&g, &c);
+            assert_eq!(out.in_mis, greedy_mis(&g, c.seed), "seed {seed}");
+            assert!(validate::is_maximal_independent_set(&g, &out.in_mis));
+        }
+    }
+
+    #[test]
+    fn matches_greedy_on_skewed_graph() {
+        let g = gen::rmat(10, 8_000, gen::RmatParams::SOCIAL, 3);
+        let c = cfg();
+        let out = ampc_mis(&g, &c);
+        assert_eq!(out.in_mis, greedy_mis(&g, c.seed));
+    }
+
+    #[test]
+    fn uses_one_shuffle_and_two_kv_rounds() {
+        // Table 3: the AMPC MIS uses a single shuffle.
+        let g = gen::erdos_renyi(100, 250, 1);
+        let out = ampc_mis(&g, &cfg());
+        assert_eq!(out.report.num_shuffles(), 1);
+        assert_eq!(out.report.num_kv_rounds(), 2); // KV-Write + IsInMIS
+    }
+
+    #[test]
+    fn no_cache_still_correct_but_more_queries() {
+        let g = gen::erdos_renyi(150, 600, 2);
+        let c = cfg();
+        let cached = ampc_mis_with_options(
+            &g,
+            &c,
+            MisOptions {
+                caching: true,
+                truncated: false,
+            },
+        );
+        let uncached = ampc_mis_with_options(
+            &g,
+            &c,
+            MisOptions {
+                caching: false,
+                truncated: false,
+            },
+        );
+        assert_eq!(cached.in_mis, uncached.in_mis);
+        let qc = cached.report.kv_comm().queries;
+        let qu = uncached.report.kv_comm().queries;
+        assert!(qu > qc, "uncached should query more: {qu} vs {qc}");
+    }
+
+    #[test]
+    fn truncated_variant_converges_and_matches() {
+        let g = gen::erdos_renyi(200, 800, 4);
+        let c = cfg();
+        let out = ampc_mis_with_options(
+            &g,
+            &c,
+            MisOptions {
+                caching: true,
+                truncated: true,
+            },
+        );
+        assert_eq!(out.in_mis, greedy_mis(&g, c.seed));
+    }
+
+    #[test]
+    fn isolated_vertices_always_in() {
+        let g = CsrGraph::empty(7);
+        let out = ampc_mis(&g, &cfg());
+        assert!(out.in_mis.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn deterministic_across_machine_counts() {
+        let g = gen::erdos_renyi(150, 500, 9);
+        let a = ampc_mis(&g, &cfg().with_machines(2));
+        let b = ampc_mis(&g, &cfg().with_machines(7));
+        assert_eq!(a.in_mis, b.in_mis);
+    }
+
+    #[test]
+    fn star_takes_leaves_or_center() {
+        let g = gen::star(20);
+        let out = ampc_mis(&g, &cfg());
+        let count = out.in_mis.iter().filter(|&&b| b).count();
+        if out.in_mis[0] {
+            assert_eq!(count, 1);
+        } else {
+            assert_eq!(count, 19);
+        }
+    }
+}

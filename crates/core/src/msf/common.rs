@@ -1,0 +1,525 @@
+//! Shared MSF machinery: strict edge ordering, provenance through
+//! contractions, and the Prim-search + contraction round of §5.5.
+//!
+//! **Strict ordering.** Prim's cut-property argument (and the
+//! edge-by-edge comparability of results across implementations) needs
+//! distinct weights. [`distinctify`] replaces weights by their dense
+//! rank under the total order `(w, canonical endpoints)` — an
+//! order-preserving, collision-free relabeling; original weights are
+//! restored on output.
+//!
+//! **Provenance.** Contraction relabels endpoints, but emitted MSF edges
+//! must be reported in *original* ids. A [`ProvEdge`] carries both.
+//!
+//! **The round.** [`prim_contract_round`] implements one pass of the
+//! §5.5 pipeline over the current (possibly contracted) edge set:
+//! SortGraph shuffle → KV-Write → truncated Prim searches (Algorithm 1's
+//! three stopping rules) → Combine shuffle (best visitor per visited
+//! vertex) → pointer-jump map construction + KV pointer jumping →
+//! contraction (two shuffles), exactly the stage structure whose costs
+//! Figure 7 breaks down and whose shuffle count Table 3 reports as 5.
+
+use crate::priorities::node_rank;
+use ampc_dht::cache::DenseCache;
+use ampc_dht::hasher::{FxHashMap, FxHashSet};
+use ampc_dht::measured::Measured;
+use ampc_dht::store::{Dht, GenerationWriter};
+use ampc_runtime::{Job, JobReport};
+use ampc_graph::{NodeId, Weight, WeightedCsrGraph, WeightedEdge, NO_NODE};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of an AMPC MSF run.
+#[derive(Clone, Debug)]
+pub struct MsfOutcome {
+    /// The minimum spanning forest, as original-graph edges with
+    /// original weights, sorted.
+    pub edges: Vec<WeightedEdge>,
+    /// Execution record.
+    pub report: JobReport,
+}
+
+impl MsfOutcome {
+    /// Total weight of the forest.
+    pub fn total_weight(&self) -> u128 {
+        self.edges.iter().map(|e| e.w as u128).sum()
+    }
+}
+
+/// An edge at some contraction level: current endpoints plus the
+/// original edge it descends from. `w` is the *internal* strict weight
+/// (a dense rank, see [`distinctify`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProvEdge {
+    /// Current-level endpoint.
+    pub u: NodeId,
+    /// Current-level endpoint.
+    pub v: NodeId,
+    /// Internal strict weight (dense rank over the original edges).
+    pub w: u64,
+    /// Original endpoint.
+    pub ou: NodeId,
+    /// Original endpoint.
+    pub ov: NodeId,
+}
+
+impl Measured for ProvEdge {
+    fn size_bytes(&self) -> usize {
+        4 + 4 + 8 + 4 + 4
+    }
+}
+
+/// The strictly-ordered view of an input graph.
+#[derive(Clone, Debug)]
+pub struct Distinct {
+    /// Every edge as a level-0 [`ProvEdge`] (`u = ou`, `v = ov`).
+    pub edges: Vec<ProvEdge>,
+    /// `orig_w[w_internal]` = original weight of that edge.
+    pub orig_w: Vec<Weight>,
+    /// `orig_pair[w_internal]` = original canonical endpoints.
+    pub orig_pair: Vec<(NodeId, NodeId)>,
+    /// Vertex count.
+    pub n: usize,
+}
+
+/// Replaces weights by dense ranks under `(w, canonical endpoints)`.
+pub fn distinctify(g: &WeightedCsrGraph) -> Distinct {
+    let mut sorted: Vec<WeightedEdge> = g.edge_vec();
+    sorted.sort_unstable(); // by (w, endpoints) — WeightedEdge::key
+    let mut edges = Vec::with_capacity(sorted.len());
+    let mut orig_w = Vec::with_capacity(sorted.len());
+    let mut orig_pair = Vec::with_capacity(sorted.len());
+    for (i, e) in sorted.iter().enumerate() {
+        edges.push(ProvEdge {
+            u: e.u,
+            v: e.v,
+            w: i as u64,
+            ou: e.u,
+            ov: e.v,
+        });
+        orig_w.push(e.w);
+        orig_pair.push((e.u.min(e.v), e.u.max(e.v)));
+    }
+    Distinct {
+        edges,
+        orig_w,
+        orig_pair,
+        n: g.num_nodes(),
+    }
+}
+
+impl Distinct {
+    /// Maps a set of internal weights back to original weighted edges,
+    /// sorted.
+    pub fn restore(&self, internal: impl IntoIterator<Item = u64>) -> Vec<WeightedEdge> {
+        let mut out: Vec<WeightedEdge> = internal
+            .into_iter()
+            .map(|w| {
+                let (u, v) = self.orig_pair[w as usize];
+                WeightedEdge::new(u, v, self.orig_w[w as usize])
+            })
+            .collect();
+        out.sort_unstable_by_key(|e| e.key());
+        out
+    }
+}
+
+/// Output of one Prim + contraction round.
+pub struct PrimRoundResult {
+    /// Internal weights of the MSF edges discovered this round.
+    pub msf_internal: Vec<u64>,
+    /// The contracted edge set (parallel edges keep the lightest copy).
+    pub next_edges: Vec<ProvEdge>,
+    /// Vertex count of the contracted graph.
+    pub next_n: usize,
+    /// Current-level vertex → its contraction root (current-level id).
+    pub root_of: Vec<NodeId>,
+    /// Current-level vertex → next-level compacted id, or [`NO_NODE`] if
+    /// its class became isolated (fully-resolved component) and was
+    /// dropped, as in Algorithm 1 line 14.
+    pub next_id: Vec<NodeId>,
+}
+
+/// Adjacency value stored in the DHT for the Prim round: `(neighbor,
+/// internal weight)` sorted by weight.
+type Adj = Vec<(NodeId, u64)>;
+
+/// Per-search output: discovered MSF edges + visited vertices.
+struct SearchOut {
+    origin: NodeId,
+    msf: Vec<u64>,
+    visited: Vec<NodeId>,
+}
+
+/// Runs one §5.5 round over `edges` on `n` current-level vertices.
+///
+/// `budget` is Algorithm 1's exploration bound (`n^{ε/2}` vertices per
+/// search); `salt` decorrelates the per-round vertex permutation.
+pub fn prim_contract_round(
+    job: &mut Job,
+    n: usize,
+    edges: &[ProvEdge],
+    tag: &str,
+    budget: u64,
+    salt: u64,
+) -> PrimRoundResult {
+    let seed = job.config().seed ^ salt;
+
+    // ------------------------------------------------ SortGraph shuffle
+    let mut adj: Vec<Adj> = vec![Vec::new(); n];
+    for e in edges {
+        adj[e.u as usize].push((e.v, e.w));
+        adj[e.v as usize].push((e.u, e.w));
+    }
+    for a in &mut adj {
+        a.sort_unstable_by_key(|&(_, w)| w);
+    }
+    let records: Vec<(NodeId, Adj)> = adj
+        .into_iter()
+        .enumerate()
+        .map(|(v, a)| (v as NodeId, a))
+        .collect();
+    let buckets = job.shuffle_by_key(&format!("SortGraph{tag}"), records, |r| r.0 as u64);
+
+    // --------------------------------------------------------- KV-Write
+    let mut dht: Dht<Adj> = Dht::new();
+    let writer = GenerationWriter::new();
+    job.kv_round_chunked(
+        &format!("KV-Write{tag}"),
+        dht.current(),
+        Some(&writer),
+        &buckets,
+        |ctx, items: &[(NodeId, Adj)]| {
+            for (v, a) in items {
+                ctx.handle.put(*v as u64, a.clone());
+            }
+            Vec::<()>::new()
+        },
+    );
+    dht.push(writer.seal());
+
+    // ------------------------------------------------------- PrimSearch
+    let searches: Vec<SearchOut> = job.kv_round(
+        &format!("PrimSearch{tag}"),
+        dht.current(),
+        None,
+        (0..n as NodeId).collect(),
+        |ctx, items| {
+            items
+                .iter()
+                .map(|&v| prim_search(v, ctx, seed, budget))
+                .collect()
+        },
+    );
+
+    // ---------------------------------------------------------- Combine
+    // Tuples (child, candidate parent): the lower-rank endpoint of every
+    // (searcher, visited) relation parents the higher-rank one.
+    let mut msf_internal: FxHashSet<u64> = FxHashSet::default();
+    let mut tuples: Vec<(NodeId, NodeId)> = Vec::new();
+    for s in &searches {
+        for &w in &s.msf {
+            msf_internal.insert(w);
+        }
+        let rv = node_rank(seed, s.origin);
+        for &t in &s.visited {
+            if node_rank(seed, t) < rv {
+                tuples.push((s.origin, t));
+            } else {
+                tuples.push((t, s.origin));
+            }
+        }
+    }
+    let grouped = job.shuffle_by_key(&format!("Combine{tag}"), tuples, |t| t.0 as u64);
+    let mut parent: Vec<NodeId> = (0..n as NodeId).collect();
+    for bucket in grouped {
+        for (child, cand) in bucket {
+            let cur = parent[child as usize];
+            if cur == child || node_rank(seed, cand) < node_rank(seed, cur) {
+                parent[child as usize] = cand;
+            }
+        }
+    }
+
+    // ------------------------------------- PointerJumpConstruct shuffle
+    job.shuffle_balanced(&format!("PointerJumpConstruct{tag}"), n as u64 * 8);
+    let mut pj_dht: Dht<NodeId> = Dht::new();
+    let pj_writer = GenerationWriter::new();
+    {
+        let parent_ref = &parent;
+        job.kv_round(
+            &format!("PJ-Write{tag}"),
+            pj_dht.current(),
+            Some(&pj_writer),
+            (0..n as NodeId).collect(),
+            |ctx, items| {
+                for &v in items {
+                    ctx.handle.put(v as u64, parent_ref[v as usize]);
+                }
+                Vec::<()>::new()
+            },
+        );
+    }
+    pj_dht.push(pj_writer.seal());
+
+    // ------------------------------------------------------ PointerJump
+    let root_of: Vec<NodeId> = job.kv_round(
+        &format!("PointerJump{tag}"),
+        pj_dht.current(),
+        None,
+        (0..n as NodeId).collect(),
+        |ctx, items| {
+            let mut cache: DenseCache<NodeId> = DenseCache::unbounded(n);
+            let mut path = Vec::new();
+            items
+                .iter()
+                .map(|&v| {
+                    path.clear();
+                    let mut x = v;
+                    let root = loop {
+                        if let Some(&r) = cache.get(x as u64) {
+                            ctx.handle.note_cache_hit();
+                            break r;
+                        }
+                        let p = *ctx.handle.get(x as u64).expect("parent entry");
+                        if p == x {
+                            break x;
+                        }
+                        path.push(x);
+                        x = p;
+                    };
+                    for &y in &path {
+                        cache.put(y as u64, root);
+                    }
+                    cache.put(v as u64, root);
+                    root
+                })
+                .collect()
+        },
+    );
+
+    // -------------------------------------------- Contract (2 shuffles)
+    let relabeled: Vec<ProvEdge> = edges
+        .iter()
+        .filter_map(|e| {
+            let (ru, rv) = (root_of[e.u as usize], root_of[e.v as usize]);
+            (ru != rv).then_some(ProvEdge {
+                u: ru.min(rv),
+                v: ru.max(rv),
+                w: e.w,
+                ou: e.ou,
+                ov: e.ov,
+            })
+        })
+        .collect();
+    let contracted_buckets =
+        job.shuffle_by_key(&format!("Contract{tag}"), relabeled, |e| {
+            crate::priorities::edge_key(e.u, e.v)
+        });
+    // Dedup: lightest parallel edge per pair.
+    let mut best: FxHashMap<u64, ProvEdge> = FxHashMap::default();
+    for bucket in contracted_buckets {
+        for e in bucket {
+            let key = crate::priorities::edge_key(e.u, e.v);
+            match best.entry(key) {
+                std::collections::hash_map::Entry::Occupied(mut o) => {
+                    if e.w < o.get().w {
+                        o.insert(e);
+                    }
+                }
+                std::collections::hash_map::Entry::Vacant(vac) => {
+                    vac.insert(e);
+                }
+            }
+        }
+    }
+    // Compact surviving class ids (roots with at least one edge survive;
+    // isolated classes are dropped — their components are fully solved).
+    let mut has_edge = vec![false; n];
+    for e in best.values() {
+        has_edge[e.u as usize] = true;
+        has_edge[e.v as usize] = true;
+    }
+    let mut next_id = vec![NO_NODE; n];
+    let mut next_n = 0 as NodeId;
+    for r in 0..n as NodeId {
+        if root_of[r as usize] == r && has_edge[r as usize] {
+            next_id[r as usize] = next_n;
+            next_n += 1;
+        }
+    }
+    for v in 0..n {
+        let r = root_of[v];
+        next_id[v] = next_id[r as usize];
+    }
+    let mut next_edges: Vec<ProvEdge> = best
+        .into_values()
+        .map(|e| ProvEdge {
+            u: next_id[e.u as usize],
+            v: next_id[e.v as usize],
+            w: e.w,
+            ou: e.ou,
+            ov: e.ov,
+        })
+        .collect();
+    next_edges.sort_unstable_by_key(|e| e.w);
+    job.shuffle_balanced(
+        &format!("Rebuild{tag}"),
+        next_edges.iter().map(|e| e.size_bytes() as u64).sum(),
+    );
+
+    let mut msf_internal: Vec<u64> = msf_internal.into_iter().collect();
+    msf_internal.sort_unstable();
+    PrimRoundResult {
+        msf_internal,
+        next_edges,
+        next_n: next_n as usize,
+        root_of,
+        next_id,
+    }
+}
+
+/// Algorithm 1's truncated Prim search from `v`.
+fn prim_search<'a>(
+    v: NodeId,
+    ctx: &mut ampc_runtime::executor::MachineCtx<'a, Adj>,
+    seed: u64,
+    budget: u64,
+) -> SearchOut {
+    let rv = node_rank(seed, v);
+    let mut visited: FxHashSet<NodeId> = FxHashSet::default();
+    visited.insert(v);
+    let mut msf = Vec::new();
+    // Heap over (weight, target): with strict weights the (weight) key
+    // alone identifies the edge.
+    let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
+    let expand = |x: NodeId,
+                      heap: &mut BinaryHeap<Reverse<(u64, NodeId)>>,
+                      ctx: &mut ampc_runtime::executor::MachineCtx<'a, Adj>| {
+        if let Some(adj) = ctx.handle.get(x as u64) {
+            for &(t, w) in adj {
+                heap.push(Reverse((w, t)));
+            }
+        }
+    };
+    expand(v, &mut heap, ctx);
+
+    loop {
+        // Stopping condition (1): explored n^{ε/2} vertices.
+        if visited.len() as u64 >= budget {
+            break;
+        }
+        // Next lightest edge leaving the tree.
+        let Some(Reverse((w, t))) = heap.pop() else {
+            break; // (2) component fully explored
+        };
+        ctx.add_ops(1);
+        if visited.contains(&t) {
+            continue;
+        }
+        // Cut property: this edge is in the MSF.
+        msf.push(w);
+        visited.insert(t);
+        // Stopping condition (3): reached an earlier-in-π vertex.
+        if node_rank(seed, t) < rv {
+            break;
+        }
+        expand(t, &mut heap, ctx);
+    }
+    visited.remove(&v);
+    let mut visited: Vec<NodeId> = visited.into_iter().collect();
+    visited.sort_unstable();
+    SearchOut {
+        origin: v,
+        msf,
+        visited,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_runtime::AmpcConfig;
+    use ampc_graph::gen;
+
+    #[test]
+    fn distinctify_preserves_order_and_restores() {
+        let g = gen::degree_weights(&gen::erdos_renyi(40, 120, 1));
+        let d = distinctify(&g);
+        assert_eq!(d.edges.len(), g.num_edges());
+        // Internal weights are 0..m and ordered like the originals.
+        for w in d.edges.windows(2) {
+            let a = (d.orig_w[w[0].w as usize], d.orig_pair[w[0].w as usize]);
+            let b = (d.orig_w[w[1].w as usize], d.orig_pair[w[1].w as usize]);
+            let _ = (a, b);
+        }
+        let restored = d.restore(d.edges.iter().map(|e| e.w));
+        let mut orig = g.edge_vec();
+        orig.sort_unstable_by_key(|e| e.key());
+        assert_eq!(restored, orig);
+    }
+
+    #[test]
+    fn one_round_on_path_finds_all_edges() {
+        // A path with unbounded budget: the first search covers its
+        // whole fragment; all edges are MSF edges.
+        let g = gen::degree_weights(&gen::path(20));
+        let d = distinctify(&g);
+        let mut job = Job::new(AmpcConfig::for_tests());
+        let r = prim_contract_round(&mut job, d.n, &d.edges, "", u64::MAX, 0);
+        // Every edge of a tree is an MSF edge; contraction leaves nothing.
+        assert_eq!(r.msf_internal.len(), 19);
+        assert_eq!(r.next_n, 0);
+        assert!(r.next_edges.is_empty());
+    }
+
+    #[test]
+    fn round_shrinks_vertices() {
+        let g = gen::degree_weights(&gen::erdos_renyi(300, 900, 5));
+        let d = distinctify(&g);
+        let mut job = Job::new(AmpcConfig::for_tests());
+        let r = prim_contract_round(&mut job, d.n, &d.edges, "", 4, 0);
+        assert!(
+            r.next_n < 300 / 2,
+            "contraction should shrink: {} -> {}",
+            300,
+            r.next_n
+        );
+        // Emitted edges are a subset of the true MSF.
+        let msf = crate::msf::in_memory::kruskal(&g);
+        let truth: std::collections::HashSet<_> =
+            msf.iter().map(|e| (e.u.min(e.v), e.u.max(e.v))).collect();
+        for &w in &r.msf_internal {
+            let pair = d.orig_pair[w as usize];
+            assert!(truth.contains(&pair), "emitted non-MSF edge {pair:?}");
+        }
+    }
+
+    #[test]
+    fn round_uses_five_shuffles() {
+        let g = gen::degree_weights(&gen::erdos_renyi(100, 300, 2));
+        let d = distinctify(&g);
+        let mut job = Job::new(AmpcConfig::for_tests());
+        prim_contract_round(&mut job, d.n, &d.edges, "", 8, 0);
+        // SortGraph, Combine, PointerJumpConstruct, Contract, Rebuild.
+        assert_eq!(job.report().num_shuffles(), 5);
+    }
+
+    #[test]
+    fn roots_point_to_lower_rank() {
+        let g = gen::degree_weights(&gen::erdos_renyi(200, 600, 7));
+        let d = distinctify(&g);
+        let mut job = Job::new(AmpcConfig::for_tests());
+        let r = prim_contract_round(&mut job, d.n, &d.edges, "", 6, 3);
+        let seed = job.config().seed ^ 3;
+        for v in 0..200u32 {
+            let root = r.root_of[v as usize];
+            if root != v {
+                assert!(
+                    node_rank(seed, root) < node_rank(seed, v),
+                    "root must be earlier in pi"
+                );
+            }
+        }
+    }
+}

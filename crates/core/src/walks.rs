@@ -1,0 +1,206 @@
+//! Random walks in AMPC — the §5.7 "Applicability" extension.
+//!
+//! *"The AMPC model can potentially help accelerate random-walk based
+//! problems, such as PageRank and Personalized PageRank, since it
+//! efficiently supports random access."* This module realizes that
+//! suggestion: after one shuffle writes the adjacency into the DHT,
+//! every walker advances step by step with one KV lookup per hop —
+//! an O(1)-round computation that would cost one MPC round *per hop*
+//! (cf. the 1-vs-2-cycle separation). A visit-frequency PageRank
+//! estimator is built on top.
+
+use crate::priorities::node_rank;
+use ampc_dht::hasher::mix64;
+use ampc_dht::store::{Dht, GenerationWriter};
+use ampc_runtime::{AmpcConfig, Job, JobReport};
+use ampc_graph::{CsrGraph, NodeId};
+
+/// Result of a batch of random walks.
+#[derive(Clone, Debug)]
+pub struct WalkOutcome {
+    /// The walks: `walks[i]` is the vertex sequence of walker `i`
+    /// (length `steps + 1`, including the start).
+    pub walks: Vec<Vec<NodeId>>,
+    /// Execution record.
+    pub report: JobReport,
+}
+
+/// Runs `walkers_per_node × n` independent random walks of `steps` hops
+/// each, all inside a single KV round. Walks at a dead end (isolated
+/// vertex) stay put. Deterministic given the seed.
+pub fn ampc_random_walks(
+    g: &CsrGraph,
+    cfg: &AmpcConfig,
+    walkers_per_node: usize,
+    steps: usize,
+) -> WalkOutcome {
+    let n = g.num_nodes();
+    let mut job = Job::new(*cfg);
+
+    // WriteGraph shuffle + KV-write, like every AMPC algorithm here.
+    let records: Vec<(NodeId, Vec<NodeId>)> = g
+        .nodes()
+        .map(|v| (v, g.neighbors(v).to_vec()))
+        .collect();
+    let buckets = job.shuffle_by_key("WriteGraph", records, |r| r.0 as u64);
+    let mut dht: Dht<Vec<NodeId>> = Dht::new();
+    let writer = GenerationWriter::new();
+    job.kv_round_chunked(
+        "KV-Write",
+        dht.current(),
+        Some(&writer),
+        &buckets,
+        |ctx, items: &[(NodeId, Vec<NodeId>)]| {
+            for (v, nbrs) in items {
+                ctx.handle.put(*v as u64, nbrs.clone());
+            }
+            Vec::<()>::new()
+        },
+    );
+    dht.push(writer.seal());
+
+    // One KV round: every walker advances `steps` hops adaptively.
+    let starts: Vec<(u64, NodeId)> = (0..walkers_per_node)
+        .flat_map(|w| (0..n as NodeId).map(move |v| (w as u64, v)))
+        .collect();
+    let seed = cfg.seed;
+    let walks = job.kv_round(
+        "Walk",
+        dht.current(),
+        None,
+        starts,
+        |ctx, items| {
+            items
+                .iter()
+                .map(|&(w, start)| {
+                    let mut path = Vec::with_capacity(steps + 1);
+                    let mut cur = start;
+                    path.push(cur);
+                    for s in 0..steps {
+                        let nbrs = ctx.handle.get(cur as u64).expect("vertex record");
+                        if nbrs.is_empty() {
+                            path.push(cur);
+                            continue;
+                        }
+                        ctx.add_ops(1);
+                        let r = mix64(
+                            seed ^ w
+                                .wrapping_mul(0x9E37_79B9)
+                                .wrapping_add(cur as u64) ^ ((s as u64) << 32),
+                        );
+                        cur = nbrs[(r % nbrs.len() as u64) as usize];
+                        path.push(cur);
+                    }
+                    path
+                })
+                .collect()
+        },
+    );
+
+    WalkOutcome {
+        walks,
+        report: job.into_report(),
+    }
+}
+
+/// Visit-frequency PageRank estimate from random walks with restarts:
+/// walkers teleport with probability `1 - damping` (realized by chopping
+/// walks into segments). Returns unnormalized visit counts per vertex.
+pub fn pagerank_estimate(
+    g: &CsrGraph,
+    cfg: &AmpcConfig,
+    walkers_per_node: usize,
+    steps: usize,
+    damping: f64,
+) -> (Vec<f64>, JobReport) {
+    assert!((0.0..1.0).contains(&damping), "damping must be in [0, 1)");
+    let out = ampc_random_walks(g, cfg, walkers_per_node, steps);
+    let mut visits = vec![0f64; g.num_nodes()];
+    for walk in &out.walks {
+        for (i, &v) in walk.iter().enumerate() {
+            // Probability the walk survives i hops without teleporting.
+            visits[v as usize] += damping.powi(i as i32);
+        }
+    }
+    let total: f64 = visits.iter().sum();
+    if total > 0.0 {
+        for v in &mut visits {
+            *v /= total;
+        }
+    }
+    let _ = node_rank(cfg.seed, 0);
+    (visits, out.report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::gen;
+
+    fn cfg() -> AmpcConfig {
+        AmpcConfig::for_tests()
+    }
+
+    #[test]
+    fn walks_follow_edges() {
+        let g = gen::erdos_renyi(60, 200, 3);
+        let out = ampc_random_walks(&g, &cfg(), 1, 8);
+        assert_eq!(out.walks.len(), 60);
+        for walk in &out.walks {
+            assert_eq!(walk.len(), 9);
+            for w in walk.windows(2) {
+                assert!(
+                    w[0] == w[1] || g.has_edge(w[0], w[1]),
+                    "walk took a non-edge {w:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_kv_search_round() {
+        let g = gen::erdos_renyi(40, 120, 1);
+        let out = ampc_random_walks(&g, &cfg(), 2, 4);
+        assert_eq!(out.report.num_shuffles(), 1);
+        assert_eq!(out.report.num_kv_rounds(), 2); // KV-Write + Walk
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = gen::erdos_renyi(50, 150, 2);
+        let a = ampc_random_walks(&g, &cfg(), 1, 6);
+        let b = ampc_random_walks(&g, &cfg(), 1, 6);
+        assert_eq!(a.walks, b.walks);
+        let c = ampc_random_walks(&g, &cfg().with_seed(99), 1, 6);
+        assert_ne!(a.walks, c.walks);
+    }
+
+    #[test]
+    fn isolated_vertices_stay_put() {
+        let g = CsrGraph::empty(3);
+        let out = ampc_random_walks(&g, &cfg(), 1, 5);
+        for (v, walk) in out.walks.iter().enumerate() {
+            assert!(walk.iter().all(|&x| x as usize == v));
+        }
+    }
+
+    #[test]
+    fn pagerank_favors_hubs() {
+        // Star: the center should collect by far the most visit mass.
+        let g = gen::star(50);
+        let (pr, _) = pagerank_estimate(&g, &cfg(), 4, 10, 0.85);
+        let center = pr[0];
+        for leaf in 1..50 {
+            assert!(center > 5.0 * pr[leaf], "center {center} vs leaf {}", pr[leaf]);
+        }
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "damping")]
+    fn rejects_bad_damping() {
+        let g = gen::path(4);
+        pagerank_estimate(&g, &cfg(), 1, 2, 1.5);
+    }
+}

@@ -1,0 +1,158 @@
+//! Per-machine query caches (§5.3's caching optimization).
+//!
+//! *"In practice, we implement the caching optimization using an array
+//! indexed over the vertices that is shared between all threads
+//! operating on a machine."* Algorithms in this workspace key the DHT by
+//! dense vertex ids, so the cache is a flat array. Two flavors:
+//!
+//! * [`DenseCache`] — caches an arbitrary small value per key (e.g. the
+//!   tri-state `Unknown | InMIS | NotInMIS` of the MIS search, or the
+//!   per-vertex matching state of §5.4).
+//! * Capacity is bounded: the model only licenses `O(S)` cached entries
+//!   per machine, so the cache refuses to grow beyond its configured
+//!   capacity (tracking evictable state is not needed — the algorithms'
+//!   working sets are the vertices they queried, which is already
+//!   bounded by the query budget).
+
+/// A fixed-capacity array cache over dense `u64` keys.
+///
+/// `T` is the cached state; `None` means "not cached". The cache tracks
+/// occupancy so callers can enforce the model's `O(S)` space bound.
+#[derive(Clone, Debug)]
+pub struct DenseCache<T> {
+    slots: Vec<Option<T>>,
+    occupied: usize,
+    capacity: usize,
+}
+
+impl<T: Clone> DenseCache<T> {
+    /// A cache over keys `0..key_space` allowed to hold up to `capacity`
+    /// entries. A `capacity` of 0 disables the cache (every `get` misses).
+    pub fn new(key_space: usize, capacity: usize) -> Self {
+        DenseCache {
+            slots: vec![None; if capacity == 0 { 0 } else { key_space }],
+            occupied: 0,
+            capacity,
+        }
+    }
+
+    /// An unbounded cache over `key_space` keys (capacity = key space).
+    pub fn unbounded(key_space: usize) -> Self {
+        Self::new(key_space, key_space)
+    }
+
+    /// A disabled cache: every lookup misses, inserts are dropped.
+    pub fn disabled() -> Self {
+        Self::new(0, 0)
+    }
+
+    /// Whether caching is enabled at all.
+    #[inline]
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Looks up `key`.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&T> {
+        self.slots.get(key as usize).and_then(|s| s.as_ref())
+    }
+
+    /// Inserts (or overwrites) the cached state for `key`. Silently drops
+    /// the insert if the cache is full and `key` is not already present,
+    /// or if the cache is disabled.
+    #[inline]
+    pub fn put(&mut self, key: u64, value: T) {
+        let Some(slot) = self.slots.get_mut(key as usize) else {
+            return;
+        };
+        if slot.is_none() {
+            if self.occupied >= self.capacity {
+                return;
+            }
+            self.occupied += 1;
+        }
+        *slot = Some(value);
+    }
+
+    /// Number of cached entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.occupied
+    }
+
+    /// True if nothing is cached.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.occupied == 0
+    }
+
+    /// Drops all cached entries, keeping the capacity.
+    pub fn clear(&mut self) {
+        for s in &mut self.slots {
+            *s = None;
+        }
+        self.occupied = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_get_put() {
+        let mut c: DenseCache<u8> = DenseCache::unbounded(10);
+        assert_eq!(c.get(3), None);
+        c.put(3, 7);
+        assert_eq!(c.get(3), Some(&7));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let mut c: DenseCache<u8> = DenseCache::unbounded(10);
+        c.put(3, 7);
+        c.put(3, 9);
+        assert_eq!(c.get(3), Some(&9));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let mut c: DenseCache<u8> = DenseCache::new(10, 2);
+        c.put(0, 1);
+        c.put(1, 1);
+        c.put(2, 1); // dropped
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(2), None);
+        // overwriting an existing key still works at capacity
+        c.put(0, 9);
+        assert_eq!(c.get(0), Some(&9));
+    }
+
+    #[test]
+    fn disabled_cache_never_stores() {
+        let mut c: DenseCache<u8> = DenseCache::disabled();
+        c.put(0, 1);
+        assert_eq!(c.get(0), None);
+        assert!(!c.is_enabled());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_keys_are_misses() {
+        let mut c: DenseCache<u8> = DenseCache::unbounded(4);
+        c.put(100, 1); // silently dropped
+        assert_eq!(c.get(100), None);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut c: DenseCache<u8> = DenseCache::unbounded(4);
+        c.put(1, 1);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.get(1), None);
+    }
+}

@@ -1,0 +1,218 @@
+//! The network/storage cost model.
+//!
+//! The paper's running times are dominated by three cost sources it
+//! analyzes explicitly (§5.3 "Round-Complexity and Communication",
+//! §5.7): per-shuffle overhead and durable-storage bandwidth, KV-store
+//! lookup latency (RDMA vs TCP/IP, Table 4), and KV-store throughput
+//! (~1 Gb/s per machine observed, Figure 9 discussion). We reproduce the
+//! *shape* of those results by charging the same cost sources with fixed
+//! constants, producing deterministic simulated times.
+//!
+//! Constants are calibrated once (see `DESIGN.md` §6) to the hardware the
+//! paper describes and then held fixed for every experiment, so relative
+//! comparisons (speedup factors, breakdown fractions) are meaningful.
+
+use serde::{Deserialize, Serialize};
+
+/// Transport used for key-value store communication (Table 4 contrasts
+/// these two).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Network {
+    /// Remote Direct Memory Access: microsecond-scale lookups.
+    Rdma,
+    /// RPC over TCP/IP: an order of magnitude slower per lookup.
+    Tcp,
+}
+
+/// Cost-model constants. All times in nanoseconds, bandwidths in bytes
+/// per second.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostConfig {
+    /// Transport for KV lookups.
+    pub network: Network,
+    /// Latency of one RDMA lookup (paper: "as low as a few microseconds").
+    pub rdma_latency_ns: u64,
+    /// Latency of one TCP/IP RPC lookup.
+    pub tcp_latency_ns: u64,
+    /// Per-machine KV-store throughput (paper observed ≈1 Gb/s/machine).
+    pub kv_bandwidth_bps: u64,
+    /// Per-machine durable-storage shuffle throughput. Shuffles write to
+    /// (and re-read from) replicated persistent storage, which is the
+    /// expensive part of every MPC round.
+    pub shuffle_bandwidth_bps: u64,
+    /// Fixed cost of spawning a shuffle stage: scheduling, logging,
+    /// barrier. Charged once per shuffle.
+    pub round_overhead_ns: u64,
+    /// Fixed cost of spawning a non-shuffle stage (an AMPC map round):
+    /// cheaper than a shuffle because nothing is persisted, but not free.
+    pub stage_overhead_ns: u64,
+    /// Whether the multithreading optimization (§5.3) is enabled:
+    /// synchronous lookups from many threads overlap, dividing effective
+    /// per-lookup latency by [`Self::threads_per_machine`].
+    pub multithreading: bool,
+    /// Concurrent in-flight lookups per machine when multithreading.
+    pub threads_per_machine: u64,
+    /// In-flight lookups per machine *without* the multithreading
+    /// optimization: even a single synchronous worker overlaps some
+    /// requests through the network stack, which is why the paper's
+    /// unoptimized runs are slower by small factors, not by the full
+    /// thread count.
+    pub base_parallelism: u64,
+    /// Cost charged per local computation operation.
+    pub compute_ns_per_op: u64,
+    /// Calibration factor: every simulated byte/query/op represents this
+    /// many real ones. The dataset analogues are 100–10000x smaller than
+    /// the paper's inputs (DESIGN.md §1); charging volumes at the
+    /// analogue scale would make fixed round overheads swamp every data
+    /// effect the figures are about. The harness sets this to the
+    /// analogue's downscale factor so that simulated volumes land at the
+    /// magnitudes of the paper's environment; unit tests keep 1.
+    pub data_scale: u64,
+}
+
+impl Default for CostConfig {
+    fn default() -> Self {
+        CostConfig {
+            network: Network::Rdma,
+            rdma_latency_ns: 5_000,           // 5 µs
+            tcp_latency_ns: 60_000,           // 60 µs
+            shuffle_bandwidth_bps: 250_000_000, // 250 MB/s durable storage
+            round_overhead_ns: 15_000_000_000, // 15 s per shuffle stage
+            stage_overhead_ns: 1_000_000_000, // 1 s per map stage
+            multithreading: true,
+            threads_per_machine: 64,
+            base_parallelism: 8,
+            kv_bandwidth_bps: 250_000_000, // 2 Gb/s KV network per machine
+            compute_ns_per_op: 1,
+            data_scale: 1,
+        }
+    }
+}
+
+impl CostConfig {
+    /// The default configuration with the given transport.
+    pub fn with_network(network: Network) -> Self {
+        CostConfig {
+            network,
+            ..Default::default()
+        }
+    }
+
+    /// Disables both AMPC optimizations (Figure 4's "Unoptimized" bar).
+    pub fn unoptimized(mut self) -> Self {
+        self.multithreading = false;
+        self
+    }
+
+    /// Effective latency of one lookup after latency hiding.
+    #[inline]
+    pub fn effective_lookup_latency_ns(&self) -> f64 {
+        let base = match self.network {
+            Network::Rdma => self.rdma_latency_ns,
+            Network::Tcp => self.tcp_latency_ns,
+        } as f64;
+        if self.multithreading {
+            base / self.threads_per_machine as f64
+        } else {
+            base / self.base_parallelism.max(1) as f64
+        }
+    }
+
+    /// Simulated time for one machine to perform `queries` lookups
+    /// transferring `bytes` total: latency (possibly hidden by
+    /// multithreading) plus throughput. Volumes are scaled by
+    /// [`Self::data_scale`].
+    pub fn kv_time_ns(&self, queries: u64, bytes: u64) -> u64 {
+        let s = self.data_scale as f64;
+        let latency = self.effective_lookup_latency_ns() * queries as f64 * s;
+        let transfer = bytes as f64 * s * 1e9 / self.kv_bandwidth_bps as f64;
+        (latency + transfer) as u64
+    }
+
+    /// Simulated time for one machine to shuffle `bytes` (write to durable
+    /// storage + read back on the consumer side — we charge the write;
+    /// the read is the consumer's input scan, also charged here to keep
+    /// a single knob). Scaled by [`Self::data_scale`].
+    pub fn shuffle_time_ns(&self, bytes: u64) -> u64 {
+        (bytes as f64 * self.data_scale as f64 * 1e9 / self.shuffle_bandwidth_bps as f64) as u64
+    }
+
+    /// Simulated time for `ops` local operations (scaled by
+    /// [`Self::data_scale`]).
+    pub fn compute_time_ns(&self, ops: u64) -> u64 {
+        ((ops * self.compute_ns_per_op) as f64 * self.data_scale as f64) as u64
+    }
+}
+
+/// Formats nanoseconds as adaptive human-readable time.
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 60_000_000_000 {
+        format!("{:.1}min", ns as f64 / 60e9)
+    } else if ns >= 1_000_000_000 {
+        format!("{:.2}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.1}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tcp_slower_than_rdma() {
+        let rdma = CostConfig::with_network(Network::Rdma);
+        let tcp = CostConfig::with_network(Network::Tcp);
+        assert!(tcp.kv_time_ns(1000, 0) > rdma.kv_time_ns(1000, 0));
+    }
+
+    #[test]
+    fn multithreading_hides_latency() {
+        let on = CostConfig::default();
+        let off = CostConfig::default().unoptimized();
+        assert!(on.kv_time_ns(1_000_000, 0) < off.kv_time_ns(1_000_000, 0));
+        let ratio = off.kv_time_ns(1_000_000, 0) as f64 / on.kv_time_ns(1_000_000, 0) as f64;
+        let cfg = CostConfig::default();
+        let expect = cfg.threads_per_machine as f64 / cfg.base_parallelism as f64;
+        assert!((ratio - expect).abs() < 0.5, "ratio {ratio}");
+    }
+
+    #[test]
+    fn data_scale_multiplies_volume_terms() {
+        let mut cfg = CostConfig::default();
+        let base = cfg.shuffle_time_ns(1_000_000);
+        cfg.data_scale = 100;
+        assert_eq!(cfg.shuffle_time_ns(1_000_000), 100 * base);
+        assert!(cfg.kv_time_ns(10, 0) >= 99 * CostConfig::default().kv_time_ns(10, 0));
+    }
+
+    #[test]
+    fn bandwidth_term_matters_for_large_transfers() {
+        let cfg = CostConfig::default();
+        let expect = 1e9 * 1e9 / cfg.kv_bandwidth_bps as f64; // 1 GB transfer
+        let t = cfg.kv_time_ns(1, 1_000_000_000) as f64;
+        assert!((t - expect).abs() / expect < 0.05, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn shuffle_time_scales_linearly() {
+        let cfg = CostConfig::default();
+        assert_eq!(
+            cfg.shuffle_time_ns(500_000_000),
+            2 * cfg.shuffle_time_ns(250_000_000)
+        );
+    }
+
+    #[test]
+    fn format_ns_ranges() {
+        assert_eq!(format_ns(500), "500ns");
+        assert_eq!(format_ns(1_500), "1.5µs");
+        assert_eq!(format_ns(2_500_000), "2.5ms");
+        assert_eq!(format_ns(3_100_000_000), "3.10s");
+        assert_eq!(format_ns(120_000_000_000), "2.0min");
+    }
+}

@@ -1,0 +1,165 @@
+//! The per-machine access path to the DHT.
+//!
+//! In the model (§2) each machine may issue `O(S)` reads and `O(S)`
+//! writes per round, each moving a constant number of words. The
+//! [`MachineHandle`] is how algorithm code touches the store: every
+//! `get` / `put` is counted into the machine's [`CommStats`], and the
+//! handle carries the machine's query budget so callers can implement
+//! (and tests can verify) the truncation rules of Algorithms 1 and 4
+//! and the §4.2 vertex-truncated process.
+
+use crate::measured::Measured;
+use crate::metrics::CommStats;
+use crate::store::{Generation, GenerationWriter};
+
+/// Metered read/write access for one machine within one round.
+///
+/// Reads go to the *previous* (sealed) generation; writes go to the
+/// *next* generation under construction — the handle enforces the
+/// model's read/write separation by construction.
+pub struct MachineHandle<'a, V> {
+    read: &'a Generation<V>,
+    write: Option<&'a GenerationWriter<V>>,
+    stats: CommStats,
+    /// Query budget `O(S)`; `u64::MAX` if unenforced.
+    budget: u64,
+}
+
+impl<'a, V: Measured + Clone> MachineHandle<'a, V> {
+    /// A handle reading `read` and writing to `write`.
+    pub fn new(read: &'a Generation<V>, write: Option<&'a GenerationWriter<V>>) -> Self {
+        MachineHandle {
+            read,
+            write,
+            stats: CommStats::default(),
+            budget: u64::MAX,
+        }
+    }
+
+    /// Sets the per-round query budget (the model's `O(S)`).
+    pub fn with_budget(mut self, budget: u64) -> Self {
+        self.budget = budget;
+        self
+    }
+
+    /// Remaining queries before the budget is exhausted.
+    #[inline]
+    pub fn remaining_budget(&self) -> u64 {
+        self.budget.saturating_sub(self.stats.queries)
+    }
+
+    /// True if at least one more query is allowed.
+    #[inline]
+    pub fn can_query(&self) -> bool {
+        self.stats.queries < self.budget
+    }
+
+    /// Looks up `key` in the sealed (previous-round) generation,
+    /// counting the query and response bytes.
+    #[inline]
+    pub fn get(&mut self, key: u64) -> Option<&'a V> {
+        self.stats.queries += 1;
+        let v = self.read.get(key);
+        if let Some(v) = v {
+            self.stats.bytes_read += 8 + v.size_bytes() as u64;
+        } else {
+            self.stats.bytes_read += 8; // the miss response
+        }
+        v
+    }
+
+    /// Records a cache hit: the lookup was answered locally and does not
+    /// count against the budget.
+    #[inline]
+    pub fn note_cache_hit(&mut self) {
+        self.stats.cache_hits += 1;
+    }
+
+    /// Writes a key-value pair into the next generation, counting the
+    /// write and its bytes.
+    ///
+    /// # Panics
+    /// Panics if the handle was created read-only.
+    #[inline]
+    pub fn put(&mut self, key: u64, value: V) {
+        let w = self
+            .write
+            .expect("this machine handle is read-only this round");
+        let bytes = w.put(key, value);
+        self.stats.writes += 1;
+        self.stats.bytes_written += bytes as u64;
+    }
+
+    /// The communication counters accumulated so far.
+    #[inline]
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+
+    /// Consumes the handle, returning its counters (merged by the runtime
+    /// at the round boundary).
+    pub fn into_stats(self) -> CommStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::Generation;
+
+    fn gen3() -> Generation<u64> {
+        Generation::from_iter([(1, 10u64), (2, 20), (3, 30)])
+    }
+
+    #[test]
+    fn get_counts_queries_and_bytes() {
+        let g = gen3();
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None);
+        assert_eq!(h.get(1), Some(&10));
+        assert_eq!(h.get(99), None);
+        assert_eq!(h.stats().queries, 2);
+        assert_eq!(h.stats().bytes_read, (8 + 8) + 8);
+    }
+
+    #[test]
+    fn put_counts_writes() {
+        let g = gen3();
+        let w = GenerationWriter::new();
+        let mut h = MachineHandle::new(&g, Some(&w));
+        h.put(5, 55u64);
+        assert_eq!(h.stats().writes, 1);
+        assert_eq!(h.stats().bytes_written, 16);
+        let sealed = w.seal();
+        assert_eq!(sealed.get(5), Some(&55));
+    }
+
+    #[test]
+    #[should_panic(expected = "read-only")]
+    fn read_only_handle_rejects_writes() {
+        let g = gen3();
+        let mut h = MachineHandle::new(&g, None);
+        h.put(1, 1u64);
+    }
+
+    #[test]
+    fn budget_tracking() {
+        let g = gen3();
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None).with_budget(2);
+        assert!(h.can_query());
+        h.get(1);
+        h.get(2);
+        assert!(!h.can_query());
+        assert_eq!(h.remaining_budget(), 0);
+    }
+
+    #[test]
+    fn cache_hits_do_not_consume_budget() {
+        let g = gen3();
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None).with_budget(1);
+        h.note_cache_hit();
+        h.note_cache_hit();
+        assert!(h.can_query());
+        assert_eq!(h.stats().cache_hits, 2);
+    }
+}

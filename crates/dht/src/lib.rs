@@ -1,0 +1,46 @@
+//! # ampc-dht — the distributed hash table at the center of the AMPC model
+//!
+//! §2 of the paper defines the AMPC model as MPC plus *"a collection of
+//! distributed hash tables D0, D1, D2, …"* where *"in the i-th round, each
+//! machine can read data from D_{i−1} and write to D_i"*. This crate
+//! provides that object for the simulated runtime:
+//!
+//! * [`store::Dht`] — a sequence of **generations**. A generation is
+//!   written through a sharded, lock-striped [`store::GenerationWriter`]
+//!   and then **sealed** into an immutable [`store::Generation`] that
+//!   subsequent rounds read without locks. Sealing is exactly the model's
+//!   round boundary, and immutability of past generations is what makes
+//!   the fault-tolerance story work (a re-executed machine re-reads the
+//!   same values).
+//! * [`handle::MachineHandle`] — the per-machine access path. All reads
+//!   and writes are metered: the handle counts queries, writes and bytes
+//!   ([`metrics::CommStats`]), and enforces/observes the `O(S)`
+//!   communication budget of the model.
+//! * [`cache::DenseCache`] — the per-machine query cache of §5.3's caching
+//!   optimization (*"an array indexed over the vertices that is shared
+//!   between all threads operating on a machine"*).
+//! * [`cost`] — the network/storage cost model that converts byte and
+//!   query counts into simulated time, with RDMA and TCP/IP profiles
+//!   (Table 4) and a multithreading latency-hiding factor (Figure 4).
+//!
+//! Keys are `u64`; values are any `Clone + Measured` type, where
+//! [`measured::Measured`] supplies the byte size used for communication
+//! accounting.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod cache;
+pub mod cost;
+pub mod handle;
+pub mod hasher;
+pub mod measured;
+pub mod metrics;
+pub mod store;
+
+pub use cache::DenseCache;
+pub use cost::{CostConfig, Network};
+pub use handle::MachineHandle;
+pub use measured::Measured;
+pub use metrics::CommStats;
+pub use store::{Dht, Generation, GenerationWriter};

@@ -1,0 +1,111 @@
+//! Communication accounting.
+//!
+//! Each simulated machine owns a [`CommStats`] that its
+//! [`crate::MachineHandle`] updates without synchronization; the runtime
+//! merges per-machine stats at round boundaries. This is what Figures 3
+//! and 9 of the paper plot (bytes shuffled, bytes to the KV store) and
+//! what the caching ablation (Figure 4) reduces.
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for one machine (or, after merging, a whole round/job).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CommStats {
+    /// Number of key lookups issued to the DHT (cache hits excluded —
+    /// a cache hit never leaves the machine).
+    pub queries: u64,
+    /// Number of key-value pairs written to the DHT.
+    pub writes: u64,
+    /// Bytes received from the DHT in response to queries.
+    pub bytes_read: u64,
+    /// Bytes sent to the DHT by writes.
+    pub bytes_written: u64,
+    /// Lookups served by the per-machine cache.
+    pub cache_hits: u64,
+}
+
+impl CommStats {
+    /// Zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total KV communication in bytes (read + written), the quantity on
+    /// the y-axis of Figure 9.
+    #[inline]
+    pub fn kv_bytes(&self) -> u64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Total operations that crossed the network.
+    #[inline]
+    pub fn network_ops(&self) -> u64 {
+        self.queries + self.writes
+    }
+
+    /// Fraction of lookups served by the cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.queries + self.cache_hits;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &CommStats) {
+        self.queries += other.queries;
+        self.writes += other.writes;
+        self.bytes_read += other.bytes_read;
+        self.bytes_written += other.bytes_written;
+        self.cache_hits += other.cache_hits;
+    }
+
+    /// Merged copy of a collection of per-machine stats.
+    pub fn merged<'a>(stats: impl IntoIterator<Item = &'a CommStats>) -> CommStats {
+        let mut out = CommStats::default();
+        for s in stats {
+            out.merge(s);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_sums_fields() {
+        let a = CommStats {
+            queries: 1,
+            writes: 2,
+            bytes_read: 3,
+            bytes_written: 4,
+            cache_hits: 5,
+        };
+        let mut b = a;
+        b.merge(&a);
+        assert_eq!(b.queries, 2);
+        assert_eq!(b.kv_bytes(), 14);
+        assert_eq!(b.network_ops(), 6);
+    }
+
+    #[test]
+    fn hit_rate() {
+        let s = CommStats {
+            queries: 25,
+            cache_hits: 75,
+            ..Default::default()
+        };
+        assert!((s.cache_hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(CommStats::default().cache_hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn merged_iterates() {
+        let v = [CommStats::default(); 3];
+        assert_eq!(CommStats::merged(v.iter()), CommStats::default());
+    }
+}

@@ -1,0 +1,253 @@
+//! The generational key-value store.
+//!
+//! The model (§2): *"At the start of the computation, the input data is
+//! stored in D0 … In the i-th round, each machine can read data from
+//! D_{i−1} and write to D_i."* A [`Dht`] is the sequence `D0, D1, …`;
+//! each generation is written concurrently through a lock-striped
+//! [`GenerationWriter`], then **sealed** into an immutable [`Generation`]
+//! that later rounds read lock-free. Past generations are never mutated
+//! — which is exactly why a preempted machine can replay its round
+//! against the same inputs (the fault-tolerance property of §2).
+
+use crate::hasher::{mix64, FxHashMap};
+use crate::measured::Measured;
+use parking_lot::Mutex;
+
+/// Number of lock stripes in a writer. Plenty for the machine counts the
+/// simulator runs (≤ a few hundred).
+const DEFAULT_SHARDS: usize = 64;
+
+/// A write-only, lock-striped generation under construction.
+pub struct GenerationWriter<V> {
+    shards: Vec<Mutex<FxHashMap<u64, V>>>,
+}
+
+impl<V: Measured + Clone> GenerationWriter<V> {
+    /// New writer with the default shard count.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// New writer with an explicit shard count (must be ≥ 1).
+    pub fn with_shards(shards: usize) -> Self {
+        assert!(shards >= 1);
+        GenerationWriter {
+            shards: (0..shards).map(|_| Mutex::new(FxHashMap::default())).collect(),
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, key: u64) -> usize {
+        (mix64(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Inserts a key-value pair. Last writer wins on duplicate keys
+    /// (algorithms in this workspace write each key once per round).
+    /// Returns the serialized size of the pair for the caller's
+    /// accounting.
+    pub fn put(&self, key: u64, value: V) -> usize {
+        let bytes = 8 + value.size_bytes();
+        self.shards[self.shard_of(key)].lock().insert(key, value);
+        bytes
+    }
+
+    /// Seals the writer into an immutable generation.
+    pub fn seal(self) -> Generation<V> {
+        Generation {
+            shards: self
+                .shards
+                .into_iter()
+                .map(|m| m.into_inner())
+                .collect(),
+        }
+    }
+}
+
+impl<V: Measured + Clone> Default for GenerationWriter<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// An immutable, sealed generation: reads need no locks.
+pub struct Generation<V> {
+    shards: Vec<FxHashMap<u64, V>>,
+}
+
+impl<V: Measured + Clone> Generation<V> {
+    /// An empty generation.
+    pub fn empty() -> Self {
+        Generation { shards: vec![FxHashMap::default()] }
+    }
+
+    /// Builds a generation directly from an iterator (single-threaded
+    /// load path for `D0`).
+    pub fn from_iter(items: impl IntoIterator<Item = (u64, V)>) -> Self {
+        let w = GenerationWriter::with_shards(DEFAULT_SHARDS);
+        for (k, v) in items {
+            w.put(k, v);
+        }
+        w.seal()
+    }
+
+    #[inline]
+    fn shard_of(&self, key: u64) -> usize {
+        (mix64(key) % self.shards.len() as u64) as usize
+    }
+
+    /// Looks a key up. Returns a reference into the sealed store.
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        self.shards[self.shard_of(key)].get(&key)
+    }
+
+    /// Number of key-value pairs stored.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// True if no pairs are stored.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    /// Total serialized size of all pairs.
+    pub fn size_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .flat_map(|s| s.values())
+            .map(|v| 8 + v.size_bytes())
+            .sum()
+    }
+
+    /// Iterates all pairs (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
+        self.shards
+            .iter()
+            .flat_map(|s| s.iter().map(|(&k, v)| (k, v)))
+    }
+}
+
+/// The collection `D0, D1, D2, …` of hash-table generations.
+pub struct Dht<V> {
+    generations: Vec<Generation<V>>,
+}
+
+impl<V: Measured + Clone> Dht<V> {
+    /// A DHT whose `D0` holds the given input data.
+    pub fn with_input(d0: Generation<V>) -> Self {
+        Dht {
+            generations: vec![d0],
+        }
+    }
+
+    /// A DHT with an empty `D0`.
+    pub fn new() -> Self {
+        Self::with_input(Generation::empty())
+    }
+
+    /// Index of the newest sealed generation.
+    pub fn current_index(&self) -> usize {
+        self.generations.len() - 1
+    }
+
+    /// The newest sealed generation (what the next round reads).
+    pub fn current(&self) -> &Generation<V> {
+        self.generations.last().unwrap()
+    }
+
+    /// A specific sealed generation.
+    pub fn generation(&self, i: usize) -> &Generation<V> {
+        &self.generations[i]
+    }
+
+    /// Seals `next` as the newest generation (the round boundary).
+    pub fn push(&mut self, next: Generation<V>) {
+        self.generations.push(next);
+    }
+
+    /// Number of sealed generations (including `D0`).
+    pub fn num_generations(&self) -> usize {
+        self.generations.len()
+    }
+}
+
+impl<V: Measured + Clone> Default for Dht<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_seal_roundtrip() {
+        let w: GenerationWriter<u64> = GenerationWriter::new();
+        for k in 0..500u64 {
+            w.put(k, k * 3);
+        }
+        let g = w.seal();
+        assert_eq!(g.len(), 500);
+        for k in 0..500u64 {
+            assert_eq!(g.get(k), Some(&(k * 3)));
+        }
+        assert_eq!(g.get(999), None);
+    }
+
+    #[test]
+    fn put_returns_pair_size() {
+        let w: GenerationWriter<Vec<u32>> = GenerationWriter::new();
+        let sz = w.put(1, vec![1, 2, 3]);
+        assert_eq!(sz, 8 + 8 + 12);
+    }
+
+    #[test]
+    fn concurrent_writes() {
+        let w: GenerationWriter<u64> = GenerationWriter::new();
+        std::thread::scope(|s| {
+            for t in 0..8u64 {
+                let w = &w;
+                s.spawn(move || {
+                    for i in 0..1000u64 {
+                        w.put(t * 1000 + i, i);
+                    }
+                });
+            }
+        });
+        let g = w.seal();
+        assert_eq!(g.len(), 8000);
+    }
+
+    #[test]
+    fn dht_generations_advance() {
+        let mut dht: Dht<u32> = Dht::new();
+        assert_eq!(dht.current_index(), 0);
+        let w = GenerationWriter::new();
+        w.put(7, 7u32);
+        dht.push(w.seal());
+        assert_eq!(dht.current_index(), 1);
+        assert_eq!(dht.current().get(7), Some(&7));
+        assert_eq!(dht.generation(0).get(7), None);
+    }
+
+    #[test]
+    fn generation_iter_and_size() {
+        let g = Generation::from_iter((0..10u64).map(|k| (k, k as u32)));
+        assert_eq!(g.iter().count(), 10);
+        assert_eq!(g.size_bytes(), 10 * 12);
+        assert!(!g.is_empty());
+        assert!(Generation::<u32>::empty().is_empty());
+    }
+
+    #[test]
+    fn last_writer_wins() {
+        let w: GenerationWriter<u32> = GenerationWriter::new();
+        w.put(5, 1);
+        w.put(5, 2);
+        let g = w.seal();
+        assert_eq!(g.get(5), Some(&2));
+        assert_eq!(g.len(), 1);
+    }
+}

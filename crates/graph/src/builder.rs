@@ -1,0 +1,264 @@
+//! Mutable edge-list accumulator that finalizes into CSR form.
+//!
+//! The builder canonicalizes undirected edges, removes self-loops and
+//! duplicates (keeping the lightest copy of parallel weighted edges), and
+//! produces sorted adjacency lists. All generators and file readers in
+//! this crate construct graphs through it.
+
+use crate::csr::CsrGraph;
+use crate::weighted::WeightedCsrGraph;
+use crate::{NodeId, Weight};
+
+/// Accumulates edges and finalizes into [`CsrGraph`] /
+/// [`WeightedCsrGraph`].
+#[derive(Clone, Debug)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: Vec<(NodeId, NodeId, Weight)>,
+    keep_loops: bool,
+    directed: bool,
+}
+
+impl GraphBuilder {
+    /// A builder for a graph on `n` vertices (`0..n`).
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: Vec::new(),
+            keep_loops: false,
+            directed: false,
+        }
+    }
+
+    /// Pre-allocates space for `m` edges.
+    pub fn with_capacity(n: usize, m: usize) -> Self {
+        let mut b = Self::new(n);
+        b.edges.reserve(m);
+        b
+    }
+
+    /// Builds a *directed* graph: edges keep their orientation and are not
+    /// mirrored.
+    pub fn directed(mut self) -> Self {
+        self.directed = true;
+        self
+    }
+
+    /// Number of vertices this builder targets.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges currently accumulated (before dedup).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no edges have been added.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Adds an unweighted edge (weight 0).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(mut self, u: NodeId, v: NodeId) -> Self {
+        self.push_edge(u, v, 0);
+        self
+    }
+
+    /// Adds a weighted edge.
+    pub fn add_weighted_edge(mut self, u: NodeId, v: NodeId, w: Weight) -> Self {
+        self.push_edge(u, v, w);
+        self
+    }
+
+    /// In-place edge insertion (for loops that cannot consume the builder).
+    pub fn push_edge(&mut self, u: NodeId, v: NodeId, w: Weight) {
+        assert!(
+            (u as usize) < self.n && (v as usize) < self.n,
+            "edge ({u}, {v}) out of range for n = {}",
+            self.n
+        );
+        self.edges.push((u, v, w));
+    }
+
+    /// Adds every edge in the iterator.
+    pub fn extend_edges(mut self, it: impl IntoIterator<Item = (NodeId, NodeId)>) -> Self {
+        for (u, v) in it {
+            self.push_edge(u, v, 0);
+        }
+        self
+    }
+
+    /// Adds every weighted edge in the iterator.
+    pub fn extend_weighted(
+        mut self,
+        it: impl IntoIterator<Item = (NodeId, NodeId, Weight)>,
+    ) -> Self {
+        for (u, v, w) in it {
+            self.push_edge(u, v, w);
+        }
+        self
+    }
+
+    /// Finalizes into an unweighted CSR graph.
+    pub fn build(self) -> CsrGraph {
+        let (csr, _) = self.finish();
+        csr
+    }
+
+    /// Finalizes into a weighted CSR graph.
+    pub fn build_weighted(self) -> WeightedCsrGraph {
+        let (csr, weights) = self.finish();
+        WeightedCsrGraph::from_parts(csr, weights)
+    }
+
+    fn finish(self) -> (CsrGraph, Vec<Weight>) {
+        let GraphBuilder {
+            n,
+            mut edges,
+            keep_loops,
+            directed,
+        } = self;
+
+        if !keep_loops {
+            edges.retain(|&(u, v, _)| u != v);
+        }
+        if !directed {
+            for e in edges.iter_mut() {
+                if e.0 > e.1 {
+                    std::mem::swap(&mut e.0, &mut e.1);
+                }
+            }
+        }
+        // Sort by (u, v, w) so duplicates are adjacent with the lightest
+        // copy first, then dedup by endpoints.
+        edges.sort_unstable();
+        edges.dedup_by_key(|&mut (u, v, _)| (u, v));
+
+        // Counting sort into CSR. For undirected graphs, mirror every edge.
+        let mut degree = vec![0usize; n];
+        for &(u, v, _) in &edges {
+            degree[u as usize] += 1;
+            if !directed {
+                degree[v as usize] += 1;
+            }
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degree {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut targets = vec![0 as NodeId; acc];
+        let mut weights = vec![0 as Weight; acc];
+        for &(u, v, w) in &edges {
+            let cu = cursor[u as usize];
+            targets[cu] = v;
+            weights[cu] = w;
+            cursor[u as usize] += 1;
+            if !directed {
+                let cv = cursor[v as usize];
+                targets[cv] = u;
+                weights[cv] = w;
+                cursor[v as usize] += 1;
+            }
+        }
+        // Adjacency lists are sorted by construction for the `u` side but
+        // the mirrored `v` side entries arrive in `u`-order, which is also
+        // sorted. Each vertex's list interleaves both, so sort per vertex.
+        for v in 0..n {
+            let lo = offsets[v];
+            let hi = offsets[v + 1];
+            let mut pairs: Vec<(NodeId, Weight)> = targets[lo..hi]
+                .iter()
+                .copied()
+                .zip(weights[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_unstable();
+            for (i, (t, w)) in pairs.into_iter().enumerate() {
+                targets[lo + i] = t;
+                weights[lo + i] = w;
+            }
+        }
+        (
+            CsrGraph::from_parts(offsets, targets, !directed),
+            weights,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn removes_self_loops_and_duplicates() {
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 0)
+            .add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(0, 1)
+            .add_edge(2, 3)
+            .build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[0]);
+    }
+
+    #[test]
+    fn parallel_weighted_edges_keep_lightest() {
+        let g = GraphBuilder::new(2)
+            .add_weighted_edge(0, 1, 9)
+            .add_weighted_edge(1, 0, 3)
+            .add_weighted_edge(0, 1, 7)
+            .build_weighted();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.weights_of(0), &[3]);
+        assert_eq!(g.weights_of(1), &[3]);
+    }
+
+    #[test]
+    fn adjacency_lists_are_sorted() {
+        let g = GraphBuilder::new(5)
+            .add_edge(2, 4)
+            .add_edge(2, 0)
+            .add_edge(2, 3)
+            .add_edge(2, 1)
+            .build();
+        assert_eq!(g.neighbors(2), &[0, 1, 3, 4]);
+    }
+
+    #[test]
+    fn directed_edges_are_not_mirrored() {
+        let g = GraphBuilder::new(3)
+            .directed()
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .build();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[] as &[NodeId]);
+        assert!(!g.is_symmetric());
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_out_of_range() {
+        let mut b = GraphBuilder::new(2);
+        b.push_edge(0, 5, 0);
+    }
+
+    #[test]
+    fn extend_edges_works() {
+        let g = GraphBuilder::new(3)
+            .extend_edges([(0, 1), (1, 2)])
+            .build();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

@@ -1,0 +1,230 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! The immutable adjacency structure used by every algorithm in the
+//! workspace. For an undirected graph each edge `{u, v}` is stored twice
+//! (in `neighbors(u)` and `neighbors(v)`); [`CsrGraph::num_edges`] reports
+//! the number of *undirected* edges.
+
+use crate::edge::Edge;
+use crate::NodeId;
+
+/// An immutable unweighted graph in compressed sparse row form.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CsrGraph {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` with `v`'s neighbors.
+    offsets: Vec<usize>,
+    /// Concatenated adjacency lists.
+    targets: Vec<NodeId>,
+    /// Number of undirected edges (half the directed arc count) when the
+    /// graph is symmetric; for directed graphs this is the arc count.
+    num_edges: usize,
+    /// Whether the adjacency structure is symmetric (undirected).
+    symmetric: bool,
+}
+
+impl CsrGraph {
+    /// Builds a CSR graph from raw parts. `offsets` must have length
+    /// `n + 1`, start at 0, be non-decreasing, and end at `targets.len()`.
+    ///
+    /// # Panics
+    /// Panics if the invariants above are violated or a target is out of
+    /// range.
+    pub fn from_parts(offsets: Vec<usize>, targets: Vec<NodeId>, symmetric: bool) -> Self {
+        assert!(!offsets.is_empty(), "offsets must have length n + 1 >= 1");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len(),
+            "offsets must end at targets.len()"
+        );
+        assert!(
+            offsets.windows(2).all(|w| w[0] <= w[1]),
+            "offsets must be non-decreasing"
+        );
+        let n = offsets.len() - 1;
+        assert!(
+            targets.iter().all(|&t| (t as usize) < n),
+            "all targets must be < n"
+        );
+        let num_edges = if symmetric {
+            debug_assert!(targets.len().is_multiple_of(2), "symmetric graph has even arc count");
+            targets.len() / 2
+        } else {
+            targets.len()
+        };
+        CsrGraph {
+            offsets,
+            targets,
+            num_edges,
+            symmetric,
+        }
+    }
+
+    /// An empty graph on `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+            num_edges: 0,
+            symmetric: true,
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges (or arcs, for a directed graph).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Number of directed arcs stored (`2m` for symmetric graphs).
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the graph was built as a symmetric (undirected) structure.
+    #[inline]
+    pub fn is_symmetric(&self) -> bool {
+        self.symmetric
+    }
+
+    /// Degree of `v` (out-degree for directed graphs).
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The neighbors of `v` as a slice.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.targets[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Iterator over all vertices.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.num_nodes() as NodeId).into_iter()
+    }
+
+    /// Maximum degree, or 0 for the empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_nodes())
+            .map(|v| self.degree(v as NodeId))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Iterates each undirected edge once, with `u <= v` (skips nothing for
+    /// directed graphs: every arc is yielded).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        let symmetric = self.symmetric;
+        self.nodes().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| !symmetric || u <= v)
+                .map(move |v| Edge::new(u, v))
+        })
+    }
+
+    /// The raw offsets array (length `n + 1`).
+    #[inline]
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw concatenated adjacency array.
+    #[inline]
+    pub fn targets(&self) -> &[NodeId] {
+        &self.targets
+    }
+
+    /// True if `v`'s adjacency list contains `u` (binary search if sorted
+    /// lists were requested at build time; linear scan otherwise — callers
+    /// on hot paths should ensure sorted adjacency).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let nbrs = self.neighbors(u);
+        if nbrs.len() >= 16 && nbrs.windows(2).all(|w| w[0] <= w[1]) {
+            nbrs.binary_search(&v).is_ok()
+        } else {
+            nbrs.contains(&v)
+        }
+    }
+
+    /// Approximate heap size in bytes (used by the communication
+    /// accounting when a whole graph is shuffled).
+    pub fn size_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<NodeId>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn triangle() -> CsrGraph {
+        GraphBuilder::new(3)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(5);
+        assert_eq!(g.num_nodes(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.neighbors(3), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn triangle_structure() {
+        let g = triangle();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.num_arcs(), 6);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert!(g.has_edge(1, 2));
+        assert!(g.has_edge(2, 1));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_once() {
+        let g = triangle();
+        let edges: Vec<Edge> = g.edges().collect();
+        assert_eq!(
+            edges,
+            vec![Edge::new(0, 1), Edge::new(0, 2), Edge::new(1, 2)]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must start at 0")]
+    fn from_parts_validates_first_offset() {
+        CsrGraph::from_parts(vec![1, 1], vec![], true);
+    }
+
+    #[test]
+    #[should_panic(expected = "all targets must be < n")]
+    fn from_parts_validates_targets() {
+        CsrGraph::from_parts(vec![0, 1], vec![7], false);
+    }
+
+    #[test]
+    fn size_bytes_positive() {
+        assert!(triangle().size_bytes() > 0);
+    }
+}

@@ -1,0 +1,209 @@
+//! Edge types shared across the workspace.
+
+use crate::{NodeId, Weight};
+
+/// An undirected, unweighted edge. Stored canonically with `u <= v`
+/// when produced by [`Edge::canonical`]; the raw constructor keeps the
+/// given orientation (useful for directed intermediates).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Edge {
+    /// First endpoint.
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+}
+
+impl Edge {
+    /// Creates an edge with the given orientation.
+    #[inline]
+    pub fn new(u: NodeId, v: NodeId) -> Self {
+        Edge { u, v }
+    }
+
+    /// Creates the canonical representation with the smaller endpoint first.
+    #[inline]
+    pub fn canonical(u: NodeId, v: NodeId) -> Self {
+        if u <= v {
+            Edge { u, v }
+        } else {
+            Edge { u: v, v: u }
+        }
+    }
+
+    /// Returns the endpoint that is not `x`.
+    ///
+    /// # Panics
+    /// Panics in debug builds if `x` is not an endpoint.
+    #[inline]
+    pub fn other(&self, x: NodeId) -> NodeId {
+        debug_assert!(x == self.u || x == self.v);
+        if x == self.u {
+            self.v
+        } else {
+            self.u
+        }
+    }
+
+    /// True if the edge is a self-loop.
+    #[inline]
+    pub fn is_loop(&self) -> bool {
+        self.u == self.v
+    }
+
+    /// True if the two edges share an endpoint (are adjacent in the line
+    /// graph). A pair of equal edges is also considered adjacent.
+    #[inline]
+    pub fn shares_endpoint(&self, other: &Edge) -> bool {
+        self.u == other.u || self.u == other.v || self.v == other.u || self.v == other.v
+    }
+
+    /// Flips the orientation.
+    #[inline]
+    pub fn reversed(&self) -> Edge {
+        Edge { u: self.v, v: self.u }
+    }
+}
+
+/// An undirected weighted edge.
+///
+/// Edge comparisons used by the MSF algorithms go through [`Self::key`],
+/// which breaks weight ties by the canonical endpoint pair. With distinct
+/// keys the minimum spanning forest is **unique**, which lets the test
+/// suite compare forests produced by different algorithms edge-by-edge —
+/// the same trick the paper relies on when cross-checking AMPC and MPC
+/// implementations seeded with the same randomness.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct WeightedEdge {
+    /// First endpoint.
+    pub u: NodeId,
+    /// Second endpoint.
+    pub v: NodeId,
+    /// The weight.
+    pub w: Weight,
+}
+
+impl WeightedEdge {
+    /// Creates a weighted edge with the given orientation.
+    #[inline]
+    pub fn new(u: NodeId, v: NodeId, w: Weight) -> Self {
+        WeightedEdge { u, v, w }
+    }
+
+    /// Canonical representation (smaller endpoint first).
+    #[inline]
+    pub fn canonical(u: NodeId, v: NodeId, w: Weight) -> Self {
+        if u <= v {
+            WeightedEdge { u, v, w }
+        } else {
+            WeightedEdge { u: v, v: u, w }
+        }
+    }
+
+    /// The unweighted edge.
+    #[inline]
+    pub fn edge(&self) -> Edge {
+        Edge::new(self.u, self.v)
+    }
+
+    /// Total-order key: `(weight, min endpoint, max endpoint)`.
+    ///
+    /// Distinct parallel edges with equal weight still compare equal under
+    /// this key; [`crate::builder::GraphBuilder`] deduplicates parallel
+    /// edges (keeping the lightest), so graphs built through the builder
+    /// have strictly totally ordered edges.
+    #[inline]
+    pub fn key(&self) -> (Weight, NodeId, NodeId) {
+        let (a, b) = if self.u <= self.v {
+            (self.u, self.v)
+        } else {
+            (self.v, self.u)
+        };
+        (self.w, a, b)
+    }
+
+    /// Returns the endpoint that is not `x`.
+    #[inline]
+    pub fn other(&self, x: NodeId) -> NodeId {
+        debug_assert!(x == self.u || x == self.v);
+        if x == self.u {
+            self.v
+        } else {
+            self.u
+        }
+    }
+
+    /// True if the edge is a self-loop.
+    #[inline]
+    pub fn is_loop(&self) -> bool {
+        self.u == self.v
+    }
+}
+
+impl PartialOrd for WeightedEdge {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for WeightedEdge {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.key().cmp(&other.key())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_orders_endpoints() {
+        assert_eq!(Edge::canonical(5, 2), Edge::new(2, 5));
+        assert_eq!(Edge::canonical(2, 5), Edge::new(2, 5));
+        assert_eq!(Edge::canonical(3, 3), Edge::new(3, 3));
+    }
+
+    #[test]
+    fn other_returns_opposite_endpoint() {
+        let e = Edge::new(1, 9);
+        assert_eq!(e.other(1), 9);
+        assert_eq!(e.other(9), 1);
+    }
+
+    #[test]
+    fn loop_detection() {
+        assert!(Edge::new(4, 4).is_loop());
+        assert!(!Edge::new(4, 5).is_loop());
+    }
+
+    #[test]
+    fn shares_endpoint_matrix() {
+        let e = Edge::new(1, 2);
+        assert!(e.shares_endpoint(&Edge::new(2, 3)));
+        assert!(e.shares_endpoint(&Edge::new(3, 1)));
+        assert!(e.shares_endpoint(&Edge::new(1, 2)));
+        assert!(!e.shares_endpoint(&Edge::new(3, 4)));
+    }
+
+    #[test]
+    fn weighted_edge_ordering_is_by_weight_then_endpoints() {
+        let a = WeightedEdge::new(0, 1, 5);
+        let b = WeightedEdge::new(2, 3, 5);
+        let c = WeightedEdge::new(9, 8, 1);
+        let mut v = vec![a, b, c];
+        v.sort();
+        assert_eq!(v, vec![c, a, b]);
+    }
+
+    #[test]
+    fn weighted_key_ignores_orientation() {
+        assert_eq!(
+            WeightedEdge::new(7, 3, 10).key(),
+            WeightedEdge::new(3, 7, 10).key()
+        );
+    }
+
+    #[test]
+    fn reversed_swaps() {
+        assert_eq!(Edge::new(1, 2).reversed(), Edge::new(2, 1));
+    }
+}

@@ -1,0 +1,61 @@
+//! Erdős–Rényi `G(n, m)` generator.
+
+use crate::builder::GraphBuilder;
+use crate::CsrGraph;
+use crate::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Generates a uniform random graph on `n` vertices with (up to) `m`
+/// distinct edges. Self-loops are rejected at sampling time; duplicate
+/// pairs are removed by the builder, so for `m` close to `n²/2` the final
+/// count can be lower than requested.
+pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
+    assert!(n >= 2 || m == 0, "need at least two vertices to place edges");
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        // Rejection-sample a non-loop pair.
+        loop {
+            let u = rng.gen_range(0..n) as NodeId;
+            let v = rng.gen_range(0..n) as NodeId;
+            if u != v {
+                builder.push_edge(u, v, 0);
+                break;
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn respects_bounds() {
+        let g = erdos_renyi(100, 300, 5);
+        assert_eq!(g.num_nodes(), 100);
+        assert!(g.num_edges() <= 300);
+        assert!(g.num_edges() > 250); // few collisions at this density
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = erdos_renyi(20, 100, 11);
+        for u in g.nodes() {
+            assert!(!g.neighbors(u).contains(&u));
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(erdos_renyi(50, 120, 3), erdos_renyi(50, 120, 3));
+    }
+
+    #[test]
+    fn zero_edges_ok() {
+        let g = erdos_renyi(1, 0, 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

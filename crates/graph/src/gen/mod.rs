@@ -1,0 +1,103 @@
+//! Synthetic graph generators.
+//!
+//! Each generator is deterministic given its seed. The families here cover
+//! the workloads of the paper's evaluation (§5.2, §5.6): skewed
+//! social-network-like graphs (RMAT, Chung–Lu), the `2 × k` cycle family
+//! used by the 1-vs-2-cycle experiments, and classic structured graphs for
+//! tests (paths, stars, grids, trees, complete graphs).
+
+mod chung_lu;
+mod classic;
+mod cycles;
+mod erdos_renyi;
+mod rmat;
+
+pub use chung_lu::chung_lu;
+pub use classic::{complete, grid, path, random_tree, star};
+pub use cycles::{single_cycle, two_cycles, CyclePair};
+pub use erdos_renyi::erdos_renyi;
+pub use rmat::{rmat, RmatParams};
+
+use crate::weighted::WeightedCsrGraph;
+use crate::{CsrGraph, Weight};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// Attaches weights `w(u, v) = deg(u) + deg(v)` to an unweighted graph —
+/// exactly the weighting rule the paper uses for its MSF inputs (§5.2):
+/// *"the weight of an edge (u, v) is proportional to deg(u) + deg(v)"*.
+pub fn degree_weights(g: &CsrGraph) -> WeightedCsrGraph {
+    let mut weights = Vec::with_capacity(g.num_arcs());
+    for u in g.nodes() {
+        let du = g.degree(u) as Weight;
+        for &v in g.neighbors(u) {
+            weights.push(du + g.degree(v) as Weight);
+        }
+    }
+    WeightedCsrGraph::from_parts(g.clone(), weights)
+}
+
+/// Attaches independent uniform random weights in `1..=max_weight`.
+/// Both directions of an edge receive the same weight (the weight is a
+/// hash of the canonical endpoint pair and the seed), so the result is a
+/// valid undirected weighted graph.
+pub fn random_weights(g: &CsrGraph, max_weight: Weight, seed: u64) -> WeightedCsrGraph {
+    let mut weights = Vec::with_capacity(g.num_arcs());
+    for u in g.nodes() {
+        for &v in g.neighbors(u) {
+            let (a, b) = if u <= v { (u, v) } else { (v, u) };
+            let mut rng = SmallRng::seed_from_u64(
+                seed ^ ((a as u64) << 32 | b as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            weights.push(rng.gen_range(1..=max_weight));
+        }
+    }
+    WeightedCsrGraph::from_parts(g.clone(), weights)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    #[test]
+    fn degree_weights_match_rule() {
+        // star on 4 nodes: center 0 has degree 3, leaves degree 1.
+        let g = star(4);
+        let w = degree_weights(&g);
+        for e in w.edges() {
+            assert_eq!(e.w, 4); // 3 + 1
+        }
+    }
+
+    #[test]
+    fn random_weights_symmetric_and_in_range() {
+        let g = GraphBuilder::new(4)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 3)
+            .add_edge(3, 0)
+            .build();
+        let w = random_weights(&g, 100, 42);
+        for u in w.nodes() {
+            for (v, wt) in w.weighted_neighbors(u) {
+                assert!((1..=100).contains(&wt));
+                // the reverse arc carries the same weight
+                let back = w
+                    .weighted_neighbors(v)
+                    .find(|&(x, _)| x == u)
+                    .map(|(_, ww)| ww)
+                    .unwrap();
+                assert_eq!(back, wt);
+            }
+        }
+    }
+
+    #[test]
+    fn random_weights_deterministic() {
+        let g = erdos_renyi(50, 100, 7);
+        let a = random_weights(&g, 1000, 9);
+        let b = random_weights(&g, 1000, 9);
+        assert_eq!(a.edge_vec(), b.edge_vec());
+    }
+}

@@ -1,0 +1,164 @@
+//! Recursive-matrix (RMAT) graph generator.
+//!
+//! RMAT graphs are the standard stand-in for skewed real-world networks:
+//! the `(a, b, c, d)` quadrant probabilities control the degree skew. We
+//! use them as laptop-scale analogues of the paper's social and web graphs
+//! (Orkut, Twitter, Friendster, ClueWeb, Hyperlink2012); see
+//! [`crate::datasets`].
+
+use crate::builder::GraphBuilder;
+use crate::CsrGraph;
+use crate::NodeId;
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// RMAT quadrant probabilities. Must sum to (approximately) 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RmatParams {
+    /// Top-left quadrant probability (controls hub formation).
+    pub a: f64,
+    /// Top-right quadrant probability.
+    pub b: f64,
+    /// Bottom-left quadrant probability.
+    pub c: f64,
+    /// Bottom-right quadrant probability.
+    pub d: f64,
+}
+
+impl RmatParams {
+    /// Classic Graph500-style parameters: strong skew, social-network-like.
+    pub const SOCIAL: RmatParams = RmatParams {
+        a: 0.57,
+        b: 0.19,
+        c: 0.19,
+        d: 0.05,
+    };
+
+    /// Extremely skewed parameters producing web-graph-like inputs with a
+    /// few massive hubs and many small components (our ClueWeb/Hyperlink
+    /// analogue).
+    pub const WEB: RmatParams = RmatParams {
+        a: 0.65,
+        b: 0.17,
+        c: 0.13,
+        d: 0.05,
+    };
+
+    /// Nearly uniform (degenerate Erdős–Rényi-like) parameters.
+    pub const UNIFORM: RmatParams = RmatParams {
+        a: 0.25,
+        b: 0.25,
+        c: 0.25,
+        d: 0.25,
+    };
+
+    fn validate(&self) {
+        let s = self.a + self.b + self.c + self.d;
+        assert!(
+            (s - 1.0).abs() < 1e-6,
+            "RMAT parameters must sum to 1 (got {s})"
+        );
+        assert!(
+            self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d >= 0.0,
+            "RMAT parameters must be non-negative"
+        );
+    }
+}
+
+/// Generates an undirected RMAT graph with `2^log_n` vertices and
+/// (up to) `m` edges; self-loops and duplicates are removed, so the final
+/// edge count is slightly below `m`, mirroring how real RMAT inputs are
+/// produced and then symmetrized (§5.2 of the paper symmetrizes its
+/// directed inputs the same way).
+pub fn rmat(log_n: u32, m: usize, params: RmatParams, seed: u64) -> CsrGraph {
+    params.validate();
+    assert!(log_n <= 31, "log_n must fit in u32 node ids");
+    let n = 1usize << log_n;
+    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::with_capacity(n, m);
+
+    // Noise added to quadrant probabilities at each level ("smoothing"),
+    // the standard fix that avoids exactly repeating degree patterns.
+    for _ in 0..m {
+        let (u, v) = sample_edge(log_n, &params, &mut rng);
+        builder.push_edge(u, v, 0);
+    }
+    builder.build()
+}
+
+fn sample_edge(log_n: u32, p: &RmatParams, rng: &mut SmallRng) -> (NodeId, NodeId) {
+    let mut u: NodeId = 0;
+    let mut v: NodeId = 0;
+    for _ in 0..log_n {
+        u <<= 1;
+        v <<= 1;
+        // Per-level multiplicative noise in [0.95, 1.05].
+        let na = p.a * rng.gen_range(0.95..1.05);
+        let nb = p.b * rng.gen_range(0.95..1.05);
+        let nc = p.c * rng.gen_range(0.95..1.05);
+        let nd = p.d * rng.gen_range(0.95..1.05);
+        let total = na + nb + nc + nd;
+        let r: f64 = rng.gen_range(0.0..total);
+        if r < na {
+            // top-left: no bits set
+        } else if r < na + nb {
+            v |= 1;
+        } else if r < na + nb + nc {
+            u |= 1;
+        } else {
+            u |= 1;
+            v |= 1;
+        }
+    }
+    (u, v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_scale() {
+        let g = rmat(10, 5_000, RmatParams::SOCIAL, 1);
+        assert_eq!(g.num_nodes(), 1024);
+        // Dedup removes some edges but most survive.
+        assert!(g.num_edges() > 3_000, "got {}", g.num_edges());
+        assert!(g.num_edges() <= 5_000);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = rmat(8, 1000, RmatParams::SOCIAL, 7);
+        let b = rmat(8, 1000, RmatParams::SOCIAL, 7);
+        assert_eq!(a, b);
+        let c = rmat(8, 1000, RmatParams::SOCIAL, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn social_params_are_skewed() {
+        let g = rmat(12, 40_000, RmatParams::SOCIAL, 3);
+        let max_deg = g.max_degree();
+        let avg_deg = 2.0 * g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(
+            max_deg as f64 > 8.0 * avg_deg,
+            "expected skew: max {max_deg} vs avg {avg_deg}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rejects_bad_params() {
+        rmat(
+            4,
+            10,
+            RmatParams {
+                a: 0.9,
+                b: 0.9,
+                c: 0.0,
+                d: 0.0,
+            },
+            0,
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Graph contraction: quotient a graph by a vertex → representative map.
+//!
+//! Contraction is the workhorse of the MSF and connectivity pipelines
+//! (Algorithm 1 line 14, the §5.5 "Contract" stage, and each Borůvka /
+//! local-contraction phase of the MPC baselines). In the distributed
+//! implementations it is "reduced to sorting and removing duplicates"
+//! (Lemma 3.5); here we provide the in-memory primitive plus the id
+//! compaction that every caller needs.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::weighted::WeightedCsrGraph;
+use crate::NodeId;
+
+/// Result of contracting an unweighted graph.
+#[derive(Clone, Debug)]
+pub struct ContractedGraph {
+    /// The quotient graph on compacted ids, self-loops removed. When
+    /// `drop_isolated` is requested, vertices whose class has no
+    /// surviving edge are removed entirely (Algorithm 1 removes isolated
+    /// vertices after contraction).
+    pub graph: CsrGraph,
+    /// For each *original* vertex, the compacted id of its class, or
+    /// [`crate::NO_NODE`] if the class was dropped as isolated.
+    pub class_of: Vec<NodeId>,
+    /// For each compacted class id, a representative original vertex.
+    pub representative: Vec<NodeId>,
+}
+
+/// Result of contracting a weighted graph.
+#[derive(Clone, Debug)]
+pub struct ContractedWeighted {
+    /// The quotient multigraph collapsed to simple form: parallel edges
+    /// keep the lightest copy (exactly what an MSF computation needs).
+    pub graph: WeightedCsrGraph,
+    /// Original vertex → compacted class id ([`crate::NO_NODE`] if
+    /// dropped).
+    pub class_of: Vec<NodeId>,
+    /// Compacted class id → representative original vertex.
+    pub representative: Vec<NodeId>,
+}
+
+fn compact_classes(
+    labels: &[NodeId],
+    keep: impl Fn(NodeId) -> bool,
+) -> (Vec<NodeId>, Vec<NodeId>) {
+    // labels[v] = root/label of v's class (any consistent labelling).
+    let n = labels.len();
+    let mut class_of = vec![crate::NO_NODE; n];
+    let mut representative = Vec::new();
+    let mut remap = vec![crate::NO_NODE; n];
+    for v in 0..n {
+        let l = labels[v];
+        debug_assert!((l as usize) < n, "label out of range");
+        if !keep(l) {
+            continue;
+        }
+        if remap[l as usize] == crate::NO_NODE {
+            remap[l as usize] = representative.len() as NodeId;
+            representative.push(l);
+        }
+        class_of[v] = remap[l as usize];
+    }
+    (class_of, representative)
+}
+
+/// Contracts `g` by the labelling `labels` (vertex → class label, where a
+/// label is any vertex id acting as class representative). Self-loops are
+/// dropped; if `drop_isolated`, classes with no surviving incident edge
+/// are removed from the quotient.
+pub fn contract(g: &CsrGraph, labels: &[NodeId], drop_isolated: bool) -> ContractedGraph {
+    assert_eq!(labels.len(), g.num_nodes());
+    let has_edge = mark_non_isolated(g, labels);
+    let keep = |l: NodeId| !drop_isolated || has_edge[l as usize];
+    let (class_of, representative) = compact_classes(labels, keep);
+
+    let mut b = GraphBuilder::with_capacity(representative.len(), g.num_edges());
+    for e in g.edges() {
+        let cu = class_of[e.u as usize];
+        let cv = class_of[e.v as usize];
+        if cu != cv && cu != crate::NO_NODE && cv != crate::NO_NODE {
+            b.push_edge(cu, cv, 0);
+        }
+    }
+    ContractedGraph {
+        graph: b.build(),
+        class_of,
+        representative,
+    }
+}
+
+/// Weighted contraction. Parallel edges between classes keep the lightest
+/// weight (handled by [`GraphBuilder`]'s dedup rule).
+pub fn contract_weighted(
+    g: &WeightedCsrGraph,
+    labels: &[NodeId],
+    drop_isolated: bool,
+) -> ContractedWeighted {
+    assert_eq!(labels.len(), g.num_nodes());
+    let has_edge = mark_non_isolated(g.structure(), labels);
+    let keep = |l: NodeId| !drop_isolated || has_edge[l as usize];
+    let (class_of, representative) = compact_classes(labels, keep);
+
+    let mut b = GraphBuilder::with_capacity(representative.len(), g.num_edges());
+    for e in g.edges() {
+        let cu = class_of[e.u as usize];
+        let cv = class_of[e.v as usize];
+        if cu != cv && cu != crate::NO_NODE && cv != crate::NO_NODE {
+            b.push_edge(cu, cv, e.w);
+        }
+    }
+    ContractedWeighted {
+        graph: b.build_weighted(),
+        class_of,
+        representative,
+    }
+}
+
+/// `out[label]` = true iff the class of `label` has at least one edge to a
+/// different class.
+fn mark_non_isolated(g: &CsrGraph, labels: &[NodeId]) -> Vec<bool> {
+    let mut has_edge = vec![false; g.num_nodes()];
+    for e in g.edges() {
+        let lu = labels[e.u as usize];
+        let lv = labels[e.v as usize];
+        if lu != lv {
+            has_edge[lu as usize] = true;
+            has_edge[lv as usize] = true;
+        }
+    }
+    has_edge
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn contract_path_pairs() {
+        // path 0-1-2-3; classes {0,1} -> 0, {2,3} -> 2
+        let g = gen::path(4);
+        let labels = vec![0, 0, 2, 2];
+        let c = contract(&g, &labels, false);
+        assert_eq!(c.graph.num_nodes(), 2);
+        assert_eq!(c.graph.num_edges(), 1);
+        assert_eq!(c.class_of, vec![0, 0, 1, 1]);
+        assert_eq!(c.representative, vec![0, 2]);
+    }
+
+    #[test]
+    fn self_loops_removed() {
+        let g = gen::complete(3);
+        let labels = vec![0, 0, 0];
+        let c = contract(&g, &labels, false);
+        assert_eq!(c.graph.num_nodes(), 1);
+        assert_eq!(c.graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn drop_isolated_removes_fully_contracted_classes() {
+        // two components: triangle {0,1,2} contracted to one class;
+        // edge {3,4} contracted to its own classes.
+        let g = GraphBuilder::new(5)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(2, 0)
+            .add_edge(3, 4)
+            .build();
+        let labels = vec![0, 0, 0, 3, 4];
+        let c = contract(&g, &labels, true);
+        // class {0,1,2} became isolated and is dropped
+        assert_eq!(c.graph.num_nodes(), 2);
+        assert_eq!(c.class_of[0], crate::NO_NODE);
+        assert_eq!(c.class_of[3], 0);
+        assert_eq!(c.class_of[4], 1);
+    }
+
+    #[test]
+    fn weighted_contraction_keeps_lightest_parallel_edge() {
+        // square with two classes; two parallel edges of weight 7 and 3.
+        let g = GraphBuilder::new(4)
+            .add_weighted_edge(0, 2, 7)
+            .add_weighted_edge(1, 3, 3)
+            .add_weighted_edge(0, 1, 1)
+            .add_weighted_edge(2, 3, 1)
+            .build_weighted();
+        let labels = vec![0, 0, 2, 2];
+        let c = contract_weighted(&g, &labels, false);
+        assert_eq!(c.graph.num_nodes(), 2);
+        assert_eq!(c.graph.num_edges(), 1);
+        assert_eq!(c.graph.edge_vec()[0].w, 3);
+    }
+
+    #[test]
+    fn identity_contraction_preserves_graph() {
+        let g = gen::erdos_renyi(50, 200, 1);
+        let labels: Vec<NodeId> = (0..50).collect();
+        let c = contract(&g, &labels, false);
+        assert_eq!(c.graph.num_nodes(), g.num_nodes());
+        assert_eq!(c.graph.num_edges(), g.num_edges());
+    }
+}

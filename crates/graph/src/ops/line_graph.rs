@@ -1,0 +1,94 @@
+//! Line graphs.
+//!
+//! §4 of the paper reduces maximal matching to maximal independent set on
+//! the line graph: *"the set of vertices in the maximal independent set
+//! of the line graph of a graph G forms a maximal matching of G"*. The
+//! explicit construction here is used by the O(log log n)-round matching
+//! algorithm (Algorithm 4, on subsampled graphs small enough to afford
+//! it) and by tests; the O(1)-round algorithm instead navigates the line
+//! graph *implicitly* (never materializing it), exactly as §4.2 argues is
+//! necessary to avoid Ω(mΔ) space.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::edge::Edge;
+use crate::NodeId;
+
+/// An explicit line graph: vertex `i` of [`Self::graph`] is edge
+/// `edges[i]` of the original graph.
+#[derive(Clone, Debug)]
+pub struct LineGraph {
+    /// The line graph structure.
+    pub graph: CsrGraph,
+    /// Line-graph vertex → original edge.
+    pub edges: Vec<Edge>,
+}
+
+/// Builds the line graph of `g`: one vertex per undirected edge, an edge
+/// between two vertices iff the corresponding edges share an endpoint.
+///
+/// Space is `Θ(Σ_v deg(v)²)` which can be `Θ(mΔ)` — callers must ensure
+/// `g` is small/sparse enough (the paper's Algorithm 4 subsamples first).
+pub fn line_graph(g: &CsrGraph) -> LineGraph {
+    let edges: Vec<Edge> = g.edges().collect();
+    // Map each edge to its index via per-endpoint sorted lists.
+    // incidence[v] = indices of edges incident to v.
+    let mut incidence: Vec<Vec<u32>> = vec![Vec::new(); g.num_nodes()];
+    for (i, e) in edges.iter().enumerate() {
+        incidence[e.u as usize].push(i as u32);
+        incidence[e.v as usize].push(i as u32);
+    }
+    let est: usize = incidence.iter().map(|inc| inc.len() * inc.len() / 2).sum();
+    let mut b = GraphBuilder::with_capacity(edges.len(), est);
+    for inc in &incidence {
+        for i in 0..inc.len() {
+            for j in (i + 1)..inc.len() {
+                b.push_edge(inc[i] as NodeId, inc[j] as NodeId, 0);
+            }
+        }
+    }
+    LineGraph {
+        graph: b.build(),
+        edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn line_graph_of_path() {
+        // P4 has 3 edges forming a path in the line graph.
+        let lg = line_graph(&gen::path(4));
+        assert_eq!(lg.graph.num_nodes(), 3);
+        assert_eq!(lg.graph.num_edges(), 2);
+    }
+
+    #[test]
+    fn line_graph_of_triangle_is_triangle() {
+        let lg = line_graph(&gen::complete(3));
+        assert_eq!(lg.graph.num_nodes(), 3);
+        assert_eq!(lg.graph.num_edges(), 3);
+    }
+
+    #[test]
+    fn line_graph_of_star_is_complete() {
+        // K_{1,4}: all 4 edges share the center, line graph = K4.
+        let lg = line_graph(&gen::star(5));
+        assert_eq!(lg.graph.num_nodes(), 4);
+        assert_eq!(lg.graph.num_edges(), 6);
+    }
+
+    #[test]
+    fn adjacency_matches_shared_endpoints() {
+        let g = gen::erdos_renyi(30, 60, 2);
+        let lg = line_graph(&g);
+        for u in lg.graph.nodes() {
+            for &v in lg.graph.neighbors(u) {
+                assert!(lg.edges[u as usize].shares_endpoint(&lg.edges[v as usize]));
+            }
+        }
+    }
+}

@@ -1,0 +1,11 @@
+//! Structural graph operations used by the algorithms.
+
+mod contract;
+mod line_graph;
+mod subgraph;
+mod ternarize;
+
+pub use contract::{contract, contract_weighted, ContractedGraph, ContractedWeighted};
+pub use line_graph::{line_graph, LineGraph};
+pub use subgraph::{induced_subgraph, induced_subgraph_weighted, remove_isolated};
+pub use ternarize::{ternarize, Ternarized, DUMMY_WEIGHT};

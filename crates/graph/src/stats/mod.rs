@@ -1,0 +1,60 @@
+//! Graph statistics — everything needed to regenerate Table 2 of the
+//! paper (n, m, diameter, number of connected components, largest
+//! component) plus degree-distribution summaries used in the experiment
+//! write-ups.
+
+mod components;
+mod degrees;
+mod diameter;
+
+pub use components::{connected_components, same_partition, ComponentStats};
+pub use degrees::{degree_stats, DegreeStats};
+pub use diameter::{bfs_eccentricity, diameter_estimate, DiameterEstimate};
+
+use crate::csr::CsrGraph;
+
+/// One row of Table 2: the summary statistics for a dataset.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSummary {
+    /// Number of vertices.
+    pub num_nodes: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Diameter estimate (exact for small graphs; double-sweep lower
+    /// bound otherwise, mirroring the paper's `*` annotations).
+    pub diameter: DiameterEstimate,
+    /// Number of connected components.
+    pub num_components: usize,
+    /// Size (vertex count) of the largest connected component.
+    pub largest_component: usize,
+}
+
+/// Computes the full Table-2-style summary for a graph.
+pub fn summarize(g: &CsrGraph, seed: u64) -> GraphSummary {
+    let cc = connected_components(g);
+    let diameter = diameter_estimate(g, &cc, seed);
+    GraphSummary {
+        num_nodes: g.num_nodes(),
+        num_edges: g.num_edges(),
+        diameter,
+        num_components: cc.num_components,
+        largest_component: cc.largest_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn summary_of_two_cycles() {
+        let g = gen::two_cycles(10, 1);
+        let s = summarize(&g, 0);
+        assert_eq!(s.num_nodes, 20);
+        assert_eq!(s.num_edges, 20);
+        assert_eq!(s.num_components, 2);
+        assert_eq!(s.largest_component, 10);
+        assert_eq!(s.diameter.value, 5); // cycle of length 10 has diameter 5
+    }
+}

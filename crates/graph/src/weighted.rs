@@ -1,0 +1,185 @@
+//! Weighted CSR graphs.
+
+use crate::csr::CsrGraph;
+use crate::edge::WeightedEdge;
+use crate::{NodeId, Weight};
+
+/// An immutable weighted undirected graph: a [`CsrGraph`] plus a weight
+/// aligned with every stored arc. Both copies of an undirected edge carry
+/// the same weight.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WeightedCsrGraph {
+    structure: CsrGraph,
+    weights: Vec<Weight>,
+}
+
+impl WeightedCsrGraph {
+    /// Assembles a weighted graph. `weights.len()` must equal
+    /// `structure.num_arcs()`.
+    pub fn from_parts(structure: CsrGraph, weights: Vec<Weight>) -> Self {
+        assert_eq!(
+            structure.num_arcs(),
+            weights.len(),
+            "one weight per stored arc"
+        );
+        WeightedCsrGraph { structure, weights }
+    }
+
+    /// An empty weighted graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        WeightedCsrGraph {
+            structure: CsrGraph::empty(n),
+            weights: Vec::new(),
+        }
+    }
+
+    /// The underlying unweighted structure.
+    #[inline]
+    pub fn structure(&self) -> &CsrGraph {
+        &self.structure
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.structure.num_nodes()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.structure.num_edges()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.structure.degree(v)
+    }
+
+    /// Neighbors of `v` (aligned with [`Self::weights_of`]).
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        self.structure.neighbors(v)
+    }
+
+    /// Weights aligned with `neighbors(v)`.
+    #[inline]
+    pub fn weights_of(&self, v: NodeId) -> &[Weight] {
+        let v = v as usize;
+        let o = self.structure.offsets();
+        &self.weights[o[v]..o[v + 1]]
+    }
+
+    /// `(neighbor, weight)` pairs for `v`.
+    #[inline]
+    pub fn weighted_neighbors(&self, v: NodeId) -> impl Iterator<Item = (NodeId, Weight)> + '_ {
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.weights_of(v).iter().copied())
+    }
+
+    /// Iterator over all vertices.
+    #[inline]
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.structure.nodes()
+    }
+
+    /// Iterates each undirected edge once (`u <= v`).
+    pub fn edges(&self) -> impl Iterator<Item = WeightedEdge> + '_ {
+        self.nodes().flat_map(move |u| {
+            self.weighted_neighbors(u)
+                .filter(move |&(v, _)| u <= v)
+                .map(move |(v, w)| WeightedEdge::new(u, v, w))
+        })
+    }
+
+    /// All edges collected into a vector (each undirected edge once).
+    pub fn edge_vec(&self) -> Vec<WeightedEdge> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        out.extend(self.edges());
+        out
+    }
+
+    /// Total weight of all edges.
+    pub fn total_weight(&self) -> u128 {
+        self.edges().map(|e| e.w as u128).sum()
+    }
+
+    /// Approximate heap size in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.structure.size_bytes() + self.weights.len() * std::mem::size_of::<Weight>()
+    }
+
+    /// Returns a copy of this graph with every weight replaced by the
+    /// output of `f(u, v, w)`; both directions of an undirected edge are
+    /// given the canonical `(min, max)` orientation so they stay equal.
+    pub fn map_weights(&self, mut f: impl FnMut(NodeId, NodeId, Weight) -> Weight) -> Self {
+        let mut weights = Vec::with_capacity(self.weights.len());
+        for u in self.nodes() {
+            for (v, w) in self.weighted_neighbors(u) {
+                let (a, b) = if u <= v { (u, v) } else { (v, u) };
+                weights.push(f(a, b, w));
+            }
+        }
+        WeightedCsrGraph {
+            structure: self.structure.clone(),
+            weights,
+        }
+    }
+
+    /// Drops the weights.
+    pub fn into_unweighted(self) -> CsrGraph {
+        self.structure
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::GraphBuilder;
+
+    fn path() -> WeightedCsrGraph {
+        GraphBuilder::new(3)
+            .add_weighted_edge(0, 1, 10)
+            .add_weighted_edge(1, 2, 20)
+            .build_weighted()
+    }
+
+    #[test]
+    fn weights_align_with_neighbors() {
+        let g = path();
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert_eq!(g.weights_of(1), &[10, 20]);
+    }
+
+    #[test]
+    fn edges_once_each() {
+        let g = path();
+        let edges = g.edge_vec();
+        assert_eq!(
+            edges,
+            vec![WeightedEdge::new(0, 1, 10), WeightedEdge::new(1, 2, 20)]
+        );
+        assert_eq!(g.total_weight(), 30);
+    }
+
+    #[test]
+    fn map_weights_applies_canonically() {
+        let g = path().map_weights(|u, v, w| w + (u + v) as u64);
+        let edges = g.edge_vec();
+        assert_eq!(edges[0].w, 11);
+        assert_eq!(edges[1].w, 23);
+        // Both directions must agree.
+        assert_eq!(g.weights_of(0)[0], 11);
+        assert_eq!(g.weights_of(1)[0], 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per stored arc")]
+    fn from_parts_checks_lengths() {
+        let s = GraphBuilder::new(2).add_edge(0, 1).build();
+        WeightedCsrGraph::from_parts(s, vec![1]);
+    }
+}

@@ -1,0 +1,126 @@
+//! Simulating the AMPC MIS in plain MPC — the §5.3 negative result.
+//!
+//! *"We also considered an MPC implementation of the AMPC algorithm as a
+//! potential baseline, in which each step of querying the key-value
+//! store was mapped to a shuffle. We observed that this algorithm
+//! requires over 1000 shuffles even for the Orkut and Friendster
+//! graphs, and is over 50x slower than the rootset-based algorithm."*
+//!
+//! The query process is adaptively sequential: which vertex to query
+//! next depends on the previous response, so an MPC simulation spends
+//! one shuffle per dependent query step. The number of shuffles is
+//! therefore the longest dependent-query chain over all evaluations —
+//! measured here by instrumenting the same evaluation the AMPC
+//! implementation runs.
+
+use ampc_core::priorities::node_rank;
+use ampc_dht::hasher::FxHashMap;
+use ampc_runtime::AmpcConfig;
+use ampc_graph::{CsrGraph, NodeId};
+
+/// Counts the shuffles an MPC simulation of the AMPC MIS would need:
+/// the maximum number of sequential (dependent) KV queries over all
+/// per-vertex evaluations, each mapping to one shuffle.
+pub fn simulated_ampc_mis_shuffles(g: &CsrGraph, cfg: &AmpcConfig) -> u64 {
+    let n = g.num_nodes();
+    let seed = cfg.seed;
+    // Directed adjacency: earlier-rank neighbors sorted by rank.
+    let dir: Vec<Vec<NodeId>> = g
+        .nodes()
+        .map(|v| {
+            let rv = node_rank(seed, v);
+            let mut d: Vec<NodeId> = g
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| node_rank(seed, u) < rv)
+                .collect();
+            d.sort_unstable_by_key(|&u| node_rank(seed, u));
+            d
+        })
+        .collect();
+
+    let mut worst = 0u64;
+    for v in 0..n as NodeId {
+        // Evaluate with a per-evaluation memo (the simulation cannot
+        // share machine caches across rounds any better than this).
+        let mut memo: FxHashMap<NodeId, bool> = FxHashMap::default();
+        let mut queries = 0u64;
+        evaluate(v, &dir, &mut memo, &mut queries);
+        worst = worst.max(queries);
+    }
+    worst
+}
+
+fn evaluate(
+    v: NodeId,
+    dir: &[Vec<NodeId>],
+    memo: &mut FxHashMap<NodeId, bool>,
+    queries: &mut u64,
+) -> bool {
+    if let Some(&s) = memo.get(&v) {
+        return s;
+    }
+    *queries += 1; // fetching v's list is one dependent step
+    let mut stack: Vec<(NodeId, usize)> = vec![(v, 0)];
+    while let Some(&mut (x, ref mut idx)) = stack.last_mut() {
+        if memo.contains_key(&x) {
+            stack.pop();
+            continue;
+        }
+        let nbrs = &dir[x as usize];
+        let mut next_child = None;
+        let mut decided = None;
+        while *idx < nbrs.len() {
+            let u = nbrs[*idx];
+            match memo.get(&u) {
+                Some(true) => {
+                    decided = Some(false);
+                    break;
+                }
+                Some(false) => *idx += 1,
+                None => {
+                    next_child = Some(u);
+                    break;
+                }
+            }
+        }
+        if let Some(s) = decided {
+            memo.insert(x, s);
+            stack.pop();
+        } else if let Some(u) = next_child {
+            *queries += 1;
+            stack.push((u, 0));
+        } else {
+            memo.insert(x, true);
+            stack.pop();
+        }
+    }
+    memo[&v]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_core::mis::ampc_mis;
+    use ampc_graph::gen;
+
+    #[test]
+    fn needs_far_more_shuffles_than_native_ampc() {
+        let g = gen::rmat(11, 30_000, gen::RmatParams::SOCIAL, 1);
+        let cfg = AmpcConfig::for_tests();
+        let sim = simulated_ampc_mis_shuffles(&g, &cfg);
+        let native = ampc_mis(&g, &cfg).report.num_shuffles() as u64;
+        assert!(
+            sim > 50 * native,
+            "simulation should be dramatically worse: {sim} vs {native}"
+        );
+    }
+
+    #[test]
+    fn trivial_graph_needs_few() {
+        let g = gen::path(4);
+        let cfg = AmpcConfig::for_tests();
+        assert!(simulated_ampc_mis_shuffles(&g, &cfg) <= 4);
+    }
+}

@@ -1,0 +1,60 @@
+//! Fault injection: preemption of a machine mid-round, and replay.
+//!
+//! §2 of the paper: *"An important characteristic of the AMPC model is
+//! that it is amenable to fault tolerant implementation … A fault
+//! tolerant implementation of AMPC can be derived by observing that each
+//! DHT can be made fault-tolerant."* Concretely: a round only reads
+//! sealed (immutable) generations, so if a machine is preempted —
+//! routine in the low-priority batch tier the paper targets (§5.1) —
+//! the scheduler replays its partition against the same inputs and gets
+//! the same outputs.
+//!
+//! [`FaultPlan`] requests such a preemption during a chosen stage; the
+//! [`crate::Job`] kills the machine's first attempt (discarding its
+//! outputs), replays it, and charges the extra simulated time. The
+//! integration tests assert the end result is byte-identical to a
+//! fault-free run.
+
+/// A planned preemption.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FaultPlan {
+    /// Index of the stage (0-based, counting every stage of the job)
+    /// during which the machine is preempted.
+    pub stage_index: usize,
+    /// The machine to preempt. Clamped to the machine count at
+    /// execution time.
+    pub machine: usize,
+    /// Fraction of the machine's work completed before the preemption
+    /// (only affects the simulated-time charge for the wasted attempt).
+    pub progress: f64,
+}
+
+impl FaultPlan {
+    /// Preempt `machine` during stage `stage_index`, halfway through.
+    pub fn new(stage_index: usize, machine: usize) -> Self {
+        FaultPlan {
+            stage_index,
+            machine,
+            progress: 0.5,
+        }
+    }
+
+    /// Does this plan fire for the given stage?
+    #[inline]
+    pub fn fires_at(&self, stage_index: usize) -> bool {
+        self.stage_index == stage_index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_only_on_its_stage() {
+        let f = FaultPlan::new(2, 1);
+        assert!(!f.fires_at(0));
+        assert!(f.fires_at(2));
+        assert!(!f.fires_at(3));
+    }
+}

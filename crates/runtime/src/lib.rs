@@ -1,0 +1,46 @@
+//! # ampc-runtime — the simulated multi-machine dataflow runtime
+//!
+//! The paper's implementations run on Flume-C++ (a fault-tolerant
+//! dataflow framework) with AMPC algorithms additionally querying a
+//! distributed key-value store from inside a stage (§5.1). This crate is
+//! the laptop-scale stand-in for that environment:
+//!
+//! * A **job** ([`job::Job`]) is a sequence of **stages**. Stages come in
+//!   three kinds, mirroring what the paper meters:
+//!   [`report::StageKind::Shuffle`] (the costly rounds of Table 3 — data
+//!   regrouped by key and persisted to durable storage),
+//!   [`report::StageKind::KvRound`] (an AMPC round where machines query
+//!   the DHT), and [`report::StageKind::Local`] (the "switch to an
+//!   in-memory algorithm on one machine" step both the AMPC and MPC
+//!   implementations use).
+//! * The **executor** ([`executor`]) actually runs machine bodies in
+//!   parallel OS threads (one per simulated machine, via crossbeam's
+//!   scoped threads), with each machine's DHT traffic metered through an
+//!   [`ampc_dht::MachineHandle`].
+//! * Every stage appends a [`report::StageReport`]; the final
+//!   [`report::JobReport`] carries everything the benchmark harness needs
+//!   to regenerate the paper's tables and figures: shuffle counts
+//!   (Table 3), bytes shuffled and KV bytes (Figures 3 & 9), per-stage
+//!   simulated time breakdowns (Figures 5–7), and machine-count scaling
+//!   (Figure 8).
+//! * [`fault`] demonstrates the fault-tolerance property of §2: because
+//!   sealed DHT generations are immutable, replaying a preempted
+//!   machine's work yields byte-identical results.
+//!
+//! Simulated time is deterministic given the job's [`config::AmpcConfig`]
+//! and is the primary "running time" in all reproduced figures; see
+//! `DESIGN.md` §6 for the calibration of the cost constants.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+pub mod config;
+pub mod executor;
+pub mod fault;
+pub mod job;
+pub mod partition;
+pub mod report;
+
+pub use config::AmpcConfig;
+pub use job::Job;
+pub use report::{JobReport, StageKind, StageReport};

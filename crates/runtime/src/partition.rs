@@ -1,0 +1,94 @@
+//! Data partitioning across machines.
+//!
+//! Two strategies, matching what the paper's stages do: contiguous
+//! chunking (for pre-balanced vertex ranges) and hash partitioning by
+//! key (what a real shuffle does — and the source of the join skew the
+//! paper observes on high-degree ClueWeb vertices).
+
+use ampc_dht::hasher::mix64;
+
+/// Splits `items` into `p` contiguous chunks whose sizes differ by at
+/// most one. Returns exactly `p` vectors (some possibly empty).
+pub fn chunk<T>(items: Vec<T>, p: usize) -> Vec<Vec<T>> {
+    assert!(p >= 1);
+    let n = items.len();
+    let base = n / p;
+    let extra = n % p;
+    let mut out = Vec::with_capacity(p);
+    let mut it = items.into_iter();
+    for i in 0..p {
+        let take = base + usize::from(i < extra);
+        out.push(it.by_ref().take(take).collect());
+    }
+    out
+}
+
+/// Hash-partitions `items` into `p` buckets by `key(item)`; all items
+/// with equal keys land on the same machine (the shuffle guarantee).
+/// A `salt` decorrelates placement across stages.
+pub fn by_key<T>(items: Vec<T>, p: usize, salt: u64, key: impl Fn(&T) -> u64) -> Vec<Vec<T>> {
+    assert!(p >= 1);
+    let mut out: Vec<Vec<T>> = (0..p).map(|_| Vec::new()).collect();
+    for item in items {
+        let h = mix64(key(&item) ^ salt);
+        out[(h % p as u64) as usize].push(item);
+    }
+    out
+}
+
+/// The machine a key lands on under [`by_key`] partitioning.
+#[inline]
+pub fn machine_of(key: u64, p: usize, salt: u64) -> usize {
+    (mix64(key ^ salt) % p as u64) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_balanced() {
+        let parts = chunk((0..10).collect::<Vec<_>>(), 3);
+        assert_eq!(parts.len(), 3);
+        assert_eq!(parts[0], vec![0, 1, 2, 3]);
+        assert_eq!(parts[1], vec![4, 5, 6]);
+        assert_eq!(parts[2], vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn chunk_more_machines_than_items() {
+        let parts = chunk(vec![1, 2], 5);
+        assert_eq!(parts.len(), 5);
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn by_key_groups_equal_keys() {
+        let items: Vec<u64> = (0..100).map(|i| i % 7).collect();
+        let parts = by_key(items, 4, 0, |&x| x);
+        for part in &parts {
+            // within a part, check every key appears wholly here
+            for &k in part {
+                assert_eq!(machine_of(k, 4, 0), parts.iter().position(|p| p.contains(&k)).unwrap());
+            }
+        }
+        assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn salt_changes_placement() {
+        let keys: Vec<u64> = (0..64).collect();
+        let a: Vec<usize> = keys.iter().map(|&k| machine_of(k, 8, 1)).collect();
+        let b: Vec<usize> = keys.iter().map(|&k| machine_of(k, 8, 2)).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn by_key_spreads_distinct_keys() {
+        let items: Vec<u64> = (0..1000).collect();
+        let parts = by_key(items, 10, 0, |&x| x);
+        let max = parts.iter().map(Vec::len).max().unwrap();
+        let min = parts.iter().map(Vec::len).min().unwrap();
+        assert!(max < 2 * min.max(1), "imbalanced: {min}..{max}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Euler tours of rooted forests.
+//!
+//! Algorithm 5 line 4: *"Compute an Euler tour traversal of each tree T
+//! of F. Within the traversal sequence, assign to each vertex the weight
+//! equal to its level and compute an RMQ data structure."* The tour +
+//! level sequence is the classic ±1 reduction from LCA to RMQ.
+
+use crate::rooting::RootedForest;
+use ampc_graph::NodeId;
+
+/// An Euler tour of every tree in a rooted forest, concatenated.
+#[derive(Clone, Debug)]
+pub struct EulerTour {
+    /// The tour: vertices in DFS entry/return order; length `2n - #trees`.
+    pub tour: Vec<NodeId>,
+    /// `levels[i]` = level of `tour[i]` (the RMQ weight array).
+    pub levels: Vec<u64>,
+    /// `first[v]` = first index of `v` in the tour.
+    pub first: Vec<usize>,
+}
+
+/// Computes the Euler tour (iterative DFS, safe for deep trees).
+pub fn euler_tour(forest: &RootedForest) -> EulerTour {
+    let n = forest.len();
+    let children = forest.children();
+    let mut tour = Vec::with_capacity(2 * n);
+    let mut levels = Vec::with_capacity(2 * n);
+    let mut first = vec![usize::MAX; n];
+
+    // Explicit DFS stack of (vertex, next-child-index).
+    let mut stack: Vec<(NodeId, usize)> = Vec::new();
+    for r in forest.roots() {
+        stack.push((r, 0));
+        while let Some(&mut (v, ref mut ci)) = stack.last_mut() {
+            if *ci == 0 {
+                // First visit.
+                if first[v as usize] == usize::MAX {
+                    first[v as usize] = tour.len();
+                }
+                tour.push(v);
+                levels.push(forest.level[v as usize] as u64);
+            }
+            if *ci < children[v as usize].len() {
+                let c = children[v as usize][*ci];
+                *ci += 1;
+                stack.push((c, 0));
+            } else {
+                stack.pop();
+                // Returning to the parent re-visits it.
+                if let Some(&(p, _)) = stack.last() {
+                    tour.push(p);
+                    levels.push(forest.level[p as usize] as u64);
+                }
+            }
+        }
+    }
+    EulerTour {
+        tour,
+        levels,
+        first,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rooting::root_forest;
+    use ampc_graph::gen;
+
+    #[test]
+    fn path_tour() {
+        let f = root_forest(&gen::path(3));
+        let t = euler_tour(&f);
+        assert_eq!(t.tour, vec![0, 1, 2, 1, 0]);
+        assert_eq!(t.levels, vec![0, 1, 2, 1, 0]);
+        assert_eq!(t.first, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn tour_length_is_2n_minus_trees() {
+        let g = ampc_graph::GraphBuilder::new(7)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(3, 4)
+            .build(); // trees: {0,1,2}, {3,4}, {5}, {6}
+        let f = root_forest(&g);
+        let t = euler_tour(&f);
+        assert_eq!(t.tour.len(), 2 * 7 - 4);
+    }
+
+    #[test]
+    fn adjacent_tour_levels_differ_by_one_within_tree() {
+        let f = root_forest(&gen::random_tree(80, 5));
+        let t = euler_tour(&f);
+        for w in t.levels.windows(2) {
+            let d = (w[0] as i64 - w[1] as i64).abs();
+            assert_eq!(d, 1, "tour levels must be ±1 within a tree");
+        }
+    }
+
+    #[test]
+    fn every_vertex_appears() {
+        let f = root_forest(&gen::random_tree(50, 9));
+        let t = euler_tour(&f);
+        for v in 0..50u32 {
+            assert!(t.first[v as usize] < t.tour.len());
+            assert_eq!(t.tour[t.first[v as usize]], v);
+        }
+    }
+}

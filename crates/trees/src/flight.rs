@@ -1,0 +1,208 @@
+//! F-light / F-heavy edge classification — Algorithm 5 of the paper.
+//!
+//! Definition 3.7: for a forest `F ⊆ G` and vertices `x, y`, `w_F(x, y)`
+//! is the maximum edge weight on the unique `x`–`y` path in `F` (∞ if
+//! they are in different components). An edge `uw ∈ E(G)` is **F-light**
+//! if `w(uw) ≤ w_F(u, w)` and **F-heavy** otherwise. Proposition 3.8:
+//! every MSF edge is F-light for any forest F, so F-heavy edges can be
+//! discarded — the filtering step of the Karger–Klein–Tarjan sampling
+//! reduction (Algorithm 3) that brings the MSF query complexity down to
+//! `O(m + n log² n)` (Theorem 1).
+//!
+//! The implementation follows Algorithm 5 line by line: root each
+//! component, compute levels, Euler tour + RMQ for LCA, heavy-light
+//! decomposition + RMQ per heavy path for max-weight-on-path queries.
+
+use crate::hld::Hld;
+use crate::lca::LcaIndex;
+use crate::rooting::{root_forest, RootedForest};
+use ampc_graph::{GraphBuilder, NodeId, Weight, WeightedEdge};
+
+/// Classification of a graph edge relative to a forest `F`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EdgeClass {
+    /// `w(uw) ≤ w_F(u, w)` — must be kept when computing the MSF.
+    Light,
+    /// `w(uw) > w_F(u, w)` — cannot be in the MSF (Proposition 3.8).
+    Heavy,
+}
+
+/// A prepared index for F-light queries against a fixed forest.
+pub struct FlightIndex {
+    forest: RootedForest,
+    lca: LcaIndex,
+    hld: Hld,
+}
+
+impl FlightIndex {
+    /// Builds the index from the forest's edges over vertex set `0..n`.
+    ///
+    /// # Panics
+    /// Panics if `forest_edges` contains a cycle.
+    pub fn new(n: usize, forest_edges: &[WeightedEdge]) -> Self {
+        let mut b = GraphBuilder::with_capacity(n, forest_edges.len());
+        for e in forest_edges {
+            b.push_edge(e.u, e.v, e.w);
+        }
+        let fg = b.build_weighted();
+        let forest = root_forest(fg.structure());
+        // Parent-edge weights.
+        let mut pw = vec![0 as Weight; n];
+        for v in 0..n as NodeId {
+            if !forest.is_root(v) {
+                let p = forest.parent[v as usize];
+                let idx = fg
+                    .neighbors(v)
+                    .binary_search(&p)
+                    .expect("parent edge present");
+                pw[v as usize] = fg.weights_of(v)[idx];
+            }
+        }
+        let lca = LcaIndex::new(&forest);
+        let hld = Hld::new(&forest, &pw);
+        FlightIndex { forest, lca, hld }
+    }
+
+    /// `w_F(u, w)`: the max edge weight on the forest path, or `None`
+    /// for ∞ (different components).
+    pub fn path_max(&self, u: NodeId, w: NodeId) -> Option<Weight> {
+        let l = self.lca.lca(u, w)?;
+        // Same component. `max_edge_on_path` is None only when u == w.
+        Some(self.hld.max_edge_on_path(u, w, l).unwrap_or(0))
+    }
+
+    /// Classifies one edge.
+    pub fn classify(&self, e: &WeightedEdge) -> EdgeClass {
+        match self.path_max(e.u, e.v) {
+            None => EdgeClass::Light,          // w_F = ∞
+            Some(m) if e.w <= m => EdgeClass::Light,
+            Some(_) => EdgeClass::Heavy,
+        }
+    }
+
+    /// The rooted forest backing the index.
+    pub fn forest(&self) -> &RootedForest {
+        &self.forest
+    }
+}
+
+/// Classifies every edge of the graph against the forest (Algorithm 5).
+/// Returns classes aligned with `edges`.
+pub fn classify_edges(
+    n: usize,
+    edges: &[WeightedEdge],
+    forest_edges: &[WeightedEdge],
+) -> Vec<EdgeClass> {
+    let index = FlightIndex::new(n, forest_edges);
+    edges.iter().map(|e| index.classify(e)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Brute-force w_F via BFS on the forest.
+    fn naive_path_max(
+        n: usize,
+        forest_edges: &[WeightedEdge],
+        u: NodeId,
+        w: NodeId,
+    ) -> Option<Weight> {
+        let mut adj: Vec<Vec<(NodeId, Weight)>> = vec![Vec::new(); n];
+        for e in forest_edges {
+            adj[e.u as usize].push((e.v, e.w));
+            adj[e.v as usize].push((e.u, e.w));
+        }
+        // DFS from u tracking max weight.
+        let mut best = vec![None::<Weight>; n];
+        best[u as usize] = Some(0);
+        let mut stack = vec![u];
+        while let Some(v) = stack.pop() {
+            let b = best[v as usize].unwrap();
+            for &(x, wt) in &adj[v as usize] {
+                if best[x as usize].is_none() {
+                    best[x as usize] = Some(b.max(wt));
+                    stack.push(x);
+                }
+            }
+        }
+        if u == w {
+            return Some(0);
+        }
+        best[w as usize]
+    }
+
+    #[test]
+    fn different_components_are_light() {
+        // forest: single edge 0-1; graph edge 2-3 crosses components.
+        let forest = [WeightedEdge::new(0, 1, 5)];
+        let idx = FlightIndex::new(4, &forest);
+        assert_eq!(idx.classify(&WeightedEdge::new(2, 3, 100)), EdgeClass::Light);
+    }
+
+    #[test]
+    fn forest_edges_are_light() {
+        let forest = [WeightedEdge::new(0, 1, 5), WeightedEdge::new(1, 2, 7)];
+        let idx = FlightIndex::new(3, &forest);
+        assert_eq!(idx.classify(&WeightedEdge::new(0, 1, 5)), EdgeClass::Light);
+        assert_eq!(idx.classify(&WeightedEdge::new(1, 2, 7)), EdgeClass::Light);
+    }
+
+    #[test]
+    fn heavy_edge_detected() {
+        // path 0 -5- 1 -7- 2; edge (0,2) with weight 8 > max(5,7) = heavy;
+        // with weight 6 <= 7 = light.
+        let forest = [WeightedEdge::new(0, 1, 5), WeightedEdge::new(1, 2, 7)];
+        let idx = FlightIndex::new(3, &forest);
+        assert_eq!(idx.classify(&WeightedEdge::new(0, 2, 8)), EdgeClass::Heavy);
+        assert_eq!(idx.classify(&WeightedEdge::new(0, 2, 6)), EdgeClass::Light);
+        assert_eq!(idx.classify(&WeightedEdge::new(0, 2, 7)), EdgeClass::Light);
+    }
+
+    #[test]
+    fn matches_naive_on_random_instances() {
+        let mut rng = SmallRng::seed_from_u64(77);
+        for seed in 0..4 {
+            let n = 80;
+            let tree = gen::random_tree(n, seed);
+            let forest_edges: Vec<WeightedEdge> = tree
+                .edges()
+                .map(|e| WeightedEdge::new(e.u, e.v, rng.gen_range(1..100)))
+                .collect();
+            let idx = FlightIndex::new(n, &forest_edges);
+            for _ in 0..300 {
+                let u = rng.gen_range(0..n) as NodeId;
+                let w = rng.gen_range(0..n) as NodeId;
+                if u == w {
+                    continue;
+                }
+                let wt = rng.gen_range(1..100);
+                let e = WeightedEdge::new(u, w, wt);
+                let expected = match naive_path_max(n, &forest_edges, u, w) {
+                    None => EdgeClass::Light,
+                    Some(m) if wt <= m => EdgeClass::Light,
+                    Some(_) => EdgeClass::Heavy,
+                };
+                assert_eq!(idx.classify(&e), expected, "({u},{w},{wt})");
+            }
+        }
+    }
+
+    #[test]
+    fn classify_edges_bulk() {
+        let forest = [WeightedEdge::new(0, 1, 5), WeightedEdge::new(1, 2, 7)];
+        let edges = [
+            WeightedEdge::new(0, 2, 8),
+            WeightedEdge::new(0, 2, 3),
+            WeightedEdge::new(0, 1, 5),
+        ];
+        let classes = classify_edges(3, &edges, &forest);
+        assert_eq!(
+            classes,
+            vec![EdgeClass::Heavy, EdgeClass::Light, EdgeClass::Light]
+        );
+    }
+}

@@ -1,0 +1,276 @@
+//! Heavy-light decomposition with maximum-edge-weight path queries.
+//!
+//! Appendix B: *"For each non-leaf vertex v of T, … choose the subtree of
+//! the largest size … and mark the edge from v to the child with the
+//! largest subtree as heavy. … For each vertex v ∈ T, the path T[v, r]
+//! consists of O(log n) light edges and O(log n) contiguous segments,
+//! each being a subpath of a heavy path."* Combined with an RMQ per
+//! concatenated heavy-path order, the maximum edge weight on any
+//! vertex-to-ancestor path is answered in O(log n) table lookups — the
+//! machinery behind Algorithm 5's F-light classification.
+
+use crate::rmq::{RmqKind, SparseTable};
+use crate::rooting::RootedForest;
+use ampc_graph::{NodeId, Weight};
+
+/// Heavy-light decomposition of a rooted forest, with the weight of each
+/// vertex's parent edge indexed for max-on-path queries.
+pub struct Hld {
+    head: Vec<NodeId>,
+    pos: Vec<usize>,
+    parent: Vec<NodeId>,
+    level: Vec<u32>,
+    root: Vec<NodeId>,
+    /// `edge_at[pos[v]]` = weight of the edge `v → parent(v)`.
+    rmq: SparseTable,
+}
+
+impl Hld {
+    /// Builds the decomposition. `parent_edge_weight[v]` is the weight of
+    /// the edge from `v` to its parent (ignored for roots).
+    pub fn new(forest: &RootedForest, parent_edge_weight: &[Weight]) -> Self {
+        let n = forest.len();
+        assert_eq!(parent_edge_weight.len(), n);
+        let sizes = forest.subtree_sizes();
+        let children = forest.children();
+
+        // Heavy child of each vertex (largest subtree, ties to smallest id).
+        let mut heavy = vec![ampc_graph::NO_NODE; n];
+        for v in 0..n {
+            let mut best = ampc_graph::NO_NODE;
+            let mut best_size = 0u32;
+            for &c in &children[v] {
+                if sizes[c as usize] > best_size {
+                    best_size = sizes[c as usize];
+                    best = c;
+                }
+            }
+            heavy[v] = best;
+        }
+
+        // DFS visiting the heavy child first so each heavy path is
+        // contiguous in `pos` order.
+        let mut head = vec![ampc_graph::NO_NODE; n];
+        let mut pos = vec![usize::MAX; n];
+        let mut weights_by_pos = vec![0 as Weight; n];
+        let mut counter = 0usize;
+        let mut stack: Vec<(NodeId, NodeId)> = Vec::new(); // (vertex, its head)
+        for r in forest.roots() {
+            stack.push((r, r));
+            while let Some((v, h)) = stack.pop() {
+                head[v as usize] = h;
+                pos[v as usize] = counter;
+                weights_by_pos[counter] = parent_edge_weight[v as usize];
+                counter += 1;
+                // Push light children first (processed later), heavy last
+                // (processed immediately next, keeping the path contiguous).
+                let hv = heavy[v as usize];
+                for &c in children[v as usize].iter().rev() {
+                    if c != hv {
+                        stack.push((c, c));
+                    }
+                }
+                if hv != ampc_graph::NO_NODE {
+                    stack.push((hv, h));
+                }
+            }
+        }
+        debug_assert_eq!(counter, n);
+        Hld {
+            head,
+            pos,
+            parent: forest.parent.clone(),
+            level: forest.level.clone(),
+            root: forest.root.clone(),
+            rmq: SparseTable::new(weights_by_pos, RmqKind::Max),
+        }
+    }
+
+    /// The head (topmost vertex) of `v`'s heavy path.
+    #[inline]
+    pub fn head_of(&self, v: NodeId) -> NodeId {
+        self.head[v as usize]
+    }
+
+    /// Maximum edge weight on the path from `v` up to its ancestor `a`
+    /// (`None` if `v == a`, i.e. the empty path).
+    ///
+    /// # Panics
+    /// Panics in debug builds if `a` is not an ancestor of `v`.
+    pub fn max_edge_to_ancestor(&self, mut v: NodeId, a: NodeId) -> Option<Weight> {
+        debug_assert_eq!(self.root[v as usize], self.root[a as usize]);
+        debug_assert!(self.level[a as usize] <= self.level[v as usize]);
+        if v == a {
+            return None;
+        }
+        let mut best: Weight = 0;
+        let mut any = false;
+        while self.head[v as usize] != self.head[a as usize] {
+            let h = self.head[v as usize];
+            // Segment: edges stored at pos[h] ..= pos[v] (pos[h] holds
+            // h's own parent edge, which the jump traverses).
+            let w = self.rmq.query_value(self.pos[h as usize], self.pos[v as usize]);
+            best = best.max(w);
+            any = true;
+            v = self.parent[h as usize];
+        }
+        if v != a {
+            // Same heavy path: edges at pos[a] + 1 ..= pos[v].
+            let w = self
+                .rmq
+                .query_value(self.pos[a as usize] + 1, self.pos[v as usize]);
+            best = best.max(w);
+            any = true;
+        }
+        any.then_some(best)
+    }
+
+    /// Maximum edge weight on the tree path between `u` and `w`, given
+    /// their LCA (`None` for the empty path `u == w`).
+    pub fn max_edge_on_path(&self, u: NodeId, w: NodeId, lca: NodeId) -> Option<Weight> {
+        let a = self.max_edge_to_ancestor(u, lca);
+        let b = self.max_edge_to_ancestor(w, lca);
+        match (a, b) {
+            (None, x) => x,
+            (x, None) => x,
+            (Some(x), Some(y)) => Some(x.max(y)),
+        }
+    }
+
+    /// Number of heavy-path segments on the path from `v` to its root —
+    /// Lemma B.1 bounds this by O(log n); tested as a property.
+    pub fn segments_to_root(&self, mut v: NodeId) -> usize {
+        let mut segments = 1;
+        while self.head[v as usize] != self.root[v as usize] {
+            v = self.parent[self.head[v as usize] as usize];
+            segments += 1;
+        }
+        segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lca::LcaIndex;
+    use crate::rooting::root_forest;
+    use ampc_graph::{gen, WeightedEdge};
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Builds (forest, parent edge weights) from weighted tree edges.
+    fn setup(n: usize, edges: &[WeightedEdge]) -> (RootedForest, Vec<Weight>) {
+        let mut b = ampc_graph::GraphBuilder::new(n);
+        for e in edges {
+            b.push_edge(e.u, e.v, e.w);
+        }
+        let g = b.build_weighted();
+        let forest = root_forest(g.structure());
+        let mut pw = vec![0 as Weight; n];
+        for v in 0..n as NodeId {
+            if !forest.is_root(v) {
+                let p = forest.parent[v as usize];
+                let idx = g.neighbors(v).binary_search(&p).unwrap();
+                pw[v as usize] = g.weights_of(v)[idx];
+            }
+        }
+        (forest, pw)
+    }
+
+    /// Brute force: max edge weight on the unique u-w path.
+    fn naive_max(
+        forest: &RootedForest,
+        pw: &[Weight],
+        u: NodeId,
+        w: NodeId,
+    ) -> Option<Weight> {
+        // climb both to the same level, then together.
+        let (mut a, mut b) = (u, w);
+        let mut best: Option<Weight> = None;
+        let mut upd = |x: Weight| best = Some(best.map_or(x, |c: Weight| c.max(x)));
+        while forest.level[a as usize] > forest.level[b as usize] {
+            upd(pw[a as usize]);
+            a = forest.parent[a as usize];
+        }
+        while forest.level[b as usize] > forest.level[a as usize] {
+            upd(pw[b as usize]);
+            b = forest.parent[b as usize];
+        }
+        while a != b {
+            upd(pw[a as usize]);
+            upd(pw[b as usize]);
+            a = forest.parent[a as usize];
+            b = forest.parent[b as usize];
+        }
+        best
+    }
+
+    #[test]
+    fn path_query() {
+        // path 0-1-2-3 with weights 5, 9, 2
+        let edges = [
+            WeightedEdge::new(0, 1, 5),
+            WeightedEdge::new(1, 2, 9),
+            WeightedEdge::new(2, 3, 2),
+        ];
+        let (forest, pw) = setup(4, &edges);
+        let hld = Hld::new(&forest, &pw);
+        assert_eq!(hld.max_edge_to_ancestor(3, 0), Some(9));
+        assert_eq!(hld.max_edge_to_ancestor(1, 0), Some(5));
+        assert_eq!(hld.max_edge_to_ancestor(0, 0), None);
+    }
+
+    #[test]
+    fn matches_naive_on_random_trees() {
+        for seed in 0..4 {
+            let n = 150;
+            let tree = gen::random_tree(n, seed);
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let edges: Vec<WeightedEdge> = tree
+                .edges()
+                .map(|e| WeightedEdge::new(e.u, e.v, rng.gen_range(1..1000)))
+                .collect();
+            let (forest, pw) = setup(n, &edges);
+            let hld = Hld::new(&forest, &pw);
+            let lca = LcaIndex::new(&forest);
+            for _ in 0..400 {
+                let u = rng.gen_range(0..n) as NodeId;
+                let w = rng.gen_range(0..n) as NodeId;
+                let l = lca.lca(u, w).unwrap();
+                assert_eq!(
+                    hld.max_edge_on_path(u, w, l),
+                    naive_max(&forest, &pw, u, w),
+                    "u={u} w={w} lca={l}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn segment_count_logarithmic() {
+        // Lemma B.1: O(log n) heavy segments from any vertex to the root.
+        let n = 1 << 12;
+        let tree = gen::random_tree(n, 11);
+        let edges: Vec<WeightedEdge> =
+            tree.edges().map(|e| WeightedEdge::new(e.u, e.v, 1)).collect();
+        let (forest, pw) = setup(n, &edges);
+        let hld = Hld::new(&forest, &pw);
+        let bound = 2 * (n as f64).log2() as usize + 2;
+        for v in 0..n as NodeId {
+            assert!(
+                hld.segments_to_root(v) <= bound,
+                "v={v}: {} segments",
+                hld.segments_to_root(v)
+            );
+        }
+    }
+
+    #[test]
+    fn forest_with_multiple_trees() {
+        let edges = [WeightedEdge::new(0, 1, 3), WeightedEdge::new(2, 3, 8)];
+        let (forest, pw) = setup(4, &edges);
+        let hld = Hld::new(&forest, &pw);
+        assert_eq!(hld.max_edge_to_ancestor(1, 0), Some(3));
+        assert_eq!(hld.max_edge_to_ancestor(3, 2), Some(8));
+    }
+}

@@ -1,0 +1,108 @@
+//! Lowest common ancestors via Euler tour + sparse-table RMQ.
+//!
+//! Appendix B line 6 of Algorithm 5: *"For each uw ∈ E(G) such that u
+//! and w are in the same connected component of F, compute LCA(u, w)."*
+//! With the Euler tour's level array, LCA(u, w) is the minimum-level
+//! vertex between the first occurrences of u and w — one O(1) RMQ.
+
+use crate::euler::{euler_tour, EulerTour};
+use crate::rmq::{RmqKind, SparseTable};
+use crate::rooting::RootedForest;
+use ampc_graph::NodeId;
+
+/// An LCA index over a rooted forest.
+pub struct LcaIndex {
+    tour: EulerTour,
+    rmq: SparseTable,
+    root: Vec<NodeId>,
+}
+
+impl LcaIndex {
+    /// Builds the index (O(n log n)).
+    pub fn new(forest: &RootedForest) -> Self {
+        let tour = euler_tour(forest);
+        let rmq = SparseTable::new(tour.levels.clone(), RmqKind::Min);
+        LcaIndex {
+            tour,
+            rmq,
+            root: forest.root.clone(),
+        }
+    }
+
+    /// The lowest common ancestor of `u` and `w`, or `None` if they are
+    /// in different trees.
+    pub fn lca(&self, u: NodeId, w: NodeId) -> Option<NodeId> {
+        if self.root[u as usize] != self.root[w as usize] {
+            return None;
+        }
+        let (a, b) = {
+            let (fu, fw) = (self.tour.first[u as usize], self.tour.first[w as usize]);
+            if fu <= fw {
+                (fu, fw)
+            } else {
+                (fw, fu)
+            }
+        };
+        let idx = self.rmq.query(a, b);
+        Some(self.tour.tour[idx])
+    }
+
+    /// The Euler tour backing the index.
+    pub fn tour(&self) -> &EulerTour {
+        &self.tour
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rooting::root_forest;
+    use ampc_graph::{gen, NodeId};
+
+    /// Brute-force LCA by walking parent chains.
+    fn naive_lca(f: &RootedForest, u: NodeId, w: NodeId) -> Option<NodeId> {
+        if f.root[u as usize] != f.root[w as usize] {
+            return None;
+        }
+        let pu = f.path_to_root(u);
+        let set: std::collections::HashSet<NodeId> = pu.into_iter().collect();
+        f.path_to_root(w).into_iter().find(|&x| set.contains(&x))
+    }
+
+    #[test]
+    fn lca_on_path() {
+        let f = root_forest(&gen::path(6));
+        let idx = LcaIndex::new(&f);
+        assert_eq!(idx.lca(5, 2), Some(2));
+        assert_eq!(idx.lca(2, 5), Some(2));
+        assert_eq!(idx.lca(3, 3), Some(3));
+        assert_eq!(idx.lca(0, 5), Some(0));
+    }
+
+    #[test]
+    fn lca_across_trees_is_none() {
+        let g = ampc_graph::GraphBuilder::new(4)
+            .add_edge(0, 1)
+            .add_edge(2, 3)
+            .build();
+        let f = root_forest(&g);
+        let idx = LcaIndex::new(&f);
+        assert_eq!(idx.lca(0, 3), None);
+        assert_eq!(idx.lca(0, 1), Some(0));
+    }
+
+    #[test]
+    fn matches_naive_on_random_trees() {
+        for seed in 0..5 {
+            let f = root_forest(&gen::random_tree(120, seed));
+            let idx = LcaIndex::new(&f);
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::SmallRng::seed_from_u64(seed + 100);
+            for _ in 0..300 {
+                let u = rng.gen_range(0..120) as NodeId;
+                let w = rng.gen_range(0..120) as NodeId;
+                assert_eq!(idx.lca(u, w), naive_lca(&f, u, w), "u={u} w={w}");
+            }
+        }
+    }
+}

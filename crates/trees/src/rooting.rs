@@ -1,0 +1,251 @@
+//! Rooting a forest: parents, levels, traversal orders.
+//!
+//! Appendix B's Algorithm 5 begins *"Root each connected component of F;
+//! for each vertex in F, compute its level in the tree it belongs to."*
+//! This module is that step (in-memory): BFS from the minimum-id vertex
+//! of each component.
+
+use ampc_graph::{CsrGraph, NodeId, NO_NODE};
+use std::collections::VecDeque;
+
+/// A rooted forest over `0..n`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RootedForest {
+    /// `parent[v]`; roots have `parent[v] == v`.
+    pub parent: Vec<NodeId>,
+    /// `level[v]` = edge-distance from `v` to its root.
+    pub level: Vec<u32>,
+    /// `root[v]` = the root of `v`'s tree.
+    pub root: Vec<NodeId>,
+    /// All vertices in BFS order (parents before children), concatenated
+    /// across trees.
+    pub order: Vec<NodeId>,
+}
+
+impl RootedForest {
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if there are no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// True if `v` is a root.
+    #[inline]
+    pub fn is_root(&self, v: NodeId) -> bool {
+        self.parent[v as usize] == v
+    }
+
+    /// Iterator over the roots.
+    pub fn roots(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.parent.len() as NodeId).filter(move |&v| self.is_root(v))
+    }
+
+    /// The path from `v` up to (and including) its root.
+    pub fn path_to_root(&self, mut v: NodeId) -> Vec<NodeId> {
+        let mut path = vec![v];
+        while !self.is_root(v) {
+            v = self.parent[v as usize];
+            path.push(v);
+        }
+        path
+    }
+
+    /// Children lists (computed on demand).
+    pub fn children(&self) -> Vec<Vec<NodeId>> {
+        let mut ch: Vec<Vec<NodeId>> = vec![Vec::new(); self.parent.len()];
+        for v in 0..self.parent.len() as NodeId {
+            if !self.is_root(v) {
+                ch[self.parent[v as usize] as usize].push(v);
+            }
+        }
+        ch
+    }
+
+    /// Subtree sizes, by a reverse-BFS-order sweep.
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let mut size = vec![1u32; self.parent.len()];
+        for &v in self.order.iter().rev() {
+            if !self.is_root(v) {
+                size[self.parent[v as usize] as usize] += size[v as usize];
+            }
+        }
+        size
+    }
+}
+
+/// Roots every component of a forest at its minimum-id vertex.
+///
+/// # Panics
+/// Panics if `forest` contains a cycle (it must be a forest).
+pub fn root_forest(forest: &CsrGraph) -> RootedForest {
+    let n = forest.num_nodes();
+    assert!(
+        forest.num_edges() < n || n == 0,
+        "input has >= n edges; not a forest"
+    );
+    let mut parent = vec![NO_NODE; n];
+    let mut level = vec![0u32; n];
+    let mut root = vec![NO_NODE; n];
+    let mut order = Vec::with_capacity(n);
+    let mut queue = VecDeque::new();
+    for s in 0..n as NodeId {
+        if parent[s as usize] != NO_NODE {
+            continue;
+        }
+        parent[s as usize] = s;
+        root[s as usize] = s;
+        level[s as usize] = 0;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            order.push(v);
+            for &u in forest.neighbors(v) {
+                if parent[u as usize] == NO_NODE {
+                    parent[u as usize] = v;
+                    root[u as usize] = s;
+                    level[u as usize] = level[v as usize] + 1;
+                    queue.push_back(u);
+                } else {
+                    // u already visited: it must be v's parent, else
+                    // there is a cycle.
+                    assert!(
+                        parent[v as usize] == u || parent[u as usize] == v || u == v,
+                        "cycle detected at edge ({v}, {u}): not a forest"
+                    );
+                }
+            }
+        }
+    }
+    RootedForest {
+        parent,
+        level,
+        root,
+        order,
+    }
+}
+
+/// Builds a rooted forest directly from a parent array (roots are
+/// vertices with `parent[v] == v`). Levels and orders are derived.
+///
+/// # Panics
+/// Panics if the parent pointers contain a cycle.
+pub fn from_parents(parent: Vec<NodeId>) -> RootedForest {
+    let n = parent.len();
+    let mut level = vec![u32::MAX; n];
+    let mut root = vec![NO_NODE; n];
+    // Resolve levels iteratively with an explicit chain stack.
+    let mut chain = Vec::new();
+    for s in 0..n as NodeId {
+        if level[s as usize] != u32::MAX {
+            continue;
+        }
+        let mut v = s;
+        chain.clear();
+        while level[v as usize] == u32::MAX {
+            chain.push(v);
+            let p = parent[v as usize];
+            if p == v {
+                level[v as usize] = 0;
+                root[v as usize] = v;
+                break;
+            }
+            assert!(
+                !chain.contains(&p) || level[p as usize] != u32::MAX,
+                "cycle in parent array at {p}"
+            );
+            v = p;
+        }
+        // Unwind.
+        while let Some(u) = chain.pop() {
+            if level[u as usize] == u32::MAX {
+                let p = parent[u as usize];
+                level[u as usize] = level[p as usize] + 1;
+                root[u as usize] = root[p as usize];
+            }
+        }
+    }
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_by_key(|&v| level[v as usize]);
+    RootedForest {
+        parent,
+        level,
+        root,
+        order,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::gen;
+
+    #[test]
+    fn roots_path_at_zero() {
+        let f = root_forest(&gen::path(5));
+        assert_eq!(f.parent, vec![0, 0, 1, 2, 3]);
+        assert_eq!(f.level, vec![0, 1, 2, 3, 4]);
+        assert!(f.is_root(0));
+        assert_eq!(f.roots().collect::<Vec<_>>(), vec![0]);
+    }
+
+    #[test]
+    fn multi_component_forest() {
+        // edges 0-1, 2-3 and isolated 4
+        let g = ampc_graph::GraphBuilder::new(5)
+            .add_edge(0, 1)
+            .add_edge(2, 3)
+            .build();
+        let f = root_forest(&g);
+        assert_eq!(f.roots().count(), 3);
+        assert_eq!(f.root, vec![0, 0, 2, 2, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a forest")]
+    fn rejects_cycles() {
+        root_forest(&gen::single_cycle(4, 0));
+    }
+
+    #[test]
+    fn path_to_root_walks_up() {
+        let f = root_forest(&gen::path(4));
+        assert_eq!(f.path_to_root(3), vec![3, 2, 1, 0]);
+        assert_eq!(f.path_to_root(0), vec![0]);
+    }
+
+    #[test]
+    fn subtree_sizes_of_star() {
+        let f = root_forest(&gen::star(5));
+        let sizes = f.subtree_sizes();
+        assert_eq!(sizes[0], 5);
+        for leaf in 1..5 {
+            assert_eq!(sizes[leaf], 1);
+        }
+    }
+
+    #[test]
+    fn from_parents_matches_root_forest() {
+        let g = gen::random_tree(50, 7);
+        let f = root_forest(&g);
+        let f2 = from_parents(f.parent.clone());
+        assert_eq!(f.level, f2.level);
+        assert_eq!(f.root, f2.root);
+    }
+
+    #[test]
+    fn bfs_order_parents_first() {
+        let f = root_forest(&gen::random_tree(100, 3));
+        let mut pos = vec![0usize; 100];
+        for (i, &v) in f.order.iter().enumerate() {
+            pos[v as usize] = i;
+        }
+        for v in 0..100u32 {
+            if !f.is_root(v) {
+                assert!(pos[f.parent[v as usize] as usize] < pos[v as usize]);
+            }
+        }
+    }
+}

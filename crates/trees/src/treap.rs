@@ -1,0 +1,241 @@
+//! Ternary treaps (Appendix A of the paper).
+//!
+//! Given a tree `T` with maximum degree ≤ 3 and a priority per vertex,
+//! the **ternary treap** is the unique recursive structure rooted at the
+//! minimum-priority vertex, whose removal splits `T` into ≤ 3 pieces,
+//! each recursively a ternary treap attached as a child. The paper uses
+//! it purely analytically: Lemma A.1 shows its height is O(log n)
+//! w.h.p., and Lemma A.2 bounds each truncated Prim search by the size
+//! of the searching vertex's treap subtree. We build it explicitly so
+//! the test suite can *verify* both lemmas on random instances — and so
+//! the MSF query-complexity claim (Lemma 3.4, `O(n log n)` w.h.p.) is
+//! checked against its own proof apparatus.
+
+use ampc_graph::{CsrGraph, NodeId, NO_NODE};
+
+/// The ternary treap of a (≤3-degree) forest under a vertex priority.
+#[derive(Clone, Debug)]
+pub struct TernaryTreap {
+    /// Treap parent of each vertex (`v` itself for treap roots).
+    pub parent: Vec<NodeId>,
+    /// Depth in the treap (roots have depth 0).
+    pub depth: Vec<u32>,
+    /// Size of each vertex's treap subtree.
+    pub subtree_size: Vec<u32>,
+}
+
+impl TernaryTreap {
+    /// The height (max depth + 1) of the tallest treap in the forest;
+    /// 0 for an empty forest.
+    pub fn height(&self) -> u32 {
+        self.depth.iter().map(|&d| d + 1).max().unwrap_or(0)
+    }
+}
+
+/// Builds the ternary treap of `tree` (every component) under
+/// `priority`. Priorities must be distinct for uniqueness; ties are
+/// broken by vertex id.
+///
+/// # Panics
+/// Panics if any vertex has degree > 3 (the input must be ternarized)
+/// or if `tree` contains a cycle.
+pub fn ternary_treap(tree: &CsrGraph, priority: &[u64]) -> TernaryTreap {
+    let n = tree.num_nodes();
+    assert_eq!(priority.len(), n);
+    assert!(
+        tree.max_degree() <= 3,
+        "ternary treaps require max degree <= 3 (got {})",
+        tree.max_degree()
+    );
+
+    let key = |v: NodeId| (priority[v as usize], v);
+
+    let mut parent = vec![NO_NODE; n];
+    let mut depth = vec![0u32; n];
+
+    // `removed[v]`: v was already chosen as a split vertex.
+    let mut removed = vec![false; n];
+    // Work stack of (treap-parent, seed vertex of a sub-piece, depth).
+    // Each stack entry denotes the connected piece of `tree \ removed`
+    // containing `seed`.
+    let mut stack: Vec<(NodeId, NodeId, u32)> = Vec::new();
+    // Scratch for BFS over a piece.
+    let mut piece: Vec<NodeId> = Vec::new();
+    let mut seen = vec![false; n];
+
+    let mut order: Vec<NodeId> = (0..n as NodeId).collect();
+    order.sort_by_key(|&v| key(v));
+
+    for &start in &order {
+        if removed[start as usize] {
+            continue;
+        }
+        // `start` begins a fresh component (its piece has no treap parent
+        // yet). Because we iterate in priority order, `start` is the
+        // minimum-priority vertex of its component.
+        stack.push((NO_NODE, start, 0));
+        while let Some((tparent, seed, d)) = stack.pop() {
+            // Collect the piece containing `seed` and find its min.
+            piece.clear();
+            piece.push(seed);
+            seen[seed as usize] = true;
+            let mut head = 0;
+            let mut best = seed;
+            while head < piece.len() {
+                let v = piece[head];
+                head += 1;
+                if key(v) < key(best) {
+                    best = v;
+                }
+                for &u in tree.neighbors(v) {
+                    if !removed[u as usize] && !seen[u as usize] {
+                        seen[u as usize] = true;
+                        piece.push(u);
+                    }
+                }
+            }
+            for &v in &piece {
+                seen[v as usize] = false;
+            }
+            // `best` is this piece's treap node.
+            removed[best as usize] = true;
+            parent[best as usize] = if tparent == NO_NODE { best } else { tparent };
+            depth[best as usize] = d;
+            // Each still-unremoved neighbor of `best` seeds a sub-piece.
+            for &u in tree.neighbors(best) {
+                if !removed[u as usize] {
+                    stack.push((best, u, d + 1));
+                }
+            }
+        }
+    }
+
+    // Subtree sizes by processing vertices deepest-first.
+    let mut order_by_depth: Vec<NodeId> = (0..n as NodeId).collect();
+    order_by_depth.sort_unstable_by_key(|&v| std::cmp::Reverse(depth[v as usize]));
+    let mut subtree_size = vec![1u32; n];
+    for &v in &order_by_depth {
+        let p = parent[v as usize];
+        if p != v && p != NO_NODE {
+            subtree_size[p as usize] += subtree_size[v as usize];
+        }
+    }
+
+    TernaryTreap {
+        parent,
+        depth,
+        subtree_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::gen;
+    use rand::rngs::SmallRng;
+    use rand::{Rng, SeedableRng};
+
+    fn random_priorities(n: usize, seed: u64) -> Vec<u64> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        // Distinct priorities via a random permutation.
+        let mut p: Vec<u64> = (0..n as u64).collect();
+        for i in (1..n).rev() {
+            p.swap(i, rng.gen_range(0..=i));
+        }
+        p
+    }
+
+    #[test]
+    fn root_is_min_priority() {
+        let tree = gen::path(7);
+        let pri = vec![5, 3, 0, 9, 4, 8, 7];
+        let t = ternary_treap(&tree, &pri);
+        assert_eq!(t.parent[2], 2); // vertex 2 has priority 0
+        assert_eq!(t.depth[2], 0);
+        assert_eq!(t.subtree_size[2], 7);
+    }
+
+    #[test]
+    fn path_with_sorted_priorities_degenerates() {
+        // Worst case: priorities increasing along the path -> height n.
+        let n = 50;
+        let tree = gen::path(n);
+        let pri: Vec<u64> = (0..n as u64).collect();
+        let t = ternary_treap(&tree, &pri);
+        assert_eq!(t.height(), n as u32);
+    }
+
+    #[test]
+    fn heap_property_holds() {
+        let tree = gen::random_tree(200, 3);
+        // random_tree has unbounded degree; restrict to a path instead.
+        let tree = if tree.max_degree() > 3 { gen::path(200) } else { tree };
+        let pri = random_priorities(200, 4);
+        let t = ternary_treap(&tree, &pri);
+        for v in 0..200u32 {
+            let p = t.parent[v as usize];
+            if p != v {
+                assert!(
+                    pri[p as usize] < pri[v as usize],
+                    "parent must have smaller priority"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn height_logarithmic_with_random_priorities() {
+        // Lemma A.1: height O(log n) w.h.p. Check a generous constant.
+        let n = 1 << 13;
+        let tree = gen::path(n); // max degree 2 <= 3
+        for seed in 0..3 {
+            let pri = random_priorities(n, seed);
+            let t = ternary_treap(&tree, &pri);
+            let bound = 5.0 * (n as f64).log2();
+            assert!(
+                (t.height() as f64) < bound,
+                "height {} exceeds {bound}",
+                t.height()
+            );
+        }
+    }
+
+    #[test]
+    fn subtree_sizes_sum_per_component() {
+        let tree = gen::two_cycles(5, 1);
+        // cycles are not trees; use two paths instead.
+        let g = ampc_graph::GraphBuilder::new(6)
+            .add_edge(0, 1)
+            .add_edge(1, 2)
+            .add_edge(3, 4)
+            .add_edge(4, 5)
+            .build();
+        let _ = tree;
+        let pri = vec![3, 1, 2, 6, 4, 5];
+        let t = ternary_treap(&g, &pri);
+        // Roots: vertex 1 (pri 1) and vertex 4 (pri 4).
+        assert_eq!(t.parent[1], 1);
+        assert_eq!(t.parent[4], 4);
+        assert_eq!(t.subtree_size[1], 3);
+        assert_eq!(t.subtree_size[4], 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "max degree")]
+    fn rejects_high_degree() {
+        ternary_treap(&gen::star(6), &[0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn depth_consistent_with_parent() {
+        let tree = gen::path(100);
+        let pri = random_priorities(100, 9);
+        let t = ternary_treap(&tree, &pri);
+        for v in 0..100u32 {
+            let p = t.parent[v as usize];
+            if p != v {
+                assert_eq!(t.depth[v as usize], t.depth[p as usize] + 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,152 @@
+//! Disjoint-set union with path halving and union by rank.
+
+use ampc_graph::NodeId;
+
+/// Classic union-find over dense ids `0..n`.
+#[derive(Clone, Debug)]
+pub struct UnionFind {
+    parent: Vec<NodeId>,
+    rank: Vec<u8>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        UnionFind {
+            parent: (0..n as NodeId).collect(),
+            rank: vec![0; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True if empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Number of disjoint sets remaining.
+    #[inline]
+    pub fn num_components(&self) -> usize {
+        self.components
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    #[inline]
+    pub fn find(&mut self, mut x: NodeId) -> NodeId {
+        loop {
+            let p = self.parent[x as usize];
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+    }
+
+    /// Read-only find (no compression) — usable through `&self`.
+    #[inline]
+    pub fn find_const(&self, mut x: NodeId) -> NodeId {
+        while self.parent[x as usize] != x {
+            x = self.parent[x as usize];
+        }
+        x
+    }
+
+    /// Merges the sets of `a` and `b`; returns `true` if they were
+    /// previously disjoint.
+    pub fn union(&mut self, a: NodeId, b: NodeId) -> bool {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        self.components -= 1;
+        let (ra, rb) = (ra as usize, rb as usize);
+        match self.rank[ra].cmp(&self.rank[rb]) {
+            std::cmp::Ordering::Less => self.parent[ra] = rb as NodeId,
+            std::cmp::Ordering::Greater => self.parent[rb] = ra as NodeId,
+            std::cmp::Ordering::Equal => {
+                self.parent[rb] = ra as NodeId;
+                self.rank[ra] += 1;
+            }
+        }
+        true
+    }
+
+    /// True if `a` and `b` are in the same set.
+    pub fn connected(&mut self, a: NodeId, b: NodeId) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Canonical labelling: `label[v]` = smallest element of `v`'s set
+    /// (directly comparable to BFS component labels).
+    pub fn labels(&mut self) -> Vec<NodeId> {
+        let n = self.parent.len();
+        let mut min_of_root = vec![NodeId::MAX; n];
+        for v in 0..n as NodeId {
+            let r = self.find(v) as usize;
+            min_of_root[r] = min_of_root[r].min(v);
+        }
+        (0..n as NodeId)
+            .map(|v| {
+                let r = self.find_const(v) as usize;
+                min_of_root[r]
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn union_reduces_components() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.num_components(), 5);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.union(2, 3));
+        assert_eq!(uf.num_components(), 3);
+        assert!(uf.connected(0, 1));
+        assert!(!uf.connected(0, 2));
+    }
+
+    #[test]
+    fn labels_are_canonical() {
+        let mut uf = UnionFind::new(6);
+        uf.union(4, 2);
+        uf.union(2, 5);
+        uf.union(0, 1);
+        let labels = uf.labels();
+        assert_eq!(labels, vec![0, 0, 2, 3, 2, 2]);
+    }
+
+    #[test]
+    fn transitive_union() {
+        let mut uf = UnionFind::new(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert!(uf.connected(0, 99));
+    }
+
+    #[test]
+    fn matches_bfs_components_on_random_graph() {
+        let g = ampc_graph::gen::erdos_renyi(200, 150, 3);
+        let mut uf = UnionFind::new(200);
+        for e in g.edges() {
+            uf.union(e.u, e.v);
+        }
+        let bfs = ampc_graph::stats::connected_components(&g);
+        assert_eq!(uf.labels(), bfs.label);
+        assert_eq!(uf.num_components(), bfs.num_components);
+    }
+}

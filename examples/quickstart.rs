@@ -1,0 +1,72 @@
+//! Quickstart: run every AMPC algorithm on a small social-network-like
+//! graph and print what the model meters.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use ampc::prelude::*;
+use ampc_dht::cost::format_ns;
+use ampc_graph::gen;
+
+fn main() {
+    // A skewed RMAT graph: 2^12 vertices, ~60k edges.
+    let graph = gen::rmat(12, 60_000, gen::RmatParams::SOCIAL, 42);
+    println!(
+        "graph: {} vertices, {} edges, max degree {}",
+        graph.num_nodes(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    // The AMPC configuration: 10 machines, space n^0.75 per machine,
+    // RDMA-like key-value store, caching on.
+    let cfg = AmpcConfig::default();
+
+    // ---- Maximal independent set (Figure 1 of the paper) -------------
+    let mis = mis::ampc_mis(&graph, &cfg);
+    println!(
+        "\nMIS: {} members | {} shuffle(s), {} KV rounds, sim time {}",
+        mis.in_mis.iter().filter(|&&b| b).count(),
+        mis.report.num_shuffles(),
+        mis.report.num_kv_rounds(),
+        format_ns(mis.report.sim_ns()),
+    );
+
+    // ---- Maximal matching (Theorem 2) ---------------------------------
+    let mm = matching::ampc_matching(&graph, &cfg);
+    println!(
+        "MM : {} pairs   | {} shuffle(s), cache hit rate {:.0}%",
+        mm.pairs().len(),
+        mm.report.num_shuffles(),
+        mm.report.kv_comm().cache_hit_rate() * 100.0,
+    );
+
+    // ---- Minimum spanning forest (Theorem 1, §5.5 pipeline) -----------
+    let weighted = gen::degree_weights(&graph);
+    let forest = msf::ampc_msf(&weighted, &cfg);
+    println!(
+        "MSF: {} edges, total weight {} | {} shuffles",
+        forest.edges.len(),
+        forest.total_weight(),
+        forest.report.num_shuffles(),
+    );
+
+    // ---- Connected components -----------------------------------------
+    let cc = connectivity::ampc_connected_components(&graph, &cfg);
+    let components: std::collections::HashSet<_> = cc.label.iter().collect();
+    println!("CC : {} components", components.len());
+
+    // ---- 1-vs-2-cycle (§5.6) -------------------------------------------
+    let cycle = gen::two_cycles(4096, 7);
+    let out = one_vs_two::ampc_one_vs_two(&cycle, &cfg);
+    println!(
+        "1v2: {:?} ({} cycles) in {} shuffle(s)",
+        out.answer,
+        out.num_cycles,
+        out.report.num_shuffles()
+    );
+
+    // Full per-stage accounting of the last run:
+    println!("\nMIS job detail:\n{}", mis.report.summary());
+}

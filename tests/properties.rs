@@ -1,0 +1,199 @@
+//! Property-based tests (proptest) over randomly generated graphs.
+//!
+//! Each property exercises an invariant the paper's correctness
+//! arguments rest on, on arbitrary inputs rather than fixed seeds.
+
+use ampc_core::matching::{ampc_matching, greedy_matching, pairs_from_partners};
+use ampc_core::mis::{ampc_mis, greedy_mis};
+use ampc_core::msf::in_memory::kruskal;
+use ampc_core::msf::{ampc_msf, ampc_msf_algorithm2};
+use ampc_core::validate;
+use ampc_runtime::AmpcConfig;
+use ampc_graph::ops::{line_graph, ternarize};
+use ampc_graph::stats::connected_components;
+use ampc_graph::{gen, GraphBuilder, NodeId};
+use proptest::prelude::*;
+
+fn cfg(seed: u64) -> AmpcConfig {
+    let mut c = AmpcConfig::default();
+    c.num_machines = 4;
+    c.in_memory_threshold = 64;
+    c.seed = seed;
+    c
+}
+
+/// Strategy: an arbitrary undirected graph as (n, edge pairs).
+fn arb_graph(max_n: usize, max_m: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2..max_n).prop_flat_map(move |n| {
+        let edges = proptest::collection::vec((0..n as u32, 0..n as u32), 0..max_m);
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, pairs: &[(u32, u32)]) -> ampc_graph::CsrGraph {
+    let mut b = GraphBuilder::new(n);
+    for &(u, v) in pairs {
+        b.push_edge(u, v, 0);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mis_is_maximal_and_matches_oracle((n, pairs) in arb_graph(120, 400), seed in 0u64..1000) {
+        let g = build(n, &pairs);
+        let c = cfg(seed);
+        let out = ampc_mis(&g, &c);
+        prop_assert!(validate::is_maximal_independent_set(&g, &out.in_mis));
+        prop_assert_eq!(out.in_mis, greedy_mis(&g, seed));
+    }
+
+    #[test]
+    fn matching_is_maximal_and_matches_oracle((n, pairs) in arb_graph(100, 300), seed in 0u64..1000) {
+        let g = build(n, &pairs);
+        let c = cfg(seed);
+        let out = ampc_matching(&g, &c);
+        prop_assert!(validate::is_maximal_matching(&g, &out.pairs()));
+        prop_assert_eq!(out.partner, greedy_matching(&g, seed));
+    }
+
+    #[test]
+    fn msf_weight_equals_kruskal((n, pairs) in arb_graph(80, 250), seed in 0u64..1000) {
+        let g = build(n, &pairs);
+        let w = gen::random_weights(&g, 1_000, seed);
+        let c = cfg(seed);
+        let out = ampc_msf(&w, &c);
+        prop_assert_eq!(out.edges, kruskal(&w));
+    }
+
+    #[test]
+    fn algorithm2_equals_kruskal((n, pairs) in arb_graph(70, 200), seed in 0u64..1000) {
+        let g = build(n, &pairs);
+        let w = gen::random_weights(&g, 500, seed);
+        let out = ampc_msf_algorithm2(&w, &cfg(seed));
+        prop_assert_eq!(out.edges, kruskal(&w));
+    }
+
+    #[test]
+    fn ternarize_bounds_degree_and_preserves_msf_weight((n, pairs) in arb_graph(60, 200), seed in 0u64..1000) {
+        let g = build(n, &pairs);
+        let w = gen::random_weights(&g, 900, seed);
+        let t = ternarize(&w);
+        prop_assert!(t.graph.structure().max_degree() <= 3);
+        // MSF weight of the ternarized graph (dummies excluded, weights
+        // unshifted) equals the original MSF weight.
+        let tern_msf = kruskal(&t.graph);
+        let tern_weight: u128 = tern_msf
+            .iter()
+            .filter(|e| !ampc_graph::ops::Ternarized::is_dummy_weight(e.w))
+            .map(|e| ampc_graph::ops::Ternarized::original_weight(e.w) as u128)
+            .sum();
+        let orig_weight: u128 = kruskal(&w).iter().map(|e| e.w as u128).sum();
+        prop_assert_eq!(tern_weight, orig_weight);
+    }
+
+    #[test]
+    fn connectivity_matches_bfs((n, pairs) in arb_graph(100, 160), seed in 0u64..1000) {
+        let g = build(n, &pairs);
+        let out = ampc_core::connectivity::ampc_connected_components(&g, &cfg(seed));
+        prop_assert!(validate::is_correct_components(&g, &out.label));
+    }
+
+    #[test]
+    fn line_graph_mis_is_a_maximal_matching((n, pairs) in arb_graph(40, 80), seed in 0u64..1000) {
+        // The §4 reduction: an MIS of the line graph is a maximal
+        // matching of the base graph.
+        let g = build(n, &pairs);
+        let lg = line_graph(&g);
+        let mis = greedy_mis(&lg.graph, seed);
+        let matching: Vec<(NodeId, NodeId)> = mis
+            .iter()
+            .enumerate()
+            .filter(|&(_, &take)| take)
+            .map(|(i, _)| {
+                let e = lg.edges[i];
+                (e.u.min(e.v), e.u.max(e.v))
+            })
+            .collect();
+        prop_assert!(validate::is_maximal_matching(&g, &matching));
+    }
+
+    #[test]
+    fn contraction_preserves_component_count((n, pairs) in arb_graph(80, 200), seed in 0u64..1000) {
+        let g = build(n, &pairs);
+        // Contract by an arbitrary forest of the graph: component count
+        // must be preserved (drop_isolated=false keeps all classes).
+        let w = gen::random_weights(&g, 100, seed);
+        let forest = kruskal(&w);
+        let mut uf = ampc_trees::UnionFind::new(n);
+        for e in &forest {
+            uf.union(e.u, e.v);
+        }
+        let labels = uf.labels();
+        let contracted = ampc_graph::ops::contract(&g, &labels, false);
+        let cc_before = connected_components(&g).num_components;
+        let cc_after = connected_components(&contracted.graph).num_components;
+        prop_assert_eq!(cc_before, cc_after);
+    }
+
+    #[test]
+    fn msf_with_constant_weights_still_unique((n, pairs) in arb_graph(60, 150), seed in 0u64..1000) {
+        // All-equal weights: the workspace's tie-breaking by canonical
+        // endpoints must still make every implementation agree exactly.
+        let g = build(n, &pairs);
+        let w = gen::random_weights(&g, 1, seed); // every weight = 1
+        let c = cfg(seed);
+        let k = kruskal(&w);
+        prop_assert_eq!(ampc_msf(&w, &c).edges, k.clone());
+        prop_assert_eq!(ampc_msf_algorithm2(&w, &c).edges, k);
+    }
+
+    #[test]
+    fn random_walks_stay_on_edges((n, pairs) in arb_graph(50, 120), seed in 0u64..1000) {
+        let g = build(n, &pairs);
+        let out = ampc_core::walks::ampc_random_walks(&g, &cfg(seed), 1, 5);
+        for walk in &out.walks {
+            for w in walk.windows(2) {
+                prop_assert!(w[0] == w[1] || g.has_edge(w[0], w[1]));
+            }
+        }
+    }
+
+    #[test]
+    fn mis_and_mm_relate((n, pairs) in arb_graph(80, 200), seed in 0u64..1000) {
+        // Size sanity relating the two objects: a maximal matching has at
+        // most n/2 edges; an MIS and the matched-vertex set both cover
+        // every edge of the graph.
+        let g = build(n, &pairs);
+        let c = cfg(seed);
+        let mis = ampc_mis(&g, &c).in_mis;
+        let mm = ampc_matching(&g, &c);
+        prop_assert!(mm.pairs().len() * 2 <= g.num_nodes());
+        // A maximal independent set is a dominating set.
+        for v in g.nodes() {
+            let dominated = mis[v as usize]
+                || g.neighbors(v).iter().any(|&u| mis[u as usize]);
+            prop_assert!(dominated, "MIS maximality implies domination of {v}");
+        }
+    }
+
+    #[test]
+    fn vertex_cover_covers_and_is_within_2x((n, pairs) in arb_graph(60, 150), seed in 0u64..1000) {
+        let g = build(n, &pairs);
+        let c = cfg(seed);
+        let cover = ampc_core::matching::approx::approx_vertex_cover(&g, &c);
+        let mut in_cover = vec![false; g.num_nodes()];
+        for &v in &cover {
+            in_cover[v as usize] = true;
+        }
+        for e in g.edges() {
+            prop_assert!(in_cover[e.u as usize] || in_cover[e.v as usize]);
+        }
+        // |cover| = 2|M| and any vertex cover is >= |M|, so the cover is
+        // within 2x of optimal; sanity-check against the matching size.
+        let m = pairs_from_partners(&greedy_matching(&g, seed)).len();
+        prop_assert_eq!(cover.len(), 2 * m);
+    }
+}

@@ -1,0 +1,119 @@
+//! Round-complexity assertions — the structural claims of Table 1 and
+//! Table 3, checked mechanically.
+//!
+//! Table 3 reports the shuffle counts of the production implementations:
+//! AMPC MIS and MM use **1** shuffle, AMPC MSF uses **5** (per
+//! distributed round of its loop), while the MPC baselines pay 2 (MIS,
+//! MM) or 3 (MSF, CC) shuffles per phase over O(log n)-many phases.
+
+use ampc::prelude::*;
+use ampc_core::matching::ampc_matching;
+use ampc_core::mis::ampc_mis;
+use ampc_core::msf::ampc_msf;
+use ampc_core::one_vs_two::ampc_one_vs_two;
+use ampc_graph::datasets::Scale;
+
+fn cfg() -> AmpcConfig {
+    let mut c = AmpcConfig::default();
+    c.num_machines = 6;
+    c.in_memory_threshold = 300;
+    c
+}
+
+#[test]
+fn ampc_mis_single_shuffle_all_datasets() {
+    for d in Dataset::REAL_WORLD {
+        let g = d.generate(Scale::Test, 1);
+        let out = ampc_mis(&g, &cfg());
+        assert_eq!(out.report.num_shuffles(), 1, "{}", d.name());
+        // Figure 1's three steps: shuffle + KV-write + IsInMIS.
+        assert_eq!(out.report.stages.len(), 3, "{}", d.name());
+    }
+}
+
+#[test]
+fn ampc_mm_single_shuffle_all_datasets() {
+    for d in Dataset::REAL_WORLD {
+        let g = d.generate(Scale::Test, 1);
+        let out = ampc_matching(&g, &cfg());
+        assert_eq!(out.report.num_shuffles(), 1, "{}", d.name());
+    }
+}
+
+#[test]
+fn ampc_msf_five_shuffles_per_distributed_round() {
+    for d in Dataset::REAL_WORLD {
+        let g = d.generate_weighted(Scale::Test, 1);
+        let out = ampc_msf(&g, &cfg());
+        let s = out.report.num_shuffles();
+        assert!(s.is_multiple_of(5) && s > 0, "{}: {} shuffles", d.name(), s);
+    }
+}
+
+#[test]
+fn ampc_one_vs_two_single_shuffle() {
+    let g = ampc_graph::gen::two_cycles(3_000, 1);
+    let out = ampc_one_vs_two(&g, &cfg());
+    assert_eq!(out.report.num_shuffles(), 1);
+}
+
+#[test]
+fn mpc_baselines_pay_logarithmically_many_shuffles() {
+    let g = Dataset::Twitter.generate(Scale::Test, 1);
+    let c = cfg();
+    let mis = ampc_mpc::mpc_mis(&g, &c);
+    let mm = ampc_mpc::mpc_matching(&g, &c);
+    assert!(mis.report.num_shuffles() >= 4, "MIS: {}", mis.report.num_shuffles());
+    assert_eq!(mis.report.num_shuffles() % 2, 0);
+    assert!(mm.report.num_shuffles() >= 4, "MM: {}", mm.report.num_shuffles());
+
+    let w = Dataset::Twitter.generate_weighted(Scale::Test, 1);
+    let msf = ampc_mpc::mpc_msf(&w, &c);
+    assert_eq!(msf.report.num_shuffles() % 3, 0);
+    // Borůvka needs more phases than rootset MIS (Table 3's pattern:
+    // 33–84 shuffles vs 8–14).
+    assert!(
+        msf.report.num_shuffles() > mis.report.num_shuffles(),
+        "Boruvka {} vs rootset {}",
+        msf.report.num_shuffles(),
+        mis.report.num_shuffles()
+    );
+}
+
+#[test]
+fn ampc_beats_mpc_on_shuffles_everywhere() {
+    for d in Dataset::REAL_WORLD {
+        let g = d.generate(Scale::Test, 6);
+        let c = cfg();
+        let a = ampc_mis(&g, &c).report.num_shuffles();
+        let m = ampc_mpc::mpc_mis(&g, &c).report.num_shuffles();
+        assert!(a < m, "{}: AMPC {a} vs MPC {m}", d.name());
+    }
+}
+
+#[test]
+fn truncated_theory_variants_use_constant_rounds() {
+    use ampc_core::matching::{ampc_matching_with_options, MatchingOptions};
+    use ampc_core::mis::{ampc_mis_with_options, MisOptions};
+    let g = Dataset::Orkut.generate(Scale::Test, 8);
+    let c = cfg();
+    let mis = ampc_mis_with_options(
+        &g,
+        &c,
+        MisOptions {
+            caching: true,
+            truncated: true,
+        },
+    );
+    // O(1/ε) IsInMIS rounds: generous constant bound.
+    assert!(mis.report.num_kv_rounds() <= 10, "{}", mis.report.num_kv_rounds());
+    let mm = ampc_matching_with_options(
+        &g,
+        &c,
+        MatchingOptions {
+            caching: true,
+            truncated: true,
+        },
+    );
+    assert!(mm.report.num_kv_rounds() <= 10, "{}", mm.report.num_kv_rounds());
+}
