@@ -11,10 +11,7 @@ use ampc_graph::datasets::{Dataset, Scale};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn cfg() -> AmpcConfig {
-    let mut c = AmpcConfig::default();
-    c.num_machines = 8;
-    c.in_memory_threshold = 2_000;
-    c
+    AmpcConfig { num_machines: 8, in_memory_threshold: 2_000, ..AmpcConfig::default() }
 }
 
 fn bench_mis(c: &mut Criterion) {

@@ -11,13 +11,15 @@ use ampc_graph::{CsrGraph, WeightedCsrGraph};
 /// the paper's inputs, so that simulated data volumes land at the
 /// magnitudes of the paper's environment at every harness scale.
 pub fn harness_config(scale: Scale) -> AmpcConfig {
-    let mut cfg = AmpcConfig::default();
-    cfg.num_machines = 10;
-    cfg.seed = 0x5EED_2020;
-    cfg.in_memory_threshold = match scale {
-        Scale::Test => 500,
-        Scale::Mid => 2_000,
-        Scale::Bench => 10_000,
+    let mut cfg = AmpcConfig {
+        num_machines: 10,
+        seed: 0x5EED_2020,
+        in_memory_threshold: match scale {
+            Scale::Test => 500,
+            Scale::Mid => 2_000,
+            Scale::Bench => 10_000,
+        },
+        ..AmpcConfig::default()
     };
     cfg.cost.data_scale = match scale {
         Scale::Test => 12_000,

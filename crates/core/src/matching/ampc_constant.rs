@@ -238,12 +238,10 @@ impl<'r> Machine<'r> {
             match self.vstate(x) {
                 Some(VState::Matched(z)) => return Some(z == y),
                 Some(VState::Unmatched) => return Some(false),
-                Some(VState::FinishedUpTo(z)) => {
-                    if rank <= edge_rank(self.seed, x, z) {
-                        return Some(false);
-                    }
+                Some(VState::FinishedUpTo(z)) if rank <= edge_rank(self.seed, x, z) => {
+                    return Some(false);
                 }
-                None => {}
+                _ => {}
             }
         }
         self.ecache.get(&edge_key(a, b)).copied()
@@ -279,8 +277,7 @@ impl<'r> Machine<'r> {
         if nbrs.is_empty() {
             return Some(NO_NODE); // isolated vertex
         }
-        for i in 0..nbrs.len() {
-            let u = nbrs[i];
+        for &u in nbrs {
             match self.edge_process(v, u, ctx, budget, &mut queries, &mut lists) {
                 None => return None, // truncated
                 Some(true) => {

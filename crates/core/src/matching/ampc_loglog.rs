@@ -31,7 +31,7 @@ pub fn ampc_matching_loglog(g: &CsrGraph, cfg: &AmpcConfig) -> MatchingOutcome {
 
     let delta = g.max_degree().max(2) as f64;
     let threshold = (10.0 * (n.max(2) as f64).ln()).ceil() as usize;
-    let k = (delta.log2().max(1.0).log2().ceil() as usize).max(0) + 1;
+    let k = (delta.log2().max(1.0).log2().ceil() as usize) + 1;
 
     // Global partner array over original ids.
     let mut partner = vec![NO_NODE; n];

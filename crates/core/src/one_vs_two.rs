@@ -114,9 +114,9 @@ pub fn ampc_one_vs_two_with_rate(g: &CsrGraph, cfg: &AmpcConfig, sample_inv: u64
             let mut out = Vec::with_capacity(items.len() * 2);
             for &s in items {
                 let nbrs = ctx.handle.get(s as u64).expect("2-regular").clone();
-                for dir in 0..2 {
+                for &start in nbrs.iter().take(2) {
                     let mut prev = s;
-                    let mut cur = nbrs[dir];
+                    let mut cur = start;
                     let mut steps = 1u64;
                     while !is_sampled(cur) {
                         ctx.add_ops(1);

@@ -190,8 +190,8 @@ mod tests {
         let g = gen::star(50);
         let (pr, _) = pagerank_estimate(&g, &cfg(), 4, 10, 0.85);
         let center = pr[0];
-        for leaf in 1..50 {
-            assert!(center > 5.0 * pr[leaf], "center {center} vs leaf {}", pr[leaf]);
+        for &leaf in &pr[1..] {
+            assert!(center > 5.0 * leaf, "center {center} vs leaf {leaf}");
         }
         let sum: f64 = pr.iter().sum();
         assert!((sum - 1.0).abs() < 1e-9);

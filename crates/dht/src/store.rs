@@ -80,16 +80,6 @@ impl<V: Measured + Clone> Generation<V> {
         Generation { shards: vec![FxHashMap::default()] }
     }
 
-    /// Builds a generation directly from an iterator (single-threaded
-    /// load path for `D0`).
-    pub fn from_iter(items: impl IntoIterator<Item = (u64, V)>) -> Self {
-        let w = GenerationWriter::with_shards(DEFAULT_SHARDS);
-        for (k, v) in items {
-            w.put(k, v);
-        }
-        w.seal()
-    }
-
     #[inline]
     fn shard_of(&self, key: u64) -> usize {
         (mix64(key) % self.shards.len() as u64) as usize
@@ -125,6 +115,18 @@ impl<V: Measured + Clone> Generation<V> {
         self.shards
             .iter()
             .flat_map(|s| s.iter().map(|(&k, v)| (k, v)))
+    }
+}
+
+/// Builds a generation directly from an iterator (single-threaded load
+/// path for `D0`).
+impl<V: Measured + Clone> FromIterator<(u64, V)> for Generation<V> {
+    fn from_iter<I: IntoIterator<Item = (u64, V)>>(items: I) -> Self {
+        let w = GenerationWriter::with_shards(DEFAULT_SHARDS);
+        for (k, v) in items {
+            w.put(k, v);
+        }
+        w.seal()
     }
 }
 

@@ -111,7 +111,7 @@ impl CsrGraph {
     /// Iterator over all vertices.
     #[inline]
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
-        (0..self.num_nodes() as NodeId).into_iter()
+        0..self.num_nodes() as NodeId
     }
 
     /// Maximum degree, or 0 for the empty graph.

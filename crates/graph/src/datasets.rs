@@ -66,7 +66,7 @@ impl Scale {
         match std::env::var("AMPC_SCALE").as_deref() {
             Ok("test") => Scale::Test,
             Ok("bench") => Scale::Bench,
-            Ok("mid") | _ => Scale::Mid,
+            _ => Scale::Mid,
         }
     }
 }

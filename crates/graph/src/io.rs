@@ -38,7 +38,10 @@ impl From<io::Error> for IoError {
     }
 }
 
-fn parse_edges<R: Read>(reader: R) -> Result<(usize, Vec<(NodeId, NodeId, Weight)>), IoError> {
+/// `(line_count, edges)` as returned by [`parse_edges`].
+type ParsedEdges = (usize, Vec<(NodeId, NodeId, Weight)>);
+
+fn parse_edges<R: Read>(reader: R) -> Result<ParsedEdges, IoError> {
     let reader = BufReader::new(reader);
     let mut edges = Vec::new();
     let mut max_id: u64 = 0;

@@ -77,9 +77,7 @@ pub fn ternarize(g: &WeightedCsrGraph) -> Ternarized {
 
     let mut origin = vec![0 as NodeId; total];
     for v in 0..n {
-        for slot in base[v]..base[v + 1] {
-            origin[slot] = v as NodeId;
-        }
+        origin[base[v]..base[v + 1]].fill(v as NodeId);
     }
 
     // slot_of(v, i): the ternarized vertex carrying v's i-th incident edge.

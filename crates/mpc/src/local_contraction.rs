@@ -78,8 +78,7 @@ pub fn mpc_connected_components(g: &CsrGraph, cfg: &AmpcConfig) -> CcOutcome {
         // Compose labels. First pass: the minimum original representative
         // merging into each root this round.
         let mut root_min: Vec<NodeId> = vec![NO_NODE; current.num_nodes()];
-        for v in 0..n {
-            let c = cur_of[v];
+        for &c in &cur_of {
             if c == NO_NODE {
                 continue;
             }
@@ -126,8 +125,7 @@ pub fn mpc_connected_components(g: &CsrGraph, cfg: &AmpcConfig) -> CcOutcome {
     );
     // Component label = min original vertex across the class.
     let mut class_min: Vec<NodeId> = vec![NO_NODE; current.num_nodes()];
-    for v in 0..n {
-        let c = cur_of[v];
+    for (v, &c) in cur_of.iter().enumerate() {
         if c != NO_NODE {
             let l = residual_labels[c as usize] as usize;
             let cand = rep_of[c as usize].min(v as NodeId);

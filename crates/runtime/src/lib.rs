@@ -14,8 +14,9 @@
 //!   in-memory algorithm on one machine" step both the AMPC and MPC
 //!   implementations use).
 //! * The **executor** ([`executor`]) actually runs machine bodies in
-//!   parallel OS threads (one per simulated machine, via crossbeam's
-//!   scoped threads), with each machine's DHT traffic metered through an
+//!   parallel OS threads (one per simulated machine, via
+//!   `std::thread::scope`), with each machine's DHT traffic metered
+//!   through an
 //!   [`ampc_dht::MachineHandle`].
 //! * Every stage appends a [`report::StageReport`]; the final
 //!   [`report::JobReport`] carries everything the benchmark harness needs

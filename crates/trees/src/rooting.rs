@@ -221,8 +221,8 @@ mod tests {
         let f = root_forest(&gen::star(5));
         let sizes = f.subtree_sizes();
         assert_eq!(sizes[0], 5);
-        for leaf in 1..5 {
-            assert_eq!(sizes[leaf], 1);
+        for &leaf in &sizes[1..5] {
+            assert_eq!(leaf, 1);
         }
     }
 

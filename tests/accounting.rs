@@ -9,10 +9,7 @@ use ampc_dht::cost::Network;
 use ampc_graph::gen;
 
 fn cfg() -> AmpcConfig {
-    let mut c = AmpcConfig::default();
-    c.num_machines = 5;
-    c.in_memory_threshold = 300;
-    c
+    AmpcConfig { num_machines: 5, in_memory_threshold: 300, ..AmpcConfig::default() }
 }
 
 #[test]

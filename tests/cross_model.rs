@@ -15,11 +15,12 @@ use ampc_core::validate;
 use ampc_graph::datasets::Scale;
 
 fn cfg() -> AmpcConfig {
-    let mut c = AmpcConfig::default();
-    c.num_machines = 6;
-    c.in_memory_threshold = 400;
-    c.seed = 0xFEED;
-    c
+    AmpcConfig {
+        num_machines: 6,
+        in_memory_threshold: 400,
+        seed: 0xFEED,
+        ..AmpcConfig::default()
+    }
 }
 
 #[test]

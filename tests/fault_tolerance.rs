@@ -14,10 +14,7 @@ use ampc_runtime::fault::FaultPlan;
 use ampc_graph::gen;
 
 fn cfg() -> AmpcConfig {
-    let mut c = AmpcConfig::default();
-    c.num_machines = 5;
-    c.in_memory_threshold = 200;
-    c
+    AmpcConfig { num_machines: 5, in_memory_threshold: 200, ..AmpcConfig::default() }
 }
 
 #[test]

@@ -15,11 +15,7 @@ use ampc_graph::{gen, GraphBuilder, NodeId};
 use proptest::prelude::*;
 
 fn cfg(seed: u64) -> AmpcConfig {
-    let mut c = AmpcConfig::default();
-    c.num_machines = 4;
-    c.in_memory_threshold = 64;
-    c.seed = seed;
-    c
+    AmpcConfig { num_machines: 4, in_memory_threshold: 64, seed, ..AmpcConfig::default() }
 }
 
 /// Strategy: an arbitrary undirected graph as (n, edge pairs).

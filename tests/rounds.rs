@@ -14,10 +14,7 @@ use ampc_core::one_vs_two::ampc_one_vs_two;
 use ampc_graph::datasets::Scale;
 
 fn cfg() -> AmpcConfig {
-    let mut c = AmpcConfig::default();
-    c.num_machines = 6;
-    c.in_memory_threshold = 300;
-    c
+    AmpcConfig { num_machines: 6, in_memory_threshold: 300, ..AmpcConfig::default() }
 }
 
 #[test]

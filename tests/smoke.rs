@@ -1,0 +1,73 @@
+//! Workspace smoke test: one tiny end-to-end job per algorithm family
+//! (MIS, maximal matching, MSF, connectivity, 1-vs-2-cycle), asserting
+//! the cross-model equality invariant of DESIGN.md §3 — AMPC and MPC
+//! consume the same seeded priorities, so their outputs must be
+//! *identical* (the paper's own validation strategy, §5.3). Inputs are
+//! far below every dataset analogue so the whole suite finishes in
+//! about a second; `cross_model` covers the full analogues.
+
+use ampc::prelude::*;
+use ampc_core::one_vs_two::CycleAnswer;
+use ampc_core::validate;
+use ampc_graph::gen;
+
+fn cfg() -> AmpcConfig {
+    AmpcConfig { num_machines: 4, in_memory_threshold: 100, seed: 0x500C, ..AmpcConfig::default() }
+}
+
+fn tiny() -> CsrGraph {
+    gen::rmat(8, 1_500, gen::RmatParams::SOCIAL, 42)
+}
+
+#[test]
+fn smoke_mis() {
+    let g = tiny();
+    let c = cfg();
+    let a = mis::ampc_mis(&g, &c);
+    let m = ampc_mpc::mpc_mis(&g, &c);
+    assert_eq!(a.in_mis, m.in_mis, "AMPC and MPC disagree on the MIS");
+    assert!(validate::is_maximal_independent_set(&g, &a.in_mis));
+}
+
+#[test]
+fn smoke_matching() {
+    let g = tiny();
+    let c = cfg();
+    let a = matching::ampc_matching(&g, &c);
+    let m = ampc_mpc::mpc_matching(&g, &c);
+    assert_eq!(a.partner, m.partner, "AMPC and MPC disagree on the matching");
+    assert!(validate::is_maximal_matching(&g, &a.pairs()));
+}
+
+#[test]
+fn smoke_msf() {
+    let g = gen::random_weights(&tiny(), 1_000, 7);
+    let c = cfg();
+    let a = msf::ampc_msf(&g, &c);
+    let m = ampc_mpc::mpc_msf(&g, &c);
+    assert_eq!(a.edges, m.edges, "AMPC and MPC disagree on the MSF");
+}
+
+#[test]
+fn smoke_connectivity() {
+    let g = tiny();
+    let c = cfg();
+    let a = connectivity::ampc_connected_components(&g, &c);
+    let m = ampc_mpc::mpc_connected_components(&g, &c);
+    assert_eq!(a.label, m.label, "AMPC and MPC disagree on component labels");
+    assert!(validate::is_correct_components(&g, &a.label));
+}
+
+#[test]
+fn smoke_one_vs_two_cycle() {
+    let c = cfg();
+    for (g, truth) in [
+        (gen::single_cycle(400, 11), CycleAnswer::One),
+        (gen::two_cycles(200, 11), CycleAnswer::Two),
+    ] {
+        let a = one_vs_two::ampc_one_vs_two(&g, &c);
+        let (m, _) = ampc_mpc::local_contraction::mpc_one_vs_two(&g, &c);
+        assert_eq!(a.answer, truth);
+        assert_eq!(m, truth, "AMPC and MPC disagree on 1-vs-2-cycle");
+    }
+}

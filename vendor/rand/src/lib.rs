@@ -1,0 +1,247 @@
+//! Minimal offline stand-in for the `rand` crate.
+//!
+//! Provides exactly the surface this workspace uses: [`rngs::SmallRng`]
+//! (a SplitMix64 generator), the [`Rng`] and [`SeedableRng`] traits with
+//! `gen_range`/`gen_bool`/`seed_from_u64`, and
+//! [`seq::SliceRandom::shuffle`]. Deterministic for a given seed, which
+//! is all the workspace's generators and tests require.
+
+#![deny(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// A seedable random number generator.
+pub trait SeedableRng: Sized {
+    /// Construct the generator from a single `u64` seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Core RNG trait: everything is derived from a `u64` stream.
+pub trait Rng {
+    /// Next raw 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from `range` (half-open or inclusive).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Bernoulli sample with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        unit_f64(self.next_u64()) < p
+    }
+
+    /// A uniformly random value of a supported type.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_u64_stream(self)
+    }
+}
+
+/// Types that can be drawn uniformly from the full value range via [`Rng::gen`].
+pub trait Standard: Sized {
+    /// Draw one value from the generator's `u64` stream.
+    fn from_u64_stream<G: Rng>(g: &mut G) -> Self;
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn from_u64_stream<G: Rng>(g: &mut G) -> Self {
+                g.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn from_u64_stream<G: Rng>(g: &mut G) -> Self {
+        g.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn from_u64_stream<G: Rng>(g: &mut G) -> Self {
+        unit_f64(g.next_u64())
+    }
+}
+
+impl Standard for f32 {
+    fn from_u64_stream<G: Rng>(g: &mut G) -> Self {
+        unit_f64(g.next_u64()) as f32
+    }
+}
+
+/// Map 64 random bits to a float in `[0, 1)` using the top 53 bits.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ranges that [`Rng::gen_range`] can sample an element of type `T` from.
+///
+/// `T` is a trait parameter (not an associated type) so that integer
+/// literals in ranges unify with the expected output type, exactly as
+/// with the real `rand` crate.
+pub trait SampleRange<T> {
+    /// Draw a uniform sample from the range.
+    fn sample_from<G: Rng>(self, g: &mut G) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: Rng>(self, g: &mut G) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                (self.start as i128 + (g.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for RangeInclusive<$t> {
+            fn sample_from<G: Rng>(self, g: &mut G) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty gen_range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                (lo as i128 + (g.next_u64() as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_sample_range_float {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<G: Rng>(self, g: &mut G) -> $t {
+                assert!(self.start < self.end, "empty gen_range");
+                let v = self.start + (self.end - self.start) * (unit_f64(g.next_u64()) as $t);
+                if v < self.end {
+                    v
+                } else {
+                    // Narrowing rounding (f64 unit sample -> f32, or the
+                    // affine map itself) can land exactly on the open
+                    // bound; step one ULP back toward start to keep the
+                    // half-open contract.
+                    let prev = if self.end == 0.0 {
+                        -<$t>::from_bits(1)
+                    } else if self.end < 0.0 {
+                        <$t>::from_bits(self.end.to_bits() + 1)
+                    } else {
+                        <$t>::from_bits(self.end.to_bits() - 1)
+                    };
+                    prev.max(self.start)
+                }
+            }
+        }
+    )*};
+}
+impl_sample_range_float!(f32, f64);
+
+/// The concrete generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// A small, fast, deterministic generator (SplitMix64).
+    ///
+    /// Not the real `rand` SmallRng algorithm, but a well-studied stream
+    /// with the same interface; everything in this workspace only relies
+    /// on determinism-per-seed.
+    #[derive(Clone, Debug)]
+    pub struct SmallRng {
+        state: u64,
+    }
+
+    impl SeedableRng for SmallRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            SmallRng { state: seed }
+        }
+    }
+
+    impl Rng for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Alias: the stand-in does not distinguish the std generator.
+    pub type StdRng = SmallRng;
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Extension trait providing in-place shuffling of slices.
+    pub trait SliceRandom {
+        /// Fisher–Yates shuffle driven by `rng`.
+        fn shuffle<G: Rng>(&mut self, rng: &mut G);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<G: Rng>(&mut self, rng: &mut G) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+/// Commonly used items, mirroring `rand::prelude`.
+pub mod prelude {
+    pub use super::rngs::{SmallRng, StdRng};
+    pub use super::seq::SliceRandom;
+    pub use super::{Rng, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = SmallRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x = rng.gen_range(3..17u32);
+            assert!((3..17).contains(&x));
+            let y = rng.gen_range(5..=5u64);
+            assert_eq!(y, 5);
+            let f = rng.gen_range(0.25..0.75f64);
+            assert!((0.25..0.75).contains(&f));
+            let s = rng.gen_range(-20.0..20.0f64);
+            assert!((-20.0..20.0).contains(&s));
+        }
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = SmallRng::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "shuffle left the slice in order");
+    }
+}

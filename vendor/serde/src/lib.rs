@@ -1,0 +1,19 @@
+//! Minimal offline stand-in for `serde`.
+//!
+//! The workspace only *annotates* types with `#[derive(Serialize,
+//! Deserialize)]` — nothing serializes through serde at runtime (report
+//! rendering is hand-rolled). The traits here are markers with blanket
+//! implementations and the derives are no-ops, so the annotations keep
+//! compiling unchanged against this stand-in.
+
+#![deny(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
