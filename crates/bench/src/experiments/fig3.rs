@@ -1,5 +1,7 @@
 //! Figure 3 — bytes shuffled by the AMPC and MPC MIS implementations,
-//! plus the AMPC algorithm's total KV-store communication.
+//! plus the AMPC algorithm's total KV-store communication and (beyond
+//! the paper's bars) its charged KV *round trips* under the §5.3
+//! batching optimization vs the single-key baseline.
 
 use crate::util::{bytes, harness_config, load, Md};
 use ampc_core::mis::ampc_mis;
@@ -10,18 +12,30 @@ pub fn run(scale: Scale) -> String {
     let cfg = harness_config(scale);
     let mut rows = Vec::new();
     let mut always_less = true;
+    let mut batching_always_wins = true;
     for d in Dataset::REAL_WORLD {
         let g = load(d, scale);
-        let a = ampc_mis(&g, &cfg);
+        let a = ampc_mis(&g, &cfg.with_batching(true));
+        let single = ampc_mis(&g, &cfg.with_batching(false));
         let m = ampc_mpc::mpc_mis(&g, &cfg);
         let a_shuf = a.report.shuffle_bytes();
         let a_kv = a.report.kv_comm().kv_bytes();
+        let a_rt = a.report.kv_round_trips();
+        let s_rt = single.report.kv_round_trips();
         let m_shuf = m.report.shuffle_bytes();
         always_less &= a_shuf < m_shuf;
+        batching_always_wins &= a_rt < s_rt;
+        // The acceptance claim the figure prints: batching must not
+        // change outputs (checked in release too — the bench binaries
+        // are the runs that actually make the claim).
+        assert_eq!(a.in_mis, single.in_mis, "batched MIS diverged on {}", d.name());
         rows.push(vec![
             d.name(),
             bytes(a_shuf),
             bytes(a_kv),
+            format!("{a_rt}"),
+            format!("{s_rt}"),
+            format!("{:.1}x", s_rt as f64 / a_rt.max(1) as f64),
             bytes(m_shuf),
             format!("{:.1}x", m_shuf as f64 / a_shuf.max(1) as f64),
         ]);
@@ -34,6 +48,9 @@ pub fn run(scale: Scale) -> String {
             "Dataset",
             "AMPC-Shuffle",
             "AMPC-KV-Communication",
+            "KV-RoundTrips (batched)",
+            "KV-RoundTrips (single-key)",
+            "Batching saving",
             "MPC-Shuffle",
             "MPC/AMPC shuffle ratio",
         ],
@@ -47,6 +64,15 @@ pub fn run(scale: Scale) -> String {
          network rather than durable storage, which is why AMPC wins on time even where \
          its KV bytes approach MPC's shuffle bytes (the paper's ClueWeb observation).",
         if always_less { "strictly" } else { "mostly" }
+    ));
+    md.para(&format!(
+        "Round-trip accounting (§5.3): lookup latency is charged per *batch*, bandwidth \
+         per key. The batched pipeline issues **{}** fewer charged round trips than the \
+         single-key baseline (identical queries, bytes and outputs — the toggle changes \
+         only how round trips are counted), because independent lookups — KV writes, \
+         per-vertex root fetches — share a round trip while only dependent (adaptive) \
+         queries pay their own latency.",
+        if batching_always_wins { "strictly" } else { "mostly" }
     ));
     md.finish()
 }

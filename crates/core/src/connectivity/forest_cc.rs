@@ -2,7 +2,7 @@
 //!
 //! *"There exists an AMPC algorithm, ForestConnectivity, that solves the
 //! forest connectivity problem in O(1/ε) rounds of computation w.h.p.
-//! using T = O(n log n) total space"* — [19]'s routine iteratively
+//! using T = O(n log n) total space"* — \[19\]'s routine iteratively
 //! shrinks the forest by an `n^ε` factor per round via local searches
 //! and contraction. We instantiate it with the same truncated-search +
 //! contract round the MSF pipeline uses (on a forest, a truncated Prim

@@ -2,7 +2,7 @@
 //!
 //! Exactly the paper's route: *"once we find any spanning forest, the
 //! connected components can be found by applying the forest
-//! connectivity algorithm of [19]"*. [`ampc_connected_components`]
+//! connectivity algorithm of \[19\]"*. [`ampc_connected_components`]
 //! computes a spanning forest by running the MSF machinery over random
 //! (distinct) edge weights, then labels components with
 //! [`forest_cc::forest_cc`] (Proposition 3.2).

@@ -39,3 +39,14 @@ pub mod one_vs_two;
 pub mod priorities;
 pub mod validate;
 pub mod walks;
+
+/// The enforced per-machine handle budget backing a round of truncated
+/// searches: room for every per-search budget over the whole pending
+/// set, so legitimate runs never trip the handle while it still
+/// backstops the `O(S)` contract (saturating at `u64::MAX` for the
+/// untruncated configuration).
+pub(crate) fn round_handle_budget(per_search_budget: u64, pending: usize) -> u64 {
+    per_search_budget
+        .saturating_mul(pending.max(1) as u64)
+        .max(per_search_budget)
+}

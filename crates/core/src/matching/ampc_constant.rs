@@ -124,9 +124,9 @@ pub fn ampc_matching_with_options(
         Some(&writer),
         &buckets,
         |ctx, items: &[(NodeId, Vec<NodeId>)]| {
-            for (v, nbrs) in items {
-                ctx.handle.put(*v as u64, nbrs.clone());
-            }
+            // Independent writes share one accounted round trip (§5.3).
+            ctx.handle
+                .put_many(items.iter().map(|(v, nbrs)| (*v as u64, nbrs.clone())));
             Vec::<()>::new()
         },
     );
@@ -148,11 +148,13 @@ pub fn ampc_matching_with_options(
         assert!(round <= 64, "IsInMM failed to converge");
         let resolved_ro = &resolved;
         let partner_ro = &partner;
-        let outputs: Vec<(NodeId, Option<NodeId>)> = job.kv_round(
+        let handle_budget = crate::round_handle_budget(budget, pending.len());
+        let outputs: Vec<(NodeId, Option<NodeId>)> = job.kv_round_budgeted(
             &format!("IsInMM{}", if round == 1 { String::new() } else { format!("-r{round}") }),
             dht.current(),
             None,
             pending.clone(),
+            handle_budget,
             |ctx, items| {
                 let mut m = Machine {
                     seed,
@@ -166,9 +168,19 @@ pub fn ampc_matching_with_options(
                     resolved: resolved_ro,
                     partner: partner_ro,
                 };
+                // §5.3 batching: the chunk's root adjacency fetches are
+                // independent, so they share one accounted round trip;
+                // each vertex process's adaptive interior stays
+                // single-key.
+                let keys: Vec<u64> = items.iter().map(|&v| v as u64).collect();
+                let roots = ctx.handle.get_many(&keys);
                 items
                     .iter()
-                    .map(|&v| (v, m.vertex_process(v, ctx, budget)))
+                    .zip(roots)
+                    .map(|(&v, root)| {
+                        let root = root.map(|l| l.as_slice()).unwrap_or(&[]);
+                        (v, m.vertex_process(v, root, ctx, budget))
+                    })
                     .collect()
             },
         );
@@ -249,11 +261,14 @@ impl<'r> Machine<'r> {
 
     /// The vertex query process (§4.2): scan `v`'s incident edges in
     /// increasing rank, deciding each with the edge process; stop at the
-    /// first matched edge. Returns the partner, `NO_NODE` for unmatched,
-    /// or `None` if truncated by `budget`.
+    /// first matched edge. `root` is `v`'s adjacency, prefetched by the
+    /// machine's batched round-start lookup (charged as this process's
+    /// first query). Returns the partner, `NO_NODE` for unmatched, or
+    /// `None` if truncated by `budget`.
     fn vertex_process<'a>(
         &mut self,
         v: NodeId,
+        root: &'a [NodeId],
         ctx: &mut MachineCtx<'a, Vec<NodeId>>,
         budget: u64,
     ) -> Option<NodeId> {
@@ -268,12 +283,13 @@ impl<'r> Machine<'r> {
             }
             _ => {}
         }
-        let mut queries = 0u64;
+        let mut queries = 1u64; // the prefetched root list
         // Lists fetched during this vertex process are kept in machine
         // RAM and never re-requested (the natural implementation of
         // §5.4's "iteratively query edges incident to each vertex").
         let mut lists: FxHashMap<NodeId, &'a [NodeId]> = FxHashMap::default();
-        let nbrs = self.fetch(v, ctx, &mut queries, &mut lists);
+        lists.insert(v, root);
+        let nbrs = root;
         if nbrs.is_empty() {
             return Some(NO_NODE); // isolated vertex
         }

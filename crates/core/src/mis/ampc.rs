@@ -13,7 +13,7 @@
 //!    the per-machine result table short-circuits repeat queries, and
 //!    multithreading (modeled in the cost config) hides lookup latency.
 //!
-//! The truncated multi-round variant of [19] (each round re-runs
+//! The truncated multi-round variant of \[19\] (each round re-runs
 //! unresolved vertices with an `n^ε`-times larger budget) is available
 //! through [`MisOptions::truncated`]; as the paper observes, the
 //! practical configuration resolves everything in a single round.
@@ -32,7 +32,7 @@ pub struct MisOptions {
     /// Enable the per-machine caching optimization (§5.3).
     pub caching: bool,
     /// Use the theoretically-truncated multi-round query process of
-    /// [19] instead of a single unbounded round.
+    /// \[19\] instead of a single unbounded round.
     pub truncated: bool,
 }
 
@@ -117,9 +117,10 @@ pub fn ampc_mis_with_options(g: &CsrGraph, cfg: &AmpcConfig, opts: MisOptions) -
         Some(&writer),
         &buckets,
         |ctx, items: &[(NodeId, Vec<NodeId>)]| {
-            for (v, dir) in items {
-                ctx.handle.put(*v as u64, dir.clone());
-            }
+            // One accounted batch per machine (§5.3): the writes are
+            // independent, so they share a single round trip.
+            ctx.handle
+                .put_many(items.iter().map(|(v, dir)| (*v as u64, dir.clone())));
             Vec::<()>::new()
         },
     );
@@ -142,20 +143,33 @@ pub fn ampc_mis_with_options(g: &CsrGraph, cfg: &AmpcConfig, opts: MisOptions) -
         round += 1;
         assert!(round <= 64, "IsInMIS failed to converge");
         let resolved_ro = &resolved;
-        let outputs: Vec<(NodeId, Option<bool>)> = job.kv_round(
+        let handle_budget = crate::round_handle_budget(budget, pending.len());
+        let outputs: Vec<(NodeId, Option<bool>)> = job.kv_round_budgeted(
             &format!("IsInMIS{}", if round == 1 { String::new() } else { format!("-r{round}") }),
             dht.current(),
             None,
             pending.clone(),
+            handle_budget,
             |ctx, items| {
                 let mut cache: DenseCache<Status> = if opts.caching {
                     DenseCache::unbounded(n)
                 } else {
                     DenseCache::disabled()
                 };
+                // §5.3 batching: every pending item's directed adjacency
+                // is one independent lookup, so the whole chunk's root
+                // fetches share a single accounted round trip. The
+                // adaptive interior of each search stays single-key —
+                // dependent queries are separate round trips by design.
+                let keys: Vec<u64> = items.iter().map(|&v| v as u64).collect();
+                let roots = ctx.handle.get_many(&keys);
                 items
                     .iter()
-                    .map(|&v| (v, evaluate(v, ctx, &mut cache, resolved_ro, budget, opts.caching)))
+                    .zip(roots)
+                    .map(|(&v, root)| {
+                        let root = root.map(|l| l.as_slice()).unwrap_or(&[]);
+                        (v, evaluate(v, root, ctx, &mut cache, resolved_ro, budget, opts.caching))
+                    })
                     .collect()
             },
         );
@@ -184,10 +198,11 @@ pub fn ampc_mis_with_options(g: &CsrGraph, cfg: &AmpcConfig, opts: MisOptions) -
                 Some(&status_writer),
                 vec![(); newly as usize],
                 |ctx, items: &[()]| {
-                    for _ in items {
-                        ctx.add_ops(1);
-                        ctx.handle.put(0, Vec::new());
-                    }
+                    ctx.add_ops(items.len() as u64);
+                    // Independent status writes: one batch per machine.
+                    // (All machines write the same marker value, which
+                    // the writer's determinism contract permits.)
+                    ctx.handle.put_many(items.iter().map(|_| (0, Vec::new())));
                     Vec::<()>::new()
                 },
             );
@@ -203,9 +218,15 @@ pub fn ampc_mis_with_options(g: &CsrGraph, cfg: &AmpcConfig, opts: MisOptions) -
 
 /// Iterative evaluation of the Yoshida et al. recursion from `v`.
 ///
+/// `root` is `v`'s directed adjacency, prefetched by the machine's
+/// batched round-start lookup (it counts as this search's first query
+/// against `budget`, exactly as the inline fetch used to).
+///
 /// Returns `None` if the evaluation was truncated by `budget`.
+#[allow(clippy::too_many_arguments)]
 fn evaluate<'a>(
     v: NodeId,
+    root: &'a [NodeId],
     ctx: &mut MachineCtx<'a, Vec<NodeId>>,
     cache: &mut DenseCache<Status>,
     resolved: &[u8],
@@ -253,12 +274,11 @@ fn evaluate<'a>(
         return Some(s == Status::InMis);
     }
 
-    let mut queries_here = 0u64;
+    // The prefetched root list is this search's first charged query.
+    let mut queries_here = 1u64;
     // Frame: (vertex, its directed neighbor list, cursor).
     let mut stack: Vec<(NodeId, &'a [NodeId], usize)> = Vec::new();
-    let list = ctx.handle.get(v as u64).map(|l| l.as_slice()).unwrap_or(&[]);
-    queries_here += 1;
-    stack.push((v, list, 0));
+    stack.push((v, root, 0));
 
     while let Some(&mut (x, nbrs, ref mut idx)) = stack.last_mut() {
         ctx.add_ops(1);

@@ -190,9 +190,9 @@ pub fn prim_contract_round(
         Some(&writer),
         &buckets,
         |ctx, items: &[(NodeId, Adj)]| {
-            for (v, a) in items {
-                ctx.handle.put(*v as u64, a.clone());
-            }
+            // Independent writes share one accounted round trip (§5.3).
+            ctx.handle
+                .put_many(items.iter().map(|(v, a)| (*v as u64, a.clone())));
             Vec::<()>::new()
         },
     );
@@ -205,9 +205,16 @@ pub fn prim_contract_round(
         None,
         (0..n as NodeId).collect(),
         |ctx, items| {
+            // §5.3 batching: every search unconditionally expands its
+            // own origin first, so those lookups are independent and
+            // share one round trip; the adaptive frontier expansions
+            // stay single-key.
+            let keys: Vec<u64> = items.iter().map(|&v| v as u64).collect();
+            let roots = ctx.handle.get_many(&keys);
             items
                 .iter()
-                .map(|&v| prim_search(v, ctx, seed, budget))
+                .zip(roots)
+                .map(|(&v, root)| prim_search(v, root, ctx, seed, budget))
                 .collect()
         },
     );
@@ -253,9 +260,9 @@ pub fn prim_contract_round(
             Some(&pj_writer),
             (0..n as NodeId).collect(),
             |ctx, items| {
-                for &v in items {
-                    ctx.handle.put(v as u64, parent_ref[v as usize]);
-                }
+                // Independent writes share one round trip (§5.3).
+                ctx.handle
+                    .put_many(items.iter().map(|&v| (v as u64, parent_ref[v as usize])));
                 Vec::<()>::new()
             },
         );
@@ -379,9 +386,12 @@ pub fn prim_contract_round(
     }
 }
 
-/// Algorithm 1's truncated Prim search from `v`.
+/// Algorithm 1's truncated Prim search from `v`. The origin's adjacency
+/// arrives prefetched (`root`) from the machine's batched round-start
+/// lookup; frontier expansions are adaptive and stay single-key.
 fn prim_search<'a>(
     v: NodeId,
+    root: Option<&'a Adj>,
     ctx: &mut ampc_runtime::executor::MachineCtx<'a, Adj>,
     seed: u64,
     budget: u64,
@@ -402,7 +412,11 @@ fn prim_search<'a>(
             }
         }
     };
-    expand(v, &mut heap, ctx);
+    if let Some(adj) = root {
+        for &(t, w) in adj {
+            heap.push(Reverse((w, t)));
+        }
+    }
 
     loop {
         // Stopping condition (1): explored n^{ε/2} vertices.

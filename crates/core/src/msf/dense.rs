@@ -1,4 +1,4 @@
-//! DenseMSF — Proposition 3.1 ([19]'s algorithm, as iterated here).
+//! DenseMSF — Proposition 3.1 (\[19\]'s algorithm, as iterated here).
 //!
 //! The loop: run a truncated-Prim + contraction round
 //! ([`crate::msf::common::prim_contract_round`]); each round shrinks the

@@ -7,7 +7,7 @@
 //!   contractions, and the Prim-search + contraction round that
 //!   Algorithm 1 and the §5.5 pipeline are built from.
 //! * [`dense`] — [`dense::dense_msf`]: the iterated
-//!   search-and-contract loop of Proposition 3.1 ([19]'s DenseMSF).
+//!   search-and-contract loop of Proposition 3.1 (\[19\]'s DenseMSF).
 //! * [`pipeline`] — [`pipeline::ampc_msf`]: the §5.5 production pipeline
 //!   (what Figure 7 measures) and [`pipeline::ampc_msf_algorithm2`]: the
 //!   faithful Algorithm 2 with the ternarization step for sparse graphs.

@@ -94,43 +94,73 @@ pub fn ampc_one_vs_two_with_rate(g: &CsrGraph, cfg: &AmpcConfig, sample_inv: u64
         Some(&writer),
         &buckets,
         |ctx, items: &[(NodeId, Vec<NodeId>)]| {
-            for (v, nbrs) in items {
-                ctx.handle.put(*v as u64, nbrs.clone());
-            }
+            // Independent writes share one round trip (§5.3).
+            ctx.handle
+                .put_many(items.iter().map(|(v, nbrs)| (*v as u64, nbrs.clone())));
             Vec::<()>::new()
         },
     );
     dht.push(writer.seal());
 
     // ----------------------------------------------------------- Search
-    // Each sample walks both ways to the next sample. A walk returns
-    // (endpoint sample, steps taken).
+    // Each sample walks both ways to the next sample; a walk returns
+    // (endpoint sample, steps taken). A machine's walks advance in
+    // **lockstep**: every adaptive step issues one batched lookup for
+    // all still-active walk frontiers (§5.3), so the charged round-trip
+    // depth is the longest segment, not the total step count.
     let walks: Vec<(NodeId, NodeId, u64)> = job.kv_round(
         "Search",
         dht.current(),
         None,
         samples.clone(),
         |ctx, items| {
-            let mut out = Vec::with_capacity(items.len() * 2);
-            for &s in items {
-                let nbrs = ctx.handle.get(s as u64).expect("2-regular").clone();
+            struct Walk {
+                origin: NodeId,
+                prev: NodeId,
+                cur: NodeId,
+                steps: u64,
+            }
+            // The sample-origin fetches are independent: one batch.
+            let keys: Vec<u64> = items.iter().map(|&s| s as u64).collect();
+            let origins = ctx.handle.get_many(&keys);
+            let mut walks: Vec<Walk> = Vec::with_capacity(items.len() * 2);
+            for (&s, nbrs) in items.iter().zip(origins) {
+                let nbrs = nbrs.expect("2-regular");
                 for &start in nbrs.iter().take(2) {
-                    let mut prev = s;
-                    let mut cur = start;
-                    let mut steps = 1u64;
-                    while !is_sampled(cur) {
-                        ctx.add_ops(1);
-                        let cn = ctx.handle.get(cur as u64).expect("2-regular");
-                        let next = if cn[0] == prev { cn[1] } else { cn[0] };
-                        prev = cur;
-                        cur = next;
-                        steps += 1;
-                        debug_assert!(steps <= n as u64 + 1, "walk failed to terminate");
-                    }
-                    out.push((s, cur, steps));
+                    walks.push(Walk {
+                        origin: s,
+                        prev: s,
+                        cur: start,
+                        steps: 1,
+                    });
                 }
             }
-            out
+            let mut active: Vec<usize> = (0..walks.len())
+                .filter(|&i| !is_sampled(walks[i].cur))
+                .collect();
+            while !active.is_empty() {
+                let keys: Vec<u64> = active.iter().map(|&i| walks[i].cur as u64).collect();
+                let frontier = ctx.handle.get_many(&keys);
+                let mut next_active = Vec::with_capacity(active.len());
+                for (&i, cn) in active.iter().zip(frontier) {
+                    ctx.add_ops(1);
+                    let cn = cn.expect("2-regular");
+                    let w = &mut walks[i];
+                    let next = if cn[0] == w.prev { cn[1] } else { cn[0] };
+                    w.prev = w.cur;
+                    w.cur = next;
+                    w.steps += 1;
+                    debug_assert!(w.steps <= n as u64 + 1, "walk failed to terminate");
+                    if !is_sampled(w.cur) {
+                        next_active.push(i);
+                    }
+                }
+                active = next_active;
+            }
+            walks
+                .into_iter()
+                .map(|w| (w.origin, w.cur, w.steps))
+                .collect()
         },
     );
 

@@ -6,10 +6,13 @@
 //! suggestion: after one shuffle writes the adjacency into the DHT,
 //! every walker advances step by step with one KV lookup per hop —
 //! an O(1)-round computation that would cost one MPC round *per hop*
-//! (cf. the 1-vs-2-cycle separation). A visit-frequency PageRank
-//! estimator is built on top.
+//! (cf. the 1-vs-2-cycle separation). Walkers sharing a machine move in
+//! lockstep so each hop is one *batched* lookup (§5.3): the charged
+//! round-trip depth is the walk length, not walkers × steps. A
+//! visit-frequency PageRank estimator is built on top.
 
 use crate::priorities::node_rank;
+use ampc_dht::cache::DenseCache;
 use ampc_dht::hasher::mix64;
 use ampc_dht::store::{Dht, GenerationWriter};
 use ampc_runtime::{AmpcConfig, Job, JobReport};
@@ -51,49 +54,64 @@ pub fn ampc_random_walks(
         Some(&writer),
         &buckets,
         |ctx, items: &[(NodeId, Vec<NodeId>)]| {
-            for (v, nbrs) in items {
-                ctx.handle.put(*v as u64, nbrs.clone());
-            }
+            // Independent writes share one round trip (§5.3).
+            ctx.handle
+                .put_many(items.iter().map(|(v, nbrs)| (*v as u64, nbrs.clone())));
             Vec::<()>::new()
         },
     );
     dht.push(writer.seal());
 
-    // One KV round: every walker advances `steps` hops adaptively.
+    // One KV round: every walker advances `steps` hops. The walkers on
+    // a machine advance in **lockstep**: each adaptive step issues one
+    // batched lookup for all walkers' current positions (§5.3 — the
+    // round costs its adaptive depth, `steps`, not walkers × steps),
+    // with repeats answered by the handle-mounted per-machine cache
+    // when the caching optimization is on.
     let starts: Vec<(u64, NodeId)> = (0..walkers_per_node)
         .flat_map(|w| (0..n as NodeId).map(move |v| (w as u64, v)))
         .collect();
     let seed = cfg.seed;
+    let caching = cfg.caching;
     let walks = job.kv_round(
         "Walk",
         dht.current(),
         None,
         starts,
         |ctx, items| {
-            items
+            if caching {
+                ctx.handle.mount_cache(DenseCache::unbounded(n));
+            }
+            let mut cur: Vec<NodeId> = items.iter().map(|&(_, v)| v).collect();
+            let mut paths: Vec<Vec<NodeId>> = cur
                 .iter()
-                .map(|&(w, start)| {
-                    let mut path = Vec::with_capacity(steps + 1);
-                    let mut cur = start;
-                    path.push(cur);
-                    for s in 0..steps {
-                        let nbrs = ctx.handle.get(cur as u64).expect("vertex record");
-                        if nbrs.is_empty() {
-                            path.push(cur);
-                            continue;
-                        }
-                        ctx.add_ops(1);
-                        let r = mix64(
-                            seed ^ w
-                                .wrapping_mul(0x9E37_79B9)
-                                .wrapping_add(cur as u64) ^ ((s as u64) << 32),
-                        );
-                        cur = nbrs[(r % nbrs.len() as u64) as usize];
-                        path.push(cur);
-                    }
-                    path
+                .map(|&c| {
+                    let mut p = Vec::with_capacity(steps + 1);
+                    p.push(c);
+                    p
                 })
-                .collect()
+                .collect();
+            for s in 0..steps {
+                let keys: Vec<u64> = cur.iter().map(|&c| c as u64).collect();
+                let frontier = ctx.handle.get_many_through(&keys);
+                for (i, nbrs) in frontier.iter().enumerate() {
+                    let nbrs = nbrs.as_ref().expect("vertex record");
+                    if nbrs.is_empty() {
+                        paths[i].push(cur[i]);
+                        continue;
+                    }
+                    ctx.add_ops(1);
+                    let (w, _) = items[i];
+                    let r = mix64(
+                        seed ^ w
+                            .wrapping_mul(0x9E37_79B9)
+                            .wrapping_add(cur[i] as u64) ^ ((s as u64) << 32),
+                    );
+                    cur[i] = nbrs[(r % nbrs.len() as u64) as usize];
+                    paths[i].push(cur[i]);
+                }
+            }
+            paths
         },
     );
 

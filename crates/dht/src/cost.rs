@@ -118,13 +118,21 @@ impl CostConfig {
         }
     }
 
-    /// Simulated time for one machine to perform `queries` lookups
-    /// transferring `bytes` total: latency (possibly hidden by
-    /// multithreading) plus throughput. Volumes are scaled by
-    /// [`Self::data_scale`].
-    pub fn kv_time_ns(&self, queries: u64, bytes: u64) -> u64 {
+    /// Simulated time for one machine to perform `round_trips` KV-store
+    /// round trips transferring `bytes` total: latency (possibly hidden
+    /// by multithreading) is charged **per round trip** and throughput
+    /// **per byte**. Volumes are scaled by [`Self::data_scale`].
+    ///
+    /// A round trip is one accounted *batch*
+    /// ([`crate::CommStats::batches`]): a `get_many` of 1000 independent
+    /// keys pays one latency and 1000 keys of bandwidth, while 1000
+    /// dependent single-key lookups pay 1000 latencies — the §5.3
+    /// distinction that makes adaptive *depth*, not query volume, the
+    /// cost of a round. Callers running the single-key baseline pass
+    /// `queries + writes` (each op is its own round trip there).
+    pub fn kv_time_ns(&self, round_trips: u64, bytes: u64) -> u64 {
         let s = self.data_scale as f64;
-        let latency = self.effective_lookup_latency_ns() * queries as f64 * s;
+        let latency = self.effective_lookup_latency_ns() * round_trips as f64 * s;
         let transfer = bytes as f64 * s * 1e9 / self.kv_bandwidth_bps as f64;
         (latency + transfer) as u64
     }
@@ -196,6 +204,18 @@ mod tests {
         let expect = 1e9 * 1e9 / cfg.kv_bandwidth_bps as f64; // 1 GB transfer
         let t = cfg.kv_time_ns(1, 1_000_000_000) as f64;
         assert!((t - expect).abs() / expect < 0.05, "{t} vs {expect}");
+    }
+
+    #[test]
+    fn batching_cuts_latency_not_bandwidth() {
+        let cfg = CostConfig::default();
+        let bytes = 1_000_000u64;
+        // Same key volume, 100x fewer round trips: strictly cheaper,
+        // but never cheaper than the pure bandwidth floor.
+        let single = cfg.kv_time_ns(10_000, bytes);
+        let batched = cfg.kv_time_ns(100, bytes);
+        assert!(batched < single, "{batched} vs {single}");
+        assert!(batched >= cfg.kv_time_ns(0, bytes));
     }
 
     #[test]

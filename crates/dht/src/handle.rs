@@ -5,27 +5,74 @@
 //! [`MachineHandle`] is how algorithm code touches the store: every
 //! `get` / `put` is counted into the machine's [`CommStats`], and the
 //! handle carries the machine's query budget so callers can implement
-//! (and tests can verify) the truncation rules of Algorithms 1 and 4
-//! and the §4.2 vertex-truncated process.
+//! (and the handle can *enforce* — see [`MachineHandle::try_get`]) the
+//! truncation rules of Algorithms 1 and 4 and the §4.2
+//! vertex-truncated process.
+//!
+//! # Batching (§5.3)
+//!
+//! The paper's practical wins come from machines issuing *batches* of
+//! DHT queries per adaptive step and answering repeats from a
+//! per-machine cache. [`MachineHandle::get_many`] / `put_many` perform
+//! one **accounted batch**: [`CommStats::batches`] counts one round
+//! trip for the whole request while `queries`/`bytes_read` still count
+//! per key — so the cost model can charge latency per batch and
+//! bandwidth per key, and one batch of 1000 independent lookups is
+//! distinguishable from 1000 dependent ones. Constructing the handle
+//! with batching disabled (the `AMPC_BATCH=off` baseline) degrades
+//! every batched call to a loop of single-key operations — identical
+//! keys, bytes and values, one batch per key — so outputs and byte
+//! counts are comparable across the two modes by construction.
+//!
+//! A read-through [`DenseCache`] can be mounted directly on the handle
+//! ([`MachineHandle::mount_cache`]) so kernels whose cached state is
+//! the raw stored value stop hand-rolling cache-then-get logic.
 
+use crate::cache::DenseCache;
+use crate::hasher::{FxHashMap, FxHashSet};
 use crate::measured::Measured;
 use crate::metrics::CommStats;
 use crate::store::{Generation, GenerationWriter};
+
+/// Signal returned by the `try_*` accessors when the next request would
+/// exceed the handle's `O(S)` query budget. Algorithm-1-style truncated
+/// searches treat this as their stopping condition.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BudgetExhausted;
+
+impl std::fmt::Display for BudgetExhausted {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "per-round O(S) query budget exhausted")
+    }
+}
+
+impl std::error::Error for BudgetExhausted {}
 
 /// Metered read/write access for one machine within one round.
 ///
 /// Reads go to the *previous* (sealed) generation; writes go to the
 /// *next* generation under construction — the handle enforces the
-/// model's read/write separation by construction.
+/// model's read/write separation by construction. Writes carry the
+/// machine's id into the [`GenerationWriter`] so duplicate keys resolve
+/// deterministically (lowest machine id wins), independent of thread
+/// schedule.
 pub struct MachineHandle<'a, V> {
     read: &'a Generation<V>,
     write: Option<&'a GenerationWriter<V>>,
     stats: CommStats,
     /// Query budget `O(S)`; `u64::MAX` if unenforced.
     budget: u64,
+    /// This machine's id, threaded into every write for deterministic
+    /// duplicate-key resolution.
+    machine_id: u32,
+    /// When false, `get_many`/`put_many` degrade to per-key round trips
+    /// (the single-key baseline).
+    batching: bool,
+    /// Optional read-through cache of raw stored values.
+    cache: Option<DenseCache<V>>,
 }
 
-impl<'a, V: Measured + Clone> MachineHandle<'a, V> {
+impl<'a, V: Measured + Clone + PartialEq> MachineHandle<'a, V> {
     /// A handle reading `read` and writing to `write`.
     pub fn new(read: &'a Generation<V>, write: Option<&'a GenerationWriter<V>>) -> Self {
         MachineHandle {
@@ -33,6 +80,9 @@ impl<'a, V: Measured + Clone> MachineHandle<'a, V> {
             write,
             stats: CommStats::default(),
             budget: u64::MAX,
+            machine_id: 0,
+            batching: true,
+            cache: None,
         }
     }
 
@@ -40,6 +90,25 @@ impl<'a, V: Measured + Clone> MachineHandle<'a, V> {
     pub fn with_budget(mut self, budget: u64) -> Self {
         self.budget = budget;
         self
+    }
+
+    /// Sets the machine id carried by writes.
+    pub fn with_machine(mut self, machine_id: u32) -> Self {
+        self.machine_id = machine_id;
+        self
+    }
+
+    /// Enables or disables batched accounting (default: enabled).
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
+        self
+    }
+
+    /// Mounts a read-through cache: `get_through`/`get_many_through`
+    /// answer repeats locally (counted as cache hits) and only miss
+    /// traffic reaches the DHT.
+    pub fn mount_cache(&mut self, cache: DenseCache<V>) {
+        self.cache = Some(cache);
     }
 
     /// Remaining queries before the budget is exhausted.
@@ -54,10 +123,9 @@ impl<'a, V: Measured + Clone> MachineHandle<'a, V> {
         self.stats.queries < self.budget
     }
 
-    /// Looks up `key` in the sealed (previous-round) generation,
-    /// counting the query and response bytes.
+    /// Counts and performs one keyed read (no batch accounting).
     #[inline]
-    pub fn get(&mut self, key: u64) -> Option<&'a V> {
+    fn charge_read(&mut self, key: u64) -> Option<&'a V> {
         self.stats.queries += 1;
         let v = self.read.get(key);
         if let Some(v) = v {
@@ -68,26 +136,207 @@ impl<'a, V: Measured + Clone> MachineHandle<'a, V> {
         v
     }
 
+    /// Looks up `key` in the sealed (previous-round) generation,
+    /// counting the query, the round trip and the response bytes.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the machine's `O(S)` query budget is
+    /// already exhausted — the budget is enforced, not advisory. Use
+    /// [`Self::try_get`] where truncation is a legitimate outcome.
+    #[inline]
+    pub fn get(&mut self, key: u64) -> Option<&'a V> {
+        debug_assert!(
+            self.can_query(),
+            "machine {} exceeded its O(S) query budget of {}",
+            self.machine_id,
+            self.budget
+        );
+        self.stats.batches += 1;
+        self.charge_read(key)
+    }
+
+    /// Budget-enforcing lookup: returns [`BudgetExhausted`] instead of
+    /// querying once the `O(S)` budget is used up.
+    #[inline]
+    pub fn try_get(&mut self, key: u64) -> Result<Option<&'a V>, BudgetExhausted> {
+        if !self.can_query() {
+            return Err(BudgetExhausted);
+        }
+        self.stats.batches += 1;
+        Ok(self.charge_read(key))
+    }
+
+    /// Looks up many keys in **one accounted batch**: a single round
+    /// trip ([`CommStats::batches`]), one query and per-key response
+    /// bytes for every key. The keys must be *independent* — none may
+    /// depend on another's response; dependent lookups are separate
+    /// batches, which is exactly what the cost model charges for.
+    ///
+    /// With batching disabled, degrades to a loop of [`Self::get`]
+    /// calls: identical keys, bytes and return values, one round trip
+    /// per key.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the batch would exceed the `O(S)`
+    /// query budget.
+    pub fn get_many(&mut self, keys: &[u64]) -> Vec<Option<&'a V>> {
+        if !self.batching {
+            return keys.iter().map(|&k| self.get(k)).collect();
+        }
+        if keys.is_empty() {
+            return Vec::new();
+        }
+        debug_assert!(
+            self.stats.queries.saturating_add(keys.len() as u64) <= self.budget,
+            "machine {} batch of {} keys exceeds its O(S) query budget of {}",
+            self.machine_id,
+            keys.len(),
+            self.budget
+        );
+        self.stats.batches += 1;
+        keys.iter().map(|&k| self.charge_read(k)).collect()
+    }
+
+    /// Budget-enforcing batch lookup: the whole batch is rejected with
+    /// [`BudgetExhausted`] if it does not fit in the remaining budget
+    /// (batches are all-or-nothing round trips).
+    pub fn try_get_many(&mut self, keys: &[u64]) -> Result<Vec<Option<&'a V>>, BudgetExhausted> {
+        if keys.is_empty() {
+            return Ok(Vec::new());
+        }
+        if self.remaining_budget() < keys.len() as u64 {
+            return Err(BudgetExhausted);
+        }
+        if self.batching {
+            self.stats.batches += 1;
+            Ok(keys.iter().map(|&k| self.charge_read(k)).collect())
+        } else {
+            Ok(keys
+                .iter()
+                .map(|&k| {
+                    self.stats.batches += 1;
+                    self.charge_read(k)
+                })
+                .collect())
+        }
+    }
+
+    /// Read-through lookup against the mounted cache: a hit is answered
+    /// locally (counted in [`CommStats::cache_hits`], no budget use); a
+    /// miss queries the DHT and populates the cache. Without a mounted
+    /// cache this is `get` + clone.
+    pub fn get_through(&mut self, key: u64) -> Option<V> {
+        if self.cache.is_none() {
+            return self.get(key).cloned();
+        }
+        if let Some(v) = self.cache.as_ref().and_then(|c| c.get(key)).cloned() {
+            self.stats.cache_hits += 1;
+            return Some(v);
+        }
+        let fetched = self.get(key).cloned();
+        if let (Some(v), Some(c)) = (&fetched, self.cache.as_mut()) {
+            c.put(key, v.clone());
+        }
+        fetched
+    }
+
+    /// Read-through batch lookup: cached keys (and repeats within the
+    /// batch) are answered locally as cache hits; the distinct misses go
+    /// to the DHT in **one** accounted batch, whose responses populate
+    /// the cache. Matches the sequential single-key semantics exactly —
+    /// a repeated key costs one query however it arrives — so the
+    /// batching toggle changes only the round-trip accounting. (A
+    /// repeat of a key the store turns out not to hold is still counted
+    /// as a hit at scan time; all workspace kernels look up keys they
+    /// previously wrote.)
+    pub fn get_many_through(&mut self, keys: &[u64]) -> Vec<Option<V>> {
+        let Some(mut cache) = self.cache.take() else {
+            return self.get_many(keys).into_iter().map(|v| v.cloned()).collect();
+        };
+        let mut fetch: Vec<u64> = Vec::new();
+        let mut pending: FxHashSet<u64> = FxHashSet::default();
+        for &k in keys {
+            if cache.get(k).is_some() || pending.contains(&k) {
+                self.stats.cache_hits += 1;
+            } else {
+                pending.insert(k);
+                fetch.push(k);
+            }
+        }
+        let fetched = self.get_many(&fetch);
+        let mut batch: FxHashMap<u64, Option<&'a V>> = FxHashMap::default();
+        for (&k, v) in fetch.iter().zip(&fetched) {
+            batch.insert(k, *v);
+            if let Some(v) = v {
+                cache.put(k, (*v).clone());
+            }
+        }
+        let out = keys
+            .iter()
+            .map(|k| match batch.get(k) {
+                Some(v) => v.cloned(),
+                None => cache.get(*k).cloned(),
+            })
+            .collect();
+        self.cache = Some(cache);
+        out
+    }
+
     /// Records a cache hit: the lookup was answered locally and does not
-    /// count against the budget.
+    /// count against the budget. For kernels that keep *derived* state
+    /// in their own caches (e.g. the MIS tri-state); raw-value caches
+    /// should prefer [`Self::mount_cache`].
     #[inline]
     pub fn note_cache_hit(&mut self) {
         self.stats.cache_hits += 1;
     }
 
+    /// Counts and performs one keyed write (no batch accounting).
+    #[inline]
+    fn charge_write(&mut self, key: u64, value: V) {
+        let w = self
+            .write
+            .expect("this machine handle is read-only this round");
+        let bytes = w.put_from(self.machine_id, key, value);
+        self.stats.writes += 1;
+        self.stats.bytes_written += bytes as u64;
+    }
+
     /// Writes a key-value pair into the next generation, counting the
-    /// write and its bytes.
+    /// write, the round trip and its bytes. Duplicate keys across
+    /// machines resolve to the lowest machine id (see
+    /// [`GenerationWriter::put_from`]).
     ///
     /// # Panics
     /// Panics if the handle was created read-only.
     #[inline]
     pub fn put(&mut self, key: u64, value: V) {
-        let w = self
-            .write
-            .expect("this machine handle is read-only this round");
-        let bytes = w.put(key, value);
-        self.stats.writes += 1;
-        self.stats.bytes_written += bytes as u64;
+        self.stats.batches += 1;
+        self.charge_write(key, value);
+    }
+
+    /// Writes many pairs in **one accounted batch** (one round trip,
+    /// per-pair writes and bytes). With batching disabled, degrades to
+    /// a loop of [`Self::put`] calls.
+    ///
+    /// # Panics
+    /// Panics if the handle was created read-only and the iterator is
+    /// non-empty.
+    pub fn put_many(&mut self, pairs: impl IntoIterator<Item = (u64, V)>) {
+        if !self.batching {
+            for (k, v) in pairs {
+                self.put(k, v);
+            }
+            return;
+        }
+        let mut any = false;
+        for (k, v) in pairs {
+            any = true;
+            self.charge_write(k, v);
+        }
+        if any {
+            self.stats.batches += 1;
+        }
     }
 
     /// The communication counters accumulated so far.
@@ -119,7 +368,36 @@ mod tests {
         assert_eq!(h.get(1), Some(&10));
         assert_eq!(h.get(99), None);
         assert_eq!(h.stats().queries, 2);
+        assert_eq!(h.stats().batches, 2);
         assert_eq!(h.stats().bytes_read, (8 + 8) + 8);
+    }
+
+    #[test]
+    fn get_many_counts_one_batch() {
+        let g = gen3();
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None);
+        let vs = h.get_many(&[1, 2, 99]);
+        assert_eq!(vs, vec![Some(&10), Some(&20), None]);
+        assert_eq!(h.stats().queries, 3);
+        assert_eq!(h.stats().batches, 1);
+        assert_eq!(h.stats().bytes_read, 16 + 16 + 8);
+        // An empty batch is free.
+        assert!(h.get_many(&[]).is_empty());
+        assert_eq!(h.stats().batches, 1);
+    }
+
+    #[test]
+    fn batching_off_degrades_to_single_key() {
+        let g = gen3();
+        let mut on: MachineHandle<u64> = MachineHandle::new(&g, None);
+        let mut off: MachineHandle<u64> = MachineHandle::new(&g, None).with_batching(false);
+        let a = on.get_many(&[1, 2, 3]);
+        let b = off.get_many(&[1, 2, 3]);
+        assert_eq!(a, b);
+        assert_eq!(on.stats().queries, off.stats().queries);
+        assert_eq!(on.stats().bytes_read, off.stats().bytes_read);
+        assert_eq!(on.stats().batches, 1);
+        assert_eq!(off.stats().batches, 3);
     }
 
     #[test]
@@ -129,9 +407,36 @@ mod tests {
         let mut h = MachineHandle::new(&g, Some(&w));
         h.put(5, 55u64);
         assert_eq!(h.stats().writes, 1);
+        assert_eq!(h.stats().batches, 1);
         assert_eq!(h.stats().bytes_written, 16);
         let sealed = w.seal();
         assert_eq!(sealed.get(5), Some(&55));
+    }
+
+    #[test]
+    fn put_many_counts_one_batch() {
+        let g = gen3();
+        let w = GenerationWriter::new();
+        let mut h = MachineHandle::new(&g, Some(&w));
+        h.put_many((0..10u64).map(|k| (k, k * 2)));
+        assert_eq!(h.stats().writes, 10);
+        assert_eq!(h.stats().batches, 1);
+        assert_eq!(h.stats().bytes_written, 160);
+        h.put_many(std::iter::empty());
+        assert_eq!(h.stats().batches, 1);
+        let sealed = w.seal();
+        assert_eq!(sealed.get(7), Some(&14));
+    }
+
+    #[test]
+    fn writes_carry_machine_id() {
+        let g: Generation<u64> = Generation::empty();
+        let w = GenerationWriter::new().relaxed();
+        let mut h2 = MachineHandle::new(&g, Some(&w)).with_machine(2);
+        let mut h1 = MachineHandle::new(&g, Some(&w)).with_machine(1);
+        h2.put(7, 200);
+        h1.put(7, 100);
+        assert_eq!(w.seal().get(7), Some(&100)); // lowest machine id wins
     }
 
     #[test]
@@ -154,6 +459,36 @@ mod tests {
     }
 
     #[test]
+    fn try_get_signals_budget_exhaustion() {
+        let g = gen3();
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None).with_budget(2);
+        assert_eq!(h.try_get(1), Ok(Some(&10)));
+        assert_eq!(h.try_get(2), Ok(Some(&20)));
+        assert_eq!(h.try_get(3), Err(BudgetExhausted));
+        assert_eq!(h.stats().queries, 2, "a rejected query must not be charged");
+    }
+
+    #[test]
+    fn try_get_many_is_all_or_nothing() {
+        let g = gen3();
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None).with_budget(4);
+        assert!(h.try_get_many(&[1, 2, 3]).is_ok());
+        assert_eq!(h.try_get_many(&[1, 2]), Err(BudgetExhausted));
+        assert_eq!(h.stats().queries, 3);
+        assert!(h.try_get_many(&[1]).is_ok());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "O(S) query budget")]
+    fn get_over_budget_debug_panics() {
+        let g = gen3();
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None).with_budget(1);
+        h.get(1);
+        h.get(2);
+    }
+
+    #[test]
     fn cache_hits_do_not_consume_budget() {
         let g = gen3();
         let mut h: MachineHandle<u64> = MachineHandle::new(&g, None).with_budget(1);
@@ -161,5 +496,75 @@ mod tests {
         h.note_cache_hit();
         assert!(h.can_query());
         assert_eq!(h.stats().cache_hits, 2);
+    }
+
+    #[test]
+    fn mounted_cache_answers_repeats_locally() {
+        let g = gen3();
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None);
+        h.mount_cache(DenseCache::unbounded(8));
+        assert_eq!(h.get_through(1), Some(10));
+        assert_eq!(h.get_through(1), Some(10));
+        assert_eq!(h.stats().queries, 1);
+        assert_eq!(h.stats().cache_hits, 1);
+        assert_eq!(h.stats().batches, 1);
+    }
+
+    #[test]
+    fn get_many_through_dedups_and_batches_misses() {
+        let g = gen3();
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None);
+        h.mount_cache(DenseCache::unbounded(8));
+        // 1 repeats within the batch; the second batch repeats across.
+        assert_eq!(
+            h.get_many_through(&[1, 2, 1]),
+            vec![Some(10), Some(20), Some(10)]
+        );
+        assert_eq!(h.stats().queries, 2);
+        assert_eq!(h.stats().cache_hits, 1);
+        assert_eq!(h.stats().batches, 1);
+        assert_eq!(h.get_many_through(&[2, 3]), vec![Some(20), Some(30)]);
+        assert_eq!(h.stats().queries, 3);
+        assert_eq!(h.stats().cache_hits, 2);
+        assert_eq!(h.stats().batches, 2);
+    }
+
+    #[test]
+    fn get_many_through_without_cache_is_plain_batch() {
+        let g = gen3();
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None);
+        assert_eq!(
+            h.get_many_through(&[1, 1, 99]),
+            vec![Some(10), Some(10), None]
+        );
+        assert_eq!(h.stats().queries, 3);
+        assert_eq!(h.stats().cache_hits, 0);
+        assert_eq!(h.stats().batches, 1);
+    }
+
+    /// Algorithm-1-style truncation: a search loop that explores until
+    /// the handle refuses actually stops at the budget boundary.
+    #[test]
+    fn truncated_search_hits_enforced_budget() {
+        let g: Generation<u64> =
+            Generation::from_iter((0..100u64).map(|k| (k, k + 1)));
+        let budget = 7u64;
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None).with_budget(budget);
+        let mut cur = 0u64;
+        let mut hops = 0u64;
+        let truncated = loop {
+            match h.try_get(cur) {
+                Err(BudgetExhausted) => break true,
+                Ok(Some(&next)) => {
+                    hops += 1;
+                    cur = next;
+                }
+                Ok(None) => break false,
+            }
+        };
+        assert!(truncated, "walk should have been truncated");
+        assert_eq!(hops, budget);
+        assert_eq!(h.stats().queries, budget);
+        assert!(!h.can_query());
     }
 }

@@ -13,19 +13,29 @@
 //!   the fault-tolerance story work (a re-executed machine re-reads the
 //!   same values).
 //! * [`handle::MachineHandle`] — the per-machine access path. All reads
-//!   and writes are metered: the handle counts queries, writes and bytes
-//!   ([`metrics::CommStats`]), and enforces/observes the `O(S)`
-//!   communication budget of the model.
+//!   and writes are metered: the handle counts queries, writes, batched
+//!   round trips and bytes ([`metrics::CommStats`]), **enforces** the
+//!   `O(S)` communication budget of the model
+//!   ([`handle::BudgetExhausted`]), and supports the §5.3 batching
+//!   optimization: `get_many`/`put_many` issue many independent keys as
+//!   one accounted round trip, and a read-through [`cache::DenseCache`]
+//!   can be mounted directly on the handle.
 //! * [`cache::DenseCache`] — the per-machine query cache of §5.3's caching
 //!   optimization (*"an array indexed over the vertices that is shared
-//!   between all threads operating on a machine"*).
+//!   between all threads operating on a machine"*), with a compact-map
+//!   representation that keeps memory `O(capacity)` when the capacity is
+//!   far below the key space.
 //! * [`cost`] — the network/storage cost model that converts byte and
-//!   query counts into simulated time, with RDMA and TCP/IP profiles
+//!   round-trip counts into simulated time, with RDMA and TCP/IP profiles
 //!   (Table 4) and a multithreading latency-hiding factor (Figure 4).
+//!   Lookup latency is charged per *batch* and bandwidth per key, so
+//!   adaptive depth (chains of dependent batches) is what a round costs.
 //!
-//! Keys are `u64`; values are any `Clone + Measured` type, where
-//! [`measured::Measured`] supplies the byte size used for communication
-//! accounting.
+//! Keys are `u64`; values are any `Clone + PartialEq + Measured` type,
+//! where [`measured::Measured`] supplies the byte size used for
+//! communication accounting (`PartialEq` lets the store detect
+//! conflicting cross-machine duplicate writes, which the §3 determinism
+//! contract forbids).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
@@ -40,7 +50,7 @@ pub mod store;
 
 pub use cache::DenseCache;
 pub use cost::{CostConfig, Network};
-pub use handle::MachineHandle;
+pub use handle::{BudgetExhausted, MachineHandle};
 pub use measured::Measured;
 pub use metrics::CommStats;
 pub use store::{Dht, Generation, GenerationWriter};

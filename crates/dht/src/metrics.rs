@@ -16,6 +16,15 @@ pub struct CommStats {
     pub queries: u64,
     /// Number of key-value pairs written to the DHT.
     pub writes: u64,
+    /// Number of accounted round trips to the DHT. A batched request
+    /// (`get_many` / `put_many`) counts as **one** batch no matter how
+    /// many keys it carries; a single-key `get` / `put` is a batch of
+    /// one. Always `batches <= queries + writes`. The cost model charges
+    /// lookup *latency* per batch and *bandwidth* per key, so adaptive
+    /// depth — chains of dependent batches — is what a round costs
+    /// (the §5.3 distinction between 1000 independent queries and 1000
+    /// dependent ones).
+    pub batches: u64,
     /// Bytes received from the DHT in response to queries.
     pub bytes_read: u64,
     /// Bytes sent to the DHT by writes.
@@ -43,6 +52,18 @@ impl CommStats {
         self.queries + self.writes
     }
 
+    /// Charged round trips: batches if any were recorded, otherwise
+    /// (for stats produced before batching, e.g. deserialized old
+    /// reports) every network op is its own round trip.
+    #[inline]
+    pub fn round_trips(&self) -> u64 {
+        if self.batches > 0 || self.network_ops() == 0 {
+            self.batches
+        } else {
+            self.network_ops()
+        }
+    }
+
     /// Fraction of lookups served by the cache, in `[0, 1]`.
     pub fn cache_hit_rate(&self) -> f64 {
         let total = self.queries + self.cache_hits;
@@ -57,6 +78,7 @@ impl CommStats {
     pub fn merge(&mut self, other: &CommStats) {
         self.queries += other.queries;
         self.writes += other.writes;
+        self.batches += other.batches;
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.cache_hits += other.cache_hits;
@@ -81,6 +103,7 @@ mod tests {
         let a = CommStats {
             queries: 1,
             writes: 2,
+            batches: 2,
             bytes_read: 3,
             bytes_written: 4,
             cache_hits: 5,
@@ -88,8 +111,27 @@ mod tests {
         let mut b = a;
         b.merge(&a);
         assert_eq!(b.queries, 2);
+        assert_eq!(b.batches, 4);
         assert_eq!(b.kv_bytes(), 14);
         assert_eq!(b.network_ops(), 6);
+    }
+
+    #[test]
+    fn round_trips_falls_back_to_ops_without_batches() {
+        let old = CommStats {
+            queries: 7,
+            writes: 3,
+            ..Default::default()
+        };
+        assert_eq!(old.round_trips(), 10);
+        let batched = CommStats {
+            queries: 7,
+            writes: 3,
+            batches: 2,
+            ..Default::default()
+        };
+        assert_eq!(batched.round_trips(), 2);
+        assert_eq!(CommStats::default().round_trips(), 0);
     }
 
     #[test]

@@ -18,11 +18,26 @@ use parking_lot::Mutex;
 const DEFAULT_SHARDS: usize = 64;
 
 /// A write-only, lock-striped generation under construction.
+///
+/// Duplicate keys are resolved **deterministically**: every write
+/// carries the id of the machine that issued it (threaded through
+/// [`crate::MachineHandle::put`]) and the entry from the *lowest*
+/// machine id wins, regardless of thread schedule. Writes from the same
+/// machine are sequential, so among them the last one wins. This is the
+/// §3 determinism contract: a sealed generation is a pure function of
+/// *what* was written, never of *when* the OS scheduled the writers —
+/// which is also what makes fault replay exact.
 pub struct GenerationWriter<V> {
-    shards: Vec<Mutex<FxHashMap<u64, V>>>,
+    /// Each entry carries the writing machine's id as its precedence.
+    shards: Vec<Mutex<FxHashMap<u64, (u32, V)>>>,
+    /// When true (the default), cross-machine writes of *different*
+    /// values to the same key trip a `debug_assert` — workspace
+    /// algorithms only ever race equal values (e.g. idempotent status
+    /// markers), so a conflicting duplicate is a kernel bug.
+    strict: bool,
 }
 
-impl<V: Measured + Clone> GenerationWriter<V> {
+impl<V: Measured + Clone + PartialEq> GenerationWriter<V> {
     /// New writer with the default shard count.
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
@@ -33,7 +48,16 @@ impl<V: Measured + Clone> GenerationWriter<V> {
         assert!(shards >= 1);
         GenerationWriter {
             shards: (0..shards).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            strict: true,
         }
+    }
+
+    /// Disables the conflicting-write `debug_assert`, keeping the
+    /// deterministic lowest-machine-id resolution. For tests and
+    /// experiments that intentionally race different values.
+    pub fn relaxed(mut self) -> Self {
+        self.strict = false;
+        self
     }
 
     #[inline]
@@ -41,13 +65,43 @@ impl<V: Measured + Clone> GenerationWriter<V> {
         (mix64(key) % self.shards.len() as u64) as usize
     }
 
-    /// Inserts a key-value pair. Last writer wins on duplicate keys
-    /// (algorithms in this workspace write each key once per round).
-    /// Returns the serialized size of the pair for the caller's
-    /// accounting.
+    /// Inserts a key-value pair on behalf of machine 0 (the
+    /// single-threaded load path). See [`Self::put_from`].
     pub fn put(&self, key: u64, value: V) -> usize {
+        self.put_from(0, key, value)
+    }
+
+    /// Inserts a key-value pair written by `machine`. On duplicate keys
+    /// the entry from the lowest machine id wins (ties: the same
+    /// machine overwrites its own earlier write — deterministic because
+    /// one machine's writes are sequential). Returns the serialized
+    /// size of the pair for the caller's accounting.
+    ///
+    /// # Panics
+    /// In debug builds (unless [`Self::relaxed`]), panics when two
+    /// *different* machines write *different* values for one key.
+    pub fn put_from(&self, machine: u32, key: u64, value: V) -> usize {
         let bytes = 8 + value.size_bytes();
-        self.shards[self.shard_of(key)].lock().insert(key, value);
+        let mut shard = self.shards[self.shard_of(key)].lock();
+        match shard.entry(key) {
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert((machine, value));
+            }
+            std::collections::hash_map::Entry::Occupied(mut e) => {
+                let (prev_machine, prev_value) = e.get();
+                if self.strict && *prev_machine != machine {
+                    debug_assert!(
+                        *prev_value == value,
+                        "conflicting cross-machine writes for key {key} \
+                         (machines {prev_machine} and {machine}): the §3 \
+                         determinism contract forbids schedule-dependent values"
+                    );
+                }
+                if machine <= *prev_machine {
+                    e.insert((machine, value));
+                }
+            }
+        }
         bytes
     }
 
@@ -57,13 +111,18 @@ impl<V: Measured + Clone> GenerationWriter<V> {
             shards: self
                 .shards
                 .into_iter()
-                .map(|m| m.into_inner())
+                .map(|m| {
+                    m.into_inner()
+                        .into_iter()
+                        .map(|(k, (_, v))| (k, v))
+                        .collect()
+                })
                 .collect(),
         }
     }
 }
 
-impl<V: Measured + Clone> Default for GenerationWriter<V> {
+impl<V: Measured + Clone + PartialEq> Default for GenerationWriter<V> {
     fn default() -> Self {
         Self::new()
     }
@@ -120,7 +179,7 @@ impl<V: Measured + Clone> Generation<V> {
 
 /// Builds a generation directly from an iterator (single-threaded load
 /// path for `D0`).
-impl<V: Measured + Clone> FromIterator<(u64, V)> for Generation<V> {
+impl<V: Measured + Clone + PartialEq> FromIterator<(u64, V)> for Generation<V> {
     fn from_iter<I: IntoIterator<Item = (u64, V)>>(items: I) -> Self {
         let w = GenerationWriter::with_shards(DEFAULT_SHARDS);
         for (k, v) in items {
@@ -244,12 +303,84 @@ mod tests {
     }
 
     #[test]
-    fn last_writer_wins() {
+    fn same_machine_last_write_wins() {
         let w: GenerationWriter<u32> = GenerationWriter::new();
         w.put(5, 1);
         w.put(5, 2);
         let g = w.seal();
         assert_eq!(g.get(5), Some(&2));
         assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn lowest_machine_id_wins_regardless_of_order() {
+        // Conflicting values (relaxed mode): the winner is the machine
+        // with the lowest id, in every arrival order.
+        for order in [[3u32, 1, 2], [1, 2, 3], [2, 3, 1]] {
+            let w: GenerationWriter<u32> = GenerationWriter::new().relaxed();
+            for m in order {
+                w.put_from(m, 9, 100 + m);
+            }
+            let g = w.seal();
+            assert_eq!(g.get(9), Some(&101), "order {order:?}");
+        }
+    }
+
+    #[test]
+    fn duplicate_equal_values_are_not_conflicts() {
+        let w: GenerationWriter<u64> = GenerationWriter::new();
+        w.put_from(2, 7, 42);
+        w.put_from(0, 7, 42); // strict mode: equal values, no panic
+        assert_eq!(w.seal().get(7), Some(&42));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "conflicting cross-machine writes")]
+    fn strict_mode_rejects_conflicting_values() {
+        let w: GenerationWriter<u64> = GenerationWriter::new();
+        w.put_from(0, 7, 1);
+        w.put_from(1, 7, 2);
+    }
+
+    /// The §3 stress test: many machines racing duplicate keys under two
+    /// very different thread schedules must seal byte-identical
+    /// generations.
+    #[test]
+    fn schedules_seal_identical_generations() {
+        fn run(reverse: bool) -> Vec<(u64, u64)> {
+            let w: GenerationWriter<u64> = GenerationWriter::new();
+            std::thread::scope(|s| {
+                let machines: Vec<u32> = if reverse {
+                    (0..8u32).rev().collect()
+                } else {
+                    (0..8u32).collect()
+                };
+                for m in machines {
+                    let w = &w;
+                    s.spawn(move || {
+                        if reverse {
+                            // Skew the schedule: late spawns run first.
+                            std::thread::yield_now();
+                        }
+                        for i in 0..200u64 {
+                            // Private keys, plus shared keys every machine
+                            // writes with the machine-independent value
+                            // (the StatusWrite pattern).
+                            w.put_from(m, m as u64 * 1000 + i, i * 3);
+                            w.put_from(m, 100_000 + i, i);
+                        }
+                    });
+                }
+            });
+            let mut pairs: Vec<(u64, u64)> =
+                w.seal().iter().map(|(k, v)| (k, *v)).collect();
+            pairs.sort_unstable();
+            pairs
+        }
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a.len(), 8 * 200 + 200);
+        assert_eq!(a, b);
     }
 }

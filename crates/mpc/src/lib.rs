@@ -12,7 +12,7 @@
 //! * [`boruvka`] — Borůvka's MSF with red/blue contraction, 3 shuffles
 //!   per phase (§5.5).
 //! * [`local_contraction`] — CC-LocalContraction, *"the fastest MPC
-//!   connectivity implementation across a wide range of graphs"* [48],
+//!   connectivity implementation across a wide range of graphs"* \[48\],
 //!   the 1-vs-2-cycle baseline of §5.6.
 //! * [`simulate_ampc`] — the §5.3 negative result: naively simulating
 //!   the AMPC MIS in MPC maps every adaptive KV query step to a

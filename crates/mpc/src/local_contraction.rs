@@ -1,4 +1,4 @@
-//! CC-LocalContraction — the MPC connectivity baseline (§5.6, [48]).
+//! CC-LocalContraction — the MPC connectivity baseline (§5.6, \[48\]).
 //!
 //! Each iteration, every vertex points to the minimum-hash vertex in its
 //! closed neighborhood; the resulting pseudo-forest (pointers follow

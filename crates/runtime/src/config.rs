@@ -19,6 +19,14 @@ pub struct AmpcConfig {
     pub cost: CostConfig,
     /// Whether the per-machine caching optimization (§5.3) is enabled.
     pub caching: bool,
+    /// Whether the §5.3 batching optimization is enabled: machines issue
+    /// their independent lookups as one accounted batch
+    /// (`MachineHandle::get_many` / `put_many`), so the cost model
+    /// charges lookup latency per *batch* instead of per key. Disabling
+    /// it (`AMPC_BATCH=off`, or [`Self::with_batching`]) is the
+    /// single-key baseline: identical queries, bytes and outputs, one
+    /// round trip per key.
+    pub batching: bool,
     /// Seed for all algorithm randomness (vertex/edge priorities,
     /// sampling). Two runs with equal seeds produce identical outputs.
     pub seed: u64,
@@ -29,6 +37,16 @@ pub struct AmpcConfig {
     pub in_memory_threshold: usize,
 }
 
+/// Default batching mode: on, unless the `AMPC_BATCH` environment
+/// variable says `off`/`0`/`false` (the CI knob that keeps the
+/// single-key baseline exercised).
+fn batching_default() -> bool {
+    match std::env::var("AMPC_BATCH") {
+        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"),
+        Err(_) => true,
+    }
+}
+
 impl Default for AmpcConfig {
     fn default() -> Self {
         AmpcConfig {
@@ -37,6 +55,7 @@ impl Default for AmpcConfig {
             epsilon: 0.75,
             cost: CostConfig::default(),
             caching: true,
+            batching: batching_default(),
             seed: 0xA3C5,
             // Paper uses 5e7 on billion-edge graphs (~1/1000 of the
             // largest input); our bench analogues are ~1000x smaller.
@@ -77,6 +96,12 @@ impl AmpcConfig {
     /// Enables/disables the caching optimization.
     pub fn with_caching(mut self, caching: bool) -> Self {
         self.caching = caching;
+        self
+    }
+
+    /// Enables/disables the §5.3 batching optimization.
+    pub fn with_batching(mut self, batching: bool) -> Self {
+        self.batching = batching;
         self
     }
 
@@ -143,10 +168,12 @@ mod tests {
         let cfg = AmpcConfig::default()
             .with_machines(3)
             .with_seed(9)
-            .with_caching(false);
+            .with_caching(false)
+            .with_batching(false);
         assert_eq!(cfg.num_machines, 3);
         assert_eq!(cfg.seed, 9);
         assert!(!cfg.caching);
+        assert!(!cfg.batching);
     }
 
     #[test]

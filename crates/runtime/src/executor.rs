@@ -20,7 +20,7 @@ pub struct MachineCtx<'a, V> {
     ops: u64,
 }
 
-impl<'a, V: Measured + Clone> MachineCtx<'a, V> {
+impl<'a, V: Measured + Clone + PartialEq> MachineCtx<'a, V> {
     /// Records `n` units of local computation (charged by the cost
     /// model at `compute_ns_per_op` each).
     #[inline]
@@ -57,16 +57,19 @@ pub struct RoundOutcome<R> {
 /// in parallel. Reads go to the sealed generation `read`; writes (if
 /// `write` is provided) go into the next generation under construction.
 ///
-/// `budget` is the per-machine query budget (`O(S)` in the model).
+/// `budget` is the per-machine query budget (`O(S)` in the model);
+/// `batching` selects batched round-trip accounting vs the single-key
+/// baseline (see [`MachineHandle::get_many`]).
 pub fn run_machines<V, T, R, F>(
     read: &Generation<V>,
     write: Option<&GenerationWriter<V>>,
     chunks: &[Vec<T>],
     budget: u64,
+    batching: bool,
     body: F,
 ) -> RoundOutcome<R>
 where
-    V: Measured + Clone + Sync + Send,
+    V: Measured + Clone + PartialEq + Sync + Send,
     T: Sync,
     R: Send,
     F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R> + Sync,
@@ -79,7 +82,7 @@ where
         for (machine_id, chunk) in chunks.iter().enumerate() {
             let body = &body;
             handles.push(scope.spawn(move || {
-                run_one_machine(machine_id, read, write, chunk, budget, body)
+                run_one_machine(machine_id, read, write, chunk, budget, batching, body)
             }));
         }
         for (slot, h) in results.iter_mut().zip(handles) {
@@ -109,15 +112,19 @@ pub fn run_one_machine<V, T, R, F>(
     write: Option<&GenerationWriter<V>>,
     chunk: &[T],
     budget: u64,
+    batching: bool,
     body: &F,
 ) -> (Vec<R>, MachineRoundStats)
 where
-    V: Measured + Clone,
+    V: Measured + Clone + PartialEq,
     F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R>,
 {
     let mut ctx = MachineCtx {
         machine_id,
-        handle: MachineHandle::new(read, write).with_budget(budget),
+        handle: MachineHandle::new(read, write)
+            .with_budget(budget)
+            .with_machine(machine_id as u32)
+            .with_batching(batching),
         ops: 0,
     };
     let out = body(&mut ctx, chunk);
@@ -137,7 +144,7 @@ mod tests {
     fn outputs_in_machine_order() {
         let read: Generation<u64> = Generation::from_iter((0..100u64).map(|k| (k, k * 10)));
         let chunks = partition::chunk((0..100u64).collect(), 4);
-        let outcome = run_machines(&read, None, &chunks, u64::MAX, |ctx, items| {
+        let outcome = run_machines(&read, None, &chunks, u64::MAX, true, |ctx, items| {
             items
                 .iter()
                 .map(|&k| *ctx.handle.get(k).unwrap())
@@ -151,7 +158,7 @@ mod tests {
     fn per_machine_stats_collected() {
         let read: Generation<u64> = Generation::from_iter((0..40u64).map(|k| (k, k)));
         let chunks = partition::chunk((0..40u64).collect(), 4);
-        let outcome = run_machines(&read, None, &chunks, u64::MAX, |ctx, items| {
+        let outcome = run_machines(&read, None, &chunks, u64::MAX, true, |ctx, items| {
             for &k in items {
                 ctx.handle.get(k);
                 ctx.add_ops(3);
@@ -170,7 +177,7 @@ mod tests {
         let read: Generation<u64> = Generation::empty();
         let writer = GenerationWriter::new();
         let chunks = partition::chunk((0..20u64).collect(), 3);
-        run_machines(&read, Some(&writer), &chunks, u64::MAX, |ctx, items| {
+        run_machines(&read, Some(&writer), &chunks, u64::MAX, true, |ctx, items| {
             for &k in items {
                 ctx.handle.put(k, k + 1);
             }
@@ -191,9 +198,60 @@ mod tests {
                 .map(|&k| *ctx.handle.get(k).unwrap())
                 .collect::<Vec<_>>()
         };
-        let (a, sa) = run_one_machine(0, &read, None, &chunk, u64::MAX, &body);
-        let (b, sb) = run_one_machine(0, &read, None, &chunk, u64::MAX, &body);
+        let (a, sa) = run_one_machine(0, &read, None, &chunk, u64::MAX, true, &body);
+        let (b, sb) = run_one_machine(0, &read, None, &chunk, u64::MAX, true, &body);
         assert_eq!(a, b);
         assert_eq!(sa.comm, sb.comm);
+    }
+
+    #[test]
+    fn batched_round_counts_fewer_round_trips() {
+        let read: Generation<u64> = Generation::from_iter((0..64u64).map(|k| (k, k)));
+        let chunks = partition::chunk((0..64u64).collect(), 4);
+        let body = |ctx: &mut MachineCtx<'_, u64>, items: &[u64]| {
+            let keys: Vec<u64> = items.to_vec();
+            ctx.handle
+                .get_many(&keys)
+                .into_iter()
+                .map(|v| *v.unwrap())
+                .collect::<Vec<u64>>()
+        };
+        let on = run_machines(&read, None, &chunks, u64::MAX, true, body);
+        let off = run_machines(&read, None, &chunks, u64::MAX, false, body);
+        assert_eq!(on.outputs, off.outputs);
+        for (a, b) in on.per_machine.iter().zip(&off.per_machine) {
+            assert_eq!(a.comm.queries, b.comm.queries);
+            assert_eq!(a.comm.bytes_read, b.comm.bytes_read);
+            assert_eq!(a.comm.batches, 1);
+            assert_eq!(b.comm.batches, b.comm.queries);
+        }
+    }
+
+    /// The `O(S)` budget is enforced at the handle: an Algorithm-1-style
+    /// search that keeps exploring is truncated exactly at the budget.
+    #[test]
+    fn enforced_budget_truncates_machine_searches() {
+        let read: Generation<u64> = Generation::from_iter((0..1000u64).map(|k| (k, k + 1)));
+        let chunks = partition::chunk(vec![0u64, 500], 2);
+        let budget = 5u64;
+        let outcome = run_machines(&read, None, &chunks, budget, true, |ctx, items| {
+            items
+                .iter()
+                .map(|&start| {
+                    let mut cur = start;
+                    loop {
+                        match ctx.handle.try_get(cur) {
+                            Ok(Some(&next)) => cur = next,
+                            Ok(None) | Err(_) => break cur,
+                        }
+                    }
+                })
+                .collect::<Vec<u64>>()
+        });
+        // Each machine ran one chain and was cut off after `budget` hops.
+        assert_eq!(outcome.outputs, vec![budget, 500 + budget]);
+        for m in &outcome.per_machine {
+            assert_eq!(m.comm.queries, budget);
+        }
     }
 }

@@ -128,13 +128,36 @@ impl Job {
         body: F,
     ) -> Vec<R>
     where
-        V: Measured + Clone + Sync + Send,
+        V: Measured + Clone + PartialEq + Sync + Send,
+        T: Sync + Send,
+        R: Send,
+        F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R> + Sync,
+    {
+        self.kv_round_budgeted(name, read, write, items, u64::MAX, body)
+    }
+
+    /// Like [`Self::kv_round`] but with an *enforced* per-machine query
+    /// budget (the model's `O(S)`): the handle debug-panics on plain
+    /// `get` past the budget and signals `BudgetExhausted` through
+    /// `try_get`, so truncated query processes can make the budget a
+    /// real stopping condition rather than an advisory counter.
+    pub fn kv_round_budgeted<V, T, R, F>(
+        &mut self,
+        name: &str,
+        read: &Generation<V>,
+        write: Option<&GenerationWriter<V>>,
+        items: Vec<T>,
+        budget: u64,
+        body: F,
+    ) -> Vec<R>
+    where
+        V: Measured + Clone + PartialEq + Sync + Send,
         T: Sync + Send,
         R: Send,
         F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R> + Sync,
     {
         let chunks = partition::chunk(items, self.cfg.num_machines);
-        self.kv_round_chunked(name, read, write, &chunks, body)
+        self.kv_round_chunked_budgeted(name, read, write, &chunks, budget, body)
     }
 
     /// Like [`Self::kv_round`] but with caller-controlled placement
@@ -148,15 +171,35 @@ impl Job {
         body: F,
     ) -> Vec<R>
     where
-        V: Measured + Clone + Sync + Send,
+        V: Measured + Clone + PartialEq + Sync + Send,
+        T: Sync,
+        R: Send,
+        F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R> + Sync,
+    {
+        self.kv_round_chunked_budgeted(name, read, write, chunks, u64::MAX, body)
+    }
+
+    /// The fully-general KV round: caller-controlled placement and an
+    /// enforced per-machine query budget.
+    pub fn kv_round_chunked_budgeted<V, T, R, F>(
+        &mut self,
+        name: &str,
+        read: &Generation<V>,
+        write: Option<&GenerationWriter<V>>,
+        chunks: &[Vec<T>],
+        budget: u64,
+        body: F,
+    ) -> Vec<R>
+    where
+        V: Measured + Clone + PartialEq + Sync + Send,
         T: Sync,
         R: Send,
         F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R> + Sync,
     {
         let stage = self.next_stage_index();
-        let budget = u64::MAX; // budgets are tracked, not enforced; see AmpcConfig
+        let batching = self.cfg.batching;
         let wall = Instant::now();
-        let mut outcome = executor::run_machines(read, write, chunks, budget, &body);
+        let mut outcome = executor::run_machines(read, write, chunks, budget, batching, &body);
 
         // Fault injection: the chosen machine's first attempt is thrown
         // away and its chunk replayed against the same sealed input.
@@ -172,6 +215,7 @@ impl Job {
                     write,
                     &chunks[victim],
                     budget,
+                    batching,
                     &body,
                 );
                 // Splice the replayed outputs over the victim's originals.
@@ -217,12 +261,17 @@ impl Job {
         self.kv_round(name, &empty, None, items, body)
     }
 
+    /// A machine's simulated time this round: compute plus KV traffic,
+    /// with lookup latency charged per *round trip*
+    /// ([`CommStats::round_trips`]: one per batch, one per single-key
+    /// op) and bandwidth per byte — so a chain of dependent batches
+    /// costs its depth, not its key volume.
     fn machine_time_ns(&self, m: &MachineRoundStats) -> u64 {
         self.cfg.cost.compute_time_ns(m.ops)
             + self
                 .cfg
                 .cost
-                .kv_time_ns(m.comm.queries + m.comm.writes, m.comm.kv_bytes())
+                .kv_time_ns(m.comm.round_trips(), m.comm.kv_bytes())
     }
 
     /// Runs a single-machine in-memory step, charging `ops` local
@@ -358,6 +407,61 @@ mod tests {
         let mut faulty = Job::new(AmpcConfig::for_tests()).with_fault(FaultPlan::new(0, 1));
         faulty.kv_round("r", &read, None, (0..64u64).collect(), body);
         assert!(faulty.report().sim_ns() > clean.report().sim_ns());
+    }
+
+    #[test]
+    fn batching_lowers_round_trips_and_time_only() {
+        let read: Generation<u64> = Generation::from_iter((0..256u64).map(|k| (k, k)));
+        let body = |ctx: &mut MachineCtx<'_, u64>, items: &[u64]| {
+            let keys: Vec<u64> = items.to_vec();
+            ctx.handle
+                .get_many(&keys)
+                .into_iter()
+                .map(|v| *v.unwrap())
+                .collect::<Vec<u64>>()
+        };
+        let run = |batching: bool| {
+            let mut job = Job::new(AmpcConfig::for_tests().with_batching(batching));
+            let out = job.kv_round("r", &read, None, (0..256u64).collect(), body);
+            (out, job.into_report())
+        };
+        let (out_on, rep_on) = run(true);
+        let (out_off, rep_off) = run(false);
+        assert_eq!(out_on, out_off);
+        let (on, off) = (rep_on.kv_comm(), rep_off.kv_comm());
+        assert_eq!(on.queries, off.queries);
+        assert_eq!(on.bytes_read, off.bytes_read);
+        assert!(on.batches < off.batches, "{} vs {}", on.batches, off.batches);
+        assert_eq!(off.batches, off.queries);
+        assert!(rep_on.sim_ns() < rep_off.sim_ns());
+    }
+
+    #[test]
+    fn budgeted_round_enforces_truncation() {
+        let read: Generation<u64> = Generation::from_iter((0..64u64).map(|k| (k, k + 1)));
+        let mut job = test_job();
+        let out: Vec<u64> = job.kv_round_budgeted(
+            "truncated",
+            &read,
+            None,
+            vec![0u64; 4],
+            3,
+            |ctx, items| {
+                items
+                    .iter()
+                    .map(|&start| {
+                        let mut cur = start;
+                        while let Ok(Some(&next)) = ctx.handle.try_get(cur) {
+                            cur = next;
+                        }
+                        cur
+                    })
+                    .collect()
+            },
+        );
+        // 4 machines × 1 item each, each cut off after 3 hops.
+        assert_eq!(out, vec![3, 3, 3, 3]);
+        assert_eq!(job.report().stages[0].comm.queries, 4 * 3);
     }
 
     #[test]

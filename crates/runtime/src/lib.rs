@@ -17,7 +17,10 @@
 //!   parallel OS threads (one per simulated machine, via
 //!   `std::thread::scope`), with each machine's DHT traffic metered
 //!   through an
-//!   [`ampc_dht::MachineHandle`].
+//!   [`ampc_dht::MachineHandle`] that carries the machine's id (for
+//!   deterministic duplicate-write resolution), its enforced `O(S)`
+//!   query budget, and the §5.3 batching mode — lookup latency is
+//!   charged per batched round trip, bandwidth per key.
 //! * Every stage appends a [`report::StageReport`]; the final
 //!   [`report::JobReport`] carries everything the benchmark harness needs
 //!   to regenerate the paper's tables and figures: shuffle counts

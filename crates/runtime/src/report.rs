@@ -106,6 +106,13 @@ impl JobReport {
         CommStats::merged(self.stages.iter().map(|s| &s.comm))
     }
 
+    /// Charged KV round trips across all stages: one per batch under
+    /// the §5.3 batching optimization, one per key in the single-key
+    /// baseline. This is what lookup latency is billed on.
+    pub fn kv_round_trips(&self) -> u64 {
+        self.kv_comm().round_trips()
+    }
+
     /// Simulated time attributed to each stage, as `(name, sim_ns)` in
     /// execution order — the running-time breakdowns of Figures 5–7.
     pub fn breakdown(&self) -> Vec<(String, u64)> {
@@ -152,11 +159,12 @@ impl JobReport {
         for s in &self.stages {
             let _ = writeln!(
                 out,
-                "  [{:?}] {:<16} sim {:>9}  kv q={:<9} kvB={:<11} shufB={:<11}",
+                "  [{:?}] {:<16} sim {:>9}  kv q={:<9} rt={:<7} kvB={:<11} shufB={:<11}",
                 s.kind,
                 s.name,
                 format_ns(s.sim_ns),
                 s.comm.queries,
+                s.comm.round_trips(),
                 s.comm.kv_bytes(),
                 s.shuffle_bytes,
             );
@@ -164,9 +172,12 @@ impl JobReport {
         let kv = self.kv_comm();
         let _ = writeln!(
             out,
-            "  totals: kv bytes {} (hit rate {:.0}%), shuffle bytes {}, replays {}",
+            "  totals: kv bytes {} (hit rate {:.0}%), round trips {} of {} ops, \
+             shuffle bytes {}, replays {}",
             kv.kv_bytes(),
             kv.cache_hit_rate() * 100.0,
+            kv.round_trips(),
+            kv.network_ops(),
             self.shuffle_bytes(),
             self.replays,
         );

@@ -118,10 +118,74 @@ fn msf_pipeline_reports_all_expected_stages() {
 #[test]
 fn random_walk_extension_is_metered() {
     let g = gen::rmat(10, 8_000, gen::RmatParams::SOCIAL, 8);
-    let c = cfg();
+    // Batching pinned on: the round-trip assertions below are about the
+    // batched pipeline and must hold even under AMPC_BATCH=off.
+    let c = cfg().with_batching(true);
     let out = ampc_core::walks::ampc_random_walks(&g, &c, 1, 16);
-    // 16 hops per walker, one lookup each (minus dead ends).
-    let q = out.report.kv_comm().queries;
-    assert!(q >= 16 * (g.num_nodes() as u64) / 2, "queries {q}");
+    // 16 hops per walker, one lookup each (minus dead ends) — answered
+    // either by the network or the handle-mounted §5.3 cache.
+    let kv = out.report.kv_comm();
+    let lookups = kv.queries + kv.cache_hits;
+    assert!(
+        lookups >= 16 * (g.num_nodes() as u64) / 2,
+        "lookups {lookups}"
+    );
+    assert!(kv.cache_hits > 0, "repeat visits should hit the cache");
+    assert!(kv.batches <= kv.queries);
+    // Lockstep batching: the Walk stage's read depth is the hop count,
+    // not walkers × hops — so round trips are far below queries.
+    assert!(
+        kv.batches < kv.queries / 2,
+        "batches {} vs queries {}",
+        kv.batches,
+        kv.queries
+    );
     assert_eq!(out.report.num_shuffles(), 1);
+}
+
+#[test]
+fn batching_preserves_bytes_and_cuts_round_trips() {
+    // The §5.3 batched pipeline vs the single-key baseline: identical
+    // queries and bytes (the toggle only changes how round trips are
+    // accounted), strictly fewer charged round trips, cheaper simulated
+    // time.
+    let g = gen::rmat(11, 20_000, gen::RmatParams::SOCIAL, 11);
+    let on_cfg = cfg().with_batching(true);
+    let off_cfg = cfg().with_batching(false);
+    let on = ampc_mis(&g, &on_cfg);
+    let off = ampc_mis(&g, &off_cfg);
+    assert_eq!(on.in_mis, off.in_mis);
+    let (a, b) = (on.report.kv_comm(), off.report.kv_comm());
+    assert_eq!(a.queries, b.queries);
+    assert_eq!(a.writes, b.writes);
+    assert_eq!(a.bytes_read, b.bytes_read);
+    assert_eq!(a.bytes_written, b.bytes_written);
+    assert_eq!(b.batches, b.network_ops(), "baseline: one trip per op");
+    assert!(a.batches < b.batches, "{} vs {}", a.batches, b.batches);
+    assert!(a.batches <= a.queries + a.writes);
+    assert!(
+        on.report.sim_ns() < off.report.sim_ns(),
+        "per-batch latency accounting must be cheaper: {} vs {}",
+        on.report.sim_ns(),
+        off.report.sim_ns()
+    );
+}
+
+#[test]
+fn every_kernel_respects_batches_leq_ops() {
+    let g = gen::rmat(10, 10_000, gen::RmatParams::SOCIAL, 12);
+    let c = cfg();
+    let reports = vec![
+        ampc_mis(&g, &c).report,
+        ampc_matching(&g, &c).report,
+        ampc_core::connectivity::ampc_connected_components(&g, &c).report,
+        ampc_core::walks::ampc_random_walks(&g, &c, 1, 8).report,
+        ampc_msf(&gen::degree_weights(&g), &c).report,
+    ];
+    for r in reports {
+        let kv = r.kv_comm();
+        assert!(kv.batches <= kv.network_ops());
+        assert!(kv.batches > 0);
+        assert_eq!(r.kv_round_trips(), kv.batches);
+    }
 }
