@@ -1,0 +1,18 @@
+//! Harness binary: the tracked kernel performance suite.
+//!
+//! Times representative kernels (CC, MIS, MM, walks — cached and
+//! uncached — 1-vs-2-cycle, and the pointer-chase substrate kernel) at
+//! the `AMPC_SCALE` sizes under the flat sealed store + persistent pool
+//! and under the pre-PR baseline (sharded store + spawn-per-machine
+//! executor), asserts the two are observationally identical, prints a
+//! markdown summary, and writes `BENCH_perf.json` — the trajectory file
+//! performance PRs are judged against.
+fn main() {
+    let scale = ampc_graph::datasets::Scale::from_env();
+    let (md, kernels) = ampc_bench::experiments::perf_suite::run(scale);
+    print!("{md}");
+    let json = ampc_bench::experiments::perf_suite::to_json(scale, &kernels);
+    let path = "BENCH_perf.json";
+    std::fs::write(path, &json).expect("write BENCH_perf.json");
+    eprintln!("wrote {path}");
+}

@@ -138,11 +138,16 @@ pub fn ampc_one_vs_two_with_rate(g: &CsrGraph, cfg: &AmpcConfig, sample_inv: u64
             let mut active: Vec<usize> = (0..walks.len())
                 .filter(|&i| !is_sampled(walks[i].cur))
                 .collect();
+            // Lockstep buffers, reused across hops: one batched lookup
+            // per adaptive step, no per-hop allocation.
+            let mut keys: Vec<u64> = Vec::with_capacity(active.len());
+            let mut frontier: Vec<Option<&Vec<NodeId>>> = Vec::with_capacity(active.len());
             while !active.is_empty() {
-                let keys: Vec<u64> = active.iter().map(|&i| walks[i].cur as u64).collect();
-                let frontier = ctx.handle.get_many(&keys);
+                keys.clear();
+                keys.extend(active.iter().map(|&i| walks[i].cur as u64));
+                ctx.handle.get_many_into(&keys, &mut frontier);
                 let mut next_active = Vec::with_capacity(active.len());
-                for (&i, cn) in active.iter().zip(frontier) {
+                for (&i, cn) in active.iter().zip(frontier.iter().copied()) {
                     ctx.add_ops(1);
                     let cn = cn.expect("2-regular");
                     let w = &mut walks[i];

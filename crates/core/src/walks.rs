@@ -91,9 +91,14 @@ pub fn ampc_random_walks(
                     p
                 })
                 .collect();
+            // Lockstep buffers, reused across hops: one batched lookup
+            // per adaptive step, no per-hop allocation.
+            let mut keys: Vec<u64> = Vec::with_capacity(cur.len());
+            let mut frontier: Vec<Option<Vec<NodeId>>> = Vec::with_capacity(cur.len());
             for s in 0..steps {
-                let keys: Vec<u64> = cur.iter().map(|&c| c as u64).collect();
-                let frontier = ctx.handle.get_many_through(&keys);
+                keys.clear();
+                keys.extend(cur.iter().map(|&c| c as u64));
+                ctx.handle.get_many_through_into(&keys, &mut frontier);
                 for (i, nbrs) in frontier.iter().enumerate() {
                     let nbrs = nbrs.as_ref().expect("vertex record");
                     if nbrs.is_empty() {

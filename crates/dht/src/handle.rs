@@ -72,7 +72,7 @@ pub struct MachineHandle<'a, V> {
     cache: Option<DenseCache<V>>,
 }
 
-impl<'a, V: Measured + Clone + PartialEq> MachineHandle<'a, V> {
+impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
     /// A handle reading `read` and writing to `write`.
     pub fn new(read: &'a Generation<V>, write: Option<&'a GenerationWriter<V>>) -> Self {
         MachineHandle {
@@ -180,11 +180,30 @@ impl<'a, V: Measured + Clone + PartialEq> MachineHandle<'a, V> {
     /// In debug builds, panics if the batch would exceed the `O(S)`
     /// query budget.
     pub fn get_many(&mut self, keys: &[u64]) -> Vec<Option<&'a V>> {
-        if !self.batching {
-            return keys.iter().map(|&k| self.get(k)).collect();
-        }
+        let mut out = Vec::new();
+        self.get_many_into(keys, &mut out);
+        out
+    }
+
+    /// [`Self::get_many`] into a caller-owned buffer: `out` is cleared
+    /// and refilled with one `Option<&V>` per key. Accounting is
+    /// identical to `get_many` — one batch for the whole request (or
+    /// per-key round trips with batching disabled). Lockstep kernels
+    /// (walks, 1-vs-2-cycle frontiers, MIS/MM root prefetch) reuse one
+    /// buffer across adaptive steps instead of allocating a fresh
+    /// `Vec<Option<&V>>` per hop.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the batch would exceed the `O(S)`
+    /// query budget.
+    pub fn get_many_into(&mut self, keys: &[u64], out: &mut Vec<Option<&'a V>>) {
+        out.clear();
         if keys.is_empty() {
-            return Vec::new();
+            return;
+        }
+        if !self.batching {
+            out.extend(keys.iter().map(|&k| self.get(k)));
+            return;
         }
         debug_assert!(
             self.stats.queries.saturating_add(keys.len() as u64) <= self.budget,
@@ -194,7 +213,8 @@ impl<'a, V: Measured + Clone + PartialEq> MachineHandle<'a, V> {
             self.budget
         );
         self.stats.batches += 1;
-        keys.iter().map(|&k| self.charge_read(k)).collect()
+        out.reserve(keys.len());
+        out.extend(keys.iter().map(|&k| self.charge_read(k)));
     }
 
     /// Budget-enforcing batch lookup: the whole batch is rejected with
@@ -250,8 +270,39 @@ impl<'a, V: Measured + Clone + PartialEq> MachineHandle<'a, V> {
     /// as a hit at scan time; all workspace kernels look up keys they
     /// previously wrote.)
     pub fn get_many_through(&mut self, keys: &[u64]) -> Vec<Option<V>> {
+        let mut out = Vec::new();
+        self.get_many_through_into(keys, &mut out);
+        out
+    }
+
+    /// [`Self::get_many_through`] into a caller-owned buffer: `out` is
+    /// cleared and refilled with one `Option<V>` per key. Accounting
+    /// (queries, cache hits, batches) is identical; lockstep kernels
+    /// reuse the buffer across hops.
+    pub fn get_many_through_into(&mut self, keys: &[u64], out: &mut Vec<Option<V>>) {
+        out.clear();
+        if keys.is_empty() {
+            return;
+        }
+        out.reserve(keys.len());
         let Some(mut cache) = self.cache.take() else {
-            return self.get_many(keys).into_iter().map(|v| v.cloned()).collect();
+            // No cache mounted: a plain batch, cloned straight into the
+            // caller's buffer (same accounting as `get_many_into`, no
+            // intermediate allocation).
+            if !self.batching {
+                out.extend(keys.iter().map(|&k| self.get(k).cloned()));
+                return;
+            }
+            debug_assert!(
+                self.stats.queries.saturating_add(keys.len() as u64) <= self.budget,
+                "machine {} batch of {} keys exceeds its O(S) query budget of {}",
+                self.machine_id,
+                keys.len(),
+                self.budget
+            );
+            self.stats.batches += 1;
+            out.extend(keys.iter().map(|&k| self.charge_read(k).cloned()));
+            return;
         };
         let mut fetch: Vec<u64> = Vec::new();
         let mut pending: FxHashSet<u64> = FxHashSet::default();
@@ -271,15 +322,11 @@ impl<'a, V: Measured + Clone + PartialEq> MachineHandle<'a, V> {
                 cache.put(k, (*v).clone());
             }
         }
-        let out = keys
-            .iter()
-            .map(|k| match batch.get(k) {
-                Some(v) => v.cloned(),
-                None => cache.get(*k).cloned(),
-            })
-            .collect();
+        out.extend(keys.iter().map(|k| match batch.get(k) {
+            Some(v) => v.cloned(),
+            None => cache.get(*k).cloned(),
+        }));
         self.cache = Some(cache);
-        out
     }
 
     /// Records a cache hit: the lookup was answered locally and does not
@@ -316,8 +363,11 @@ impl<'a, V: Measured + Clone + PartialEq> MachineHandle<'a, V> {
     }
 
     /// Writes many pairs in **one accounted batch** (one round trip,
-    /// per-pair writes and bytes). With batching disabled, degrades to
-    /// a loop of [`Self::put`] calls.
+    /// per-pair writes and bytes). The batch goes through
+    /// [`GenerationWriter::put_many_from`], which locks each stripe
+    /// once instead of once per key — identical per-pair semantics and
+    /// accounting, much less lock traffic. With batching disabled,
+    /// degrades to a loop of [`Self::put`] calls.
     ///
     /// # Panics
     /// Panics if the handle was created read-only and the iterator is
@@ -329,14 +379,17 @@ impl<'a, V: Measured + Clone + PartialEq> MachineHandle<'a, V> {
             }
             return;
         }
-        let mut any = false;
-        for (k, v) in pairs {
-            any = true;
-            self.charge_write(k, v);
-        }
-        if any {
-            self.stats.batches += 1;
-        }
+        let mut iter = pairs.into_iter();
+        let Some(first) = iter.next() else {
+            return; // an empty batch is free (and legal on a read-only handle)
+        };
+        let w = self
+            .write
+            .expect("this machine handle is read-only this round");
+        let (written, bytes) = w.put_many_from(self.machine_id, std::iter::once(first).chain(iter));
+        self.stats.writes += written;
+        self.stats.bytes_written += bytes as u64;
+        self.stats.batches += 1;
     }
 
     /// The communication counters accumulated so far.

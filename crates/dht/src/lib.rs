@@ -11,7 +11,13 @@
 //!   subsequent rounds read without locks. Sealing is exactly the model's
 //!   round boundary, and immutability of past generations is what makes
 //!   the fault-tolerance story work (a re-executed machine re-reads the
-//!   same values).
+//!   same values). Sealing flattens the stripes into a single-level
+//!   layout — a zero-hash direct-index array for dense `0..n` key
+//!   domains, a single-hash open-addressed table otherwise
+//!   ([`store::ReprKind`]) — with `len`/`size_bytes` cached at seal;
+//!   `AMPC_STORE=sharded` re-enables the historical double-hash sharded
+//!   layout for A/B measurement, and `AMPC_THREADS`
+//!   ([`store::ampc_threads`]) bounds seal-time parallelism.
 //! * [`handle::MachineHandle`] — the per-machine access path. All reads
 //!   and writes are metered: the handle counts queries, writes, batched
 //!   round trips and bytes ([`metrics::CommStats`]), **enforces** the
@@ -53,4 +59,4 @@ pub use cost::{CostConfig, Network};
 pub use handle::{BudgetExhausted, MachineHandle};
 pub use measured::Measured;
 pub use metrics::CommStats;
-pub use store::{Dht, Generation, GenerationWriter};
+pub use store::{ampc_threads, Dht, Generation, GenerationWriter, ReprKind};

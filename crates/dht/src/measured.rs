@@ -8,6 +8,14 @@
 
 /// Types whose wire size (in bytes) can be computed.
 pub trait Measured {
+    /// When every value of the type serializes to the same number of
+    /// bytes, that number — letting containers measure themselves in
+    /// O(1) (`len × element`) instead of walking their elements. The
+    /// DHT read path charges bytes on **every** query, so an O(len)
+    /// `size_bytes` on adjacency-list values would cost O(degree) per
+    /// lookup. `None` (the default) means per-value measurement.
+    const FIXED_SIZE: Option<usize> = None;
+
     /// Serialized size of `self` in bytes.
     fn size_bytes(&self) -> usize;
 }
@@ -15,6 +23,8 @@ pub trait Measured {
 macro_rules! impl_measured_primitive {
     ($($t:ty),*) => {
         $(impl Measured for $t {
+            const FIXED_SIZE: Option<usize> = Some(std::mem::size_of::<$t>());
+
             #[inline]
             fn size_bytes(&self) -> usize {
                 std::mem::size_of::<$t>()
@@ -26,13 +36,26 @@ macro_rules! impl_measured_primitive {
 impl_measured_primitive!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool);
 
 impl Measured for () {
+    const FIXED_SIZE: Option<usize> = Some(0);
+
     #[inline]
     fn size_bytes(&self) -> usize {
         0
     }
 }
 
+/// Sum of two element sizes when both are fixed (const-evaluable glue
+/// for tuple impls).
+const fn fixed_sum(a: Option<usize>, b: Option<usize>) -> Option<usize> {
+    match (a, b) {
+        (Some(a), Some(b)) => Some(a + b),
+        _ => None,
+    }
+}
+
 impl<A: Measured, B: Measured> Measured for (A, B) {
+    const FIXED_SIZE: Option<usize> = fixed_sum(A::FIXED_SIZE, B::FIXED_SIZE);
+
     #[inline]
     fn size_bytes(&self) -> usize {
         self.0.size_bytes() + self.1.size_bytes()
@@ -40,25 +63,36 @@ impl<A: Measured, B: Measured> Measured for (A, B) {
 }
 
 impl<A: Measured, B: Measured, C: Measured> Measured for (A, B, C) {
+    const FIXED_SIZE: Option<usize> =
+        fixed_sum(A::FIXED_SIZE, fixed_sum(B::FIXED_SIZE, C::FIXED_SIZE));
+
     #[inline]
     fn size_bytes(&self) -> usize {
         self.0.size_bytes() + self.1.size_bytes() + self.2.size_bytes()
     }
 }
 
+/// Length-prefixed slice measurement: O(1) for fixed-size elements
+/// (every adjacency-list value in the workspace), O(len) otherwise.
+#[inline]
+fn slice_size_bytes<T: Measured>(items: &[T]) -> usize {
+    match T::FIXED_SIZE {
+        Some(s) => 8 + s * items.len(),
+        None => 8 + items.iter().map(Measured::size_bytes).sum::<usize>(),
+    }
+}
+
 impl<T: Measured> Measured for Vec<T> {
     #[inline]
     fn size_bytes(&self) -> usize {
-        // 8-byte length prefix plus elements (assumes fixed-size
-        // elements dominate, which holds for all workspace value types).
-        8 + self.iter().map(Measured::size_bytes).sum::<usize>()
+        slice_size_bytes(self)
     }
 }
 
 impl<T: Measured> Measured for Box<[T]> {
     #[inline]
     fn size_bytes(&self) -> usize {
-        8 + self.iter().map(Measured::size_bytes).sum::<usize>()
+        slice_size_bytes(self)
     }
 }
 
@@ -79,7 +113,7 @@ impl<T: Measured + ?Sized> Measured for std::sync::Arc<T> {
 impl<T: Measured> Measured for [T] {
     #[inline]
     fn size_bytes(&self) -> usize {
-        8 + self.iter().map(Measured::size_bytes).sum::<usize>()
+        slice_size_bytes(self)
     }
 }
 

@@ -8,6 +8,36 @@
 //! that later rounds read lock-free. Past generations are never mutated
 //! — which is exactly why a preempted machine can replay its round
 //! against the same inputs (the fault-tolerance property of §2).
+//!
+//! # Sealed layout (DESIGN.md §5.4)
+//!
+//! Sealing **flattens** the lock-striped writer into one of two
+//! single-level layouts, chosen from the key set alone (so the choice is
+//! deterministic):
+//!
+//! * [`ReprKind::Dense`] — a direct-index array with an occupancy
+//!   bitmap, used when the keys are a dense `0..n` domain (the common
+//!   case: every kernel keys the DHT by vertex id). `get` is one bounds
+//!   check and one slot read — **zero** hashes.
+//! * [`ReprKind::Open`] — one open-addressed, linearly-probed table for
+//!   everything else. `get` hashes **once** ([`mix64`]) and probes
+//!   flat memory; there is no per-shard indirection and no second hash
+//!   (the pre-flat layout hashed twice: `mix64` to pick a shard, then
+//!   the shard's `FxHashMap` hashed again).
+//!
+//! The pre-flat shard-of-hashmaps layout is retained as
+//! [`ReprKind::Sharded`] behind the `AMPC_STORE=sharded` knob so the
+//! perf suite can measure old-vs-new on identical workloads and the
+//! regression tests can pin `get`/`get_many` equivalence. All three
+//! layouts are observationally identical: same values, same
+//! `len`/`size_bytes`, same communication accounting.
+//!
+//! Both flat layouts are **canonical**: the physical slot assignment is
+//! a pure function of the sealed key-value set, never of thread
+//! schedule or seal parallelism (dense assigns slot `k` to key `k`;
+//! open inserts in ascending key order). `len()` and `size_bytes()` are
+//! computed once at seal time and cached, so the per-round report path
+//! reads them in O(1) instead of re-walking every entry.
 
 use crate::hasher::{mix64, FxHashMap};
 use crate::measured::Measured;
@@ -16,6 +46,79 @@ use parking_lot::Mutex;
 /// Number of lock stripes in a writer. Plenty for the machine counts the
 /// simulator runs (≤ a few hundred).
 const DEFAULT_SHARDS: usize = 64;
+
+/// Sealing drains and resolves the writer's stripes in parallel once a
+/// generation holds at least this many entries; below it, one thread
+/// finishes faster than workers can be handed their stripes.
+const PARALLEL_SEAL_MIN: usize = 1 << 16;
+
+/// A dense direct-index layout is chosen when the largest key indexes an
+/// array at most `DENSE_MAX_WASTE` times larger than the entry count
+/// (≥ 50% occupancy) — the `0..n` vertex-id domain every kernel uses
+/// gives 100%.
+const DENSE_MAX_WASTE: usize = 2;
+
+/// Reads the `AMPC_THREADS` environment knob (cached after the first
+/// read): the worker count used by parallel seals here and by the
+/// runtime's persistent executor pool. Unset or malformed values fall
+/// back to the machine's available parallelism; a value of `1` disables
+/// worker threads entirely (everything runs inline).
+pub fn ampc_threads() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        let fallback = || std::thread::available_parallelism().map_or(1, |p| p.get());
+        match std::env::var("AMPC_THREADS") {
+            Ok(v) => v
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&t| t >= 1)
+                .unwrap_or_else(fallback),
+            Err(_) => fallback(),
+        }
+    })
+}
+
+/// Sealed-layout mode: resolved once from `AMPC_STORE`, overridable at
+/// runtime by [`force_store_layout`] (an atomic, so the hot write path
+/// never touches the process environment lock).
+const MODE_ENV: u8 = 0;
+const MODE_FLAT: u8 = 1;
+const MODE_SHARDED: u8 = 2;
+static STORE_MODE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(MODE_ENV);
+
+/// True when the pre-flat sharded sealed layout is in force
+/// (`AMPC_STORE=sharded`, or a [`force_store_layout`] override).
+fn sharded_store_requested() -> bool {
+    use std::sync::atomic::Ordering;
+    match STORE_MODE.load(Ordering::Relaxed) {
+        MODE_FLAT => false,
+        MODE_SHARDED => true,
+        _ => {
+            let sharded =
+                matches!(std::env::var("AMPC_STORE"), Ok(v) if v.eq_ignore_ascii_case("sharded"));
+            let mode = if sharded { MODE_SHARDED } else { MODE_FLAT };
+            STORE_MODE.store(mode, Ordering::Relaxed);
+            sharded
+        }
+    }
+}
+
+/// Overrides the sealed-layout choice at runtime, as `AMPC_STORE`
+/// would, without mutating the process environment: `Some(true)` forces
+/// the pre-flat sharded baseline, `Some(false)` the flat layout, and
+/// `None` re-reads `AMPC_STORE` on next use. Process-global — intended
+/// for the perf suite's A/B runs, not for concurrent use under live
+/// jobs (the layouts are observationally equivalent, so a racing seal
+/// merely picks either layout).
+pub fn force_store_layout(sharded: Option<bool>) {
+    let mode = match sharded {
+        Some(true) => MODE_SHARDED,
+        Some(false) => MODE_FLAT,
+        None => MODE_ENV,
+    };
+    STORE_MODE.store(mode, std::sync::atomic::Ordering::Relaxed);
+}
 
 /// A write-only, lock-striped generation under construction.
 ///
@@ -37,7 +140,7 @@ pub struct GenerationWriter<V> {
     strict: bool,
 }
 
-impl<V: Measured + Clone + PartialEq> GenerationWriter<V> {
+impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
     /// New writer with the default shard count.
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
@@ -105,81 +208,437 @@ impl<V: Measured + Clone + PartialEq> GenerationWriter<V> {
         bytes
     }
 
-    /// Seals the writer into an immutable generation.
-    pub fn seal(self) -> Generation<V> {
-        Generation {
-            shards: self
-                .shards
-                .into_iter()
-                .map(|m| {
-                    m.into_inner()
-                        .into_iter()
-                        .map(|(k, (_, v))| (k, v))
-                        .collect()
-                })
-                .collect(),
+    /// Inserts a batch of pairs written by `machine`, locking each
+    /// stripe **once** (and reserving its growth up front) instead of
+    /// once per key — the write-side counterpart of the flat read path.
+    /// Per-pair semantics are exactly [`Self::put_from`]: same
+    /// deterministic lowest-machine-id resolution, same conflict
+    /// `debug_assert`, and the returned byte total is the sum of the
+    /// per-pair sizes. Returns `(pairs_written, total_bytes)`.
+    pub fn put_many_from(
+        &self,
+        machine: u32,
+        pairs: impl IntoIterator<Item = (u64, V)>,
+    ) -> (u64, usize) {
+        if sharded_store_requested() {
+            // `AMPC_STORE=sharded` restores the pre-flat storage layer
+            // end to end, write path included: one lock per key.
+            let mut written = 0u64;
+            let mut total_bytes = 0usize;
+            for (k, v) in pairs {
+                total_bytes += self.put_from(machine, k, v);
+                written += 1;
+            }
+            return (written, total_bytes);
         }
+        // Bucket by stripe first so each stripe is locked exactly once.
+        let mut buckets: Vec<Vec<(u64, V)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        let mut total_bytes = 0usize;
+        let mut written = 0u64;
+        for (key, value) in pairs {
+            total_bytes += 8 + value.size_bytes();
+            written += 1;
+            buckets[self.shard_of(key)].push((key, value));
+        }
+        for (i, bucket) in buckets.into_iter().enumerate() {
+            if bucket.is_empty() {
+                continue;
+            }
+            let mut shard = self.shards[i].lock();
+            shard.reserve(bucket.len());
+            for (key, value) in bucket {
+                match shard.entry(key) {
+                    std::collections::hash_map::Entry::Vacant(e) => {
+                        e.insert((machine, value));
+                    }
+                    std::collections::hash_map::Entry::Occupied(mut e) => {
+                        let (prev_machine, prev_value) = e.get();
+                        if self.strict && *prev_machine != machine {
+                            debug_assert!(
+                                *prev_value == value,
+                                "conflicting cross-machine writes for key {key} \
+                                 (machines {prev_machine} and {machine}): the §3 \
+                                 determinism contract forbids schedule-dependent values"
+                            );
+                        }
+                        if machine <= *prev_machine {
+                            e.insert((machine, value));
+                        }
+                    }
+                }
+            }
+        }
+        (written, total_bytes)
+    }
+
+    /// Seals the writer into an immutable flat generation (see the
+    /// module docs for the layout selection rule), parallelizing across
+    /// the writer's stripes with [`ampc_threads`] workers for large
+    /// generations. Under `AMPC_STORE=sharded`, seals into the pre-flat
+    /// sharded layout instead (the perf-suite baseline).
+    pub fn seal(self) -> Generation<V> {
+        if sharded_store_requested() {
+            self.seal_sharded()
+        } else {
+            self.seal_with_threads(ampc_threads())
+        }
+    }
+
+    /// Seals into the flat layout with an explicit worker count
+    /// (`threads = 1` seals entirely on the calling thread). The sealed
+    /// layout is byte-identical for every `threads` value: the stats
+    /// pass over the stripes is parallel, but the physical layout is
+    /// canonical (see module docs).
+    pub fn seal_with_threads(self, threads: usize) -> Generation<V> {
+        // Pass 1 — per-stripe (len, bytes, max_key), parallel across
+        // stripes for large generations.
+        let (len, size_bytes, max_key) = self.stripe_stats(threads);
+        if len == 0 {
+            return Generation::empty();
+        }
+
+        let dense_slots = max_key as usize + 1;
+        let repr = if (max_key as usize) < u32::MAX as usize
+            && dense_slots <= len.saturating_mul(DENSE_MAX_WASTE)
+        {
+            // Pass 2, dense: scatter straight out of the stripe maps
+            // into the direct-index array — no intermediate collection,
+            // each value moves exactly once. Slot k ⇔ key k, so the
+            // layout cannot depend on stripe or drain order.
+            let mut slots: Vec<Option<V>> = vec![None; dense_slots];
+            let mut occupied = vec![0u64; dense_slots.div_ceil(64)];
+            for m in self.shards {
+                for (k, (_, v)) in m.into_inner() {
+                    occupied[(k / 64) as usize] |= 1u64 << (k % 64);
+                    slots[k as usize] = Some(v);
+                }
+            }
+            Repr::Dense { slots, occupied }
+        } else {
+            // Pass 2, open-addressed fallback: capacity keeps load
+            // ≤ 50%, and ascending-key insertion makes the probe layout
+            // a pure function of the key set.
+            let cap = len.saturating_mul(2).next_power_of_two().max(16);
+            let mask = cap as u64 - 1;
+            let mut pairs: Vec<(u64, V)> = Vec::with_capacity(len);
+            for m in self.shards {
+                pairs.extend(m.into_inner().into_iter().map(|(k, (_, v))| (k, v)));
+            }
+            pairs.sort_unstable_by_key(|&(k, _)| k);
+            let mut slots: Vec<Option<(u64, V)>> = vec![None; cap];
+            for (k, v) in pairs {
+                let mut i = (mix64(k) & mask) as usize;
+                while slots[i].is_some() {
+                    i = (i + 1) & mask as usize;
+                }
+                slots[i] = Some((k, v));
+            }
+            Repr::Open { slots, mask }
+        };
+        Generation {
+            repr,
+            len,
+            size_bytes,
+        }
+    }
+
+    /// Seals into the pre-flat shard-of-hashmaps layout. Kept so the
+    /// perf suite can A/B the layouts on identical workloads and the
+    /// regression tests can pin read-path equivalence; kernels should
+    /// let [`Self::seal`] pick.
+    pub fn seal_sharded(self) -> Generation<V> {
+        let mut len = 0usize;
+        let mut size_bytes = 0usize;
+        let shards: Vec<FxHashMap<u64, V>> = self
+            .shards
+            .into_iter()
+            .map(|m| {
+                let shard: FxHashMap<u64, V> = m
+                    .into_inner()
+                    .into_iter()
+                    .map(|(k, (_, v))| (k, v))
+                    .collect();
+                len += shard.len();
+                size_bytes += shard.values().map(|v| 8 + v.size_bytes()).sum::<usize>();
+                shard
+            })
+            .collect();
+        Generation {
+            repr: Repr::Sharded { shards },
+            len,
+            size_bytes,
+        }
+    }
+
+    /// The seal's stats pass: total entry count, total serialized
+    /// bytes, and the largest key — what the layout selection rule and
+    /// the seal-time `len`/`size_bytes` caches need. Distributed over
+    /// up to `threads` scoped workers when the generation is large
+    /// enough to amortize them (the per-stripe figures are
+    /// schedule-independent either way: winners were already resolved
+    /// at `put_from` time).
+    fn stripe_stats(&self, threads: usize) -> (usize, usize, u64) {
+        let measure_stripe = |m: &FxHashMap<u64, (u32, V)>| {
+            let mut bytes = 0usize;
+            let mut max_key = 0u64;
+            for (&k, (_, v)) in m {
+                bytes += 8 + v.size_bytes();
+                max_key = max_key.max(k);
+            }
+            (m.len(), bytes, max_key)
+        };
+        let total: usize = self.shards.iter().map(|m| m.lock().len()).sum();
+        let workers = threads.min(self.shards.len()).max(1);
+        let merged = if workers == 1 || total < PARALLEL_SEAL_MIN {
+            self.shards
+                .iter()
+                .map(|m| measure_stripe(&m.lock()))
+                .collect::<Vec<_>>()
+        } else {
+            let nstripes = self.shards.len();
+            let shards = &self.shards;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            // Worker w owns stripes w, w+W, w+2W, …; the
+                            // locks are uncontended (writers are done).
+                            let mut out = Vec::new();
+                            let mut i = w;
+                            while i < nstripes {
+                                out.push(measure_stripe(&shards[i].lock()));
+                                i += workers;
+                            }
+                            out
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("seal worker panicked"))
+                    .collect()
+            })
+        };
+        merged.into_iter().fold((0, 0, 0), |(l, b, k), (sl, sb, sk)| {
+            (l + sl, b + sb, k.max(sk))
+        })
     }
 }
 
-impl<V: Measured + Clone + PartialEq> Default for GenerationWriter<V> {
+impl<V: Measured + Clone + PartialEq + Send> Default for GenerationWriter<V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
+/// The physical layout a sealed generation chose (see module docs).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ReprKind {
+    /// Direct-index array over a dense key domain; zero hashes per read.
+    Dense,
+    /// Single open-addressed table; one hash per read.
+    Open,
+    /// Pre-flat shard-of-hashmaps (two hashes per read); the
+    /// `AMPC_STORE=sharded` baseline.
+    Sharded,
+}
+
+/// Sealed storage: one of the three layouts.
+enum Repr<V> {
+    /// `slots[k]` holds key `k`'s value; `occupied` is the bitmap over
+    /// slot indices (word `i`, bit `j` ⇒ slot `64 i + j`), letting
+    /// iteration skip empty runs 64 slots at a time.
+    Dense {
+        slots: Vec<Option<V>>,
+        occupied: Vec<u64>,
+    },
+    /// Open-addressed with linear probing at ≤ 50% load. Capacity is a
+    /// power of two; a key probes from `mix64(key) & mask`. Entries were
+    /// inserted in ascending key order, making the layout canonical.
+    Open {
+        slots: Vec<Option<(u64, V)>>,
+        mask: u64,
+    },
+    /// The pre-flat layout: `mix64` picks a shard, the shard's map
+    /// hashes again.
+    Sharded { shards: Vec<FxHashMap<u64, V>> },
+}
+
 /// An immutable, sealed generation: reads need no locks.
 pub struct Generation<V> {
-    shards: Vec<FxHashMap<u64, V>>,
+    repr: Repr<V>,
+    /// Entry count, computed once at seal.
+    len: usize,
+    /// Total serialized bytes, computed once at seal.
+    size_bytes: usize,
 }
 
 impl<V: Measured + Clone> Generation<V> {
     /// An empty generation.
     pub fn empty() -> Self {
-        Generation { shards: vec![FxHashMap::default()] }
-    }
-
-    #[inline]
-    fn shard_of(&self, key: u64) -> usize {
-        (mix64(key) % self.shards.len() as u64) as usize
+        Generation {
+            repr: Repr::Dense {
+                slots: Vec::new(),
+                occupied: Vec::new(),
+            },
+            len: 0,
+            size_bytes: 0,
+        }
     }
 
     /// Looks a key up. Returns a reference into the sealed store.
+    ///
+    /// Dense layout: one bounds check, no hash. Open layout: one
+    /// [`mix64`] and a linear probe. Sharded (baseline) layout: the
+    /// historical double hash.
     #[inline]
     pub fn get(&self, key: u64) -> Option<&V> {
-        self.shards[self.shard_of(key)].get(&key)
+        match &self.repr {
+            Repr::Dense { slots, .. } => match slots.get(key as usize) {
+                Some(slot) => slot.as_ref(),
+                None => None,
+            },
+            Repr::Open { slots, mask } => {
+                let mut i = (mix64(key) & mask) as usize;
+                loop {
+                    match &slots[i] {
+                        None => return None,
+                        Some((k, v)) if *k == key => return Some(v),
+                        Some(_) => i = (i + 1) & *mask as usize,
+                    }
+                }
+            }
+            Repr::Sharded { shards } => {
+                shards[(mix64(key) % shards.len() as u64) as usize].get(&key)
+            }
+        }
     }
 
-    /// Number of key-value pairs stored.
+    /// Looks up a batch of keys, appending one `Option<&V>` per key to
+    /// `out` (which is cleared first). The allocation-free counterpart
+    /// of collecting [`Self::get`] results — lockstep kernels reuse one
+    /// buffer across hops instead of allocating a fresh `Vec` per batch.
+    pub fn get_many_into<'a>(&'a self, keys: &[u64], out: &mut Vec<Option<&'a V>>) {
+        out.clear();
+        out.reserve(keys.len());
+        for &k in keys {
+            out.push(self.get(k));
+        }
+    }
+
+    /// Which physical layout this generation sealed into.
+    pub fn repr_kind(&self) -> ReprKind {
+        match &self.repr {
+            Repr::Dense { .. } => ReprKind::Dense,
+            Repr::Open { .. } => ReprKind::Open,
+            Repr::Sharded { .. } => ReprKind::Sharded,
+        }
+    }
+
+    /// The physical slot layout, for determinism tests: the key stored
+    /// at every slot index in slot order (`u64::MAX` marks an empty
+    /// slot), prefixed by the layout kind. Two generations with equal
+    /// fingerprints and equal [`Self::iter`] contents are byte-identical
+    /// in memory layout. Sharded generations report per-shard key sets
+    /// in sorted order (their in-shard layout is not canonical).
+    pub fn layout_fingerprint(&self) -> (ReprKind, Vec<u64>) {
+        let kind = self.repr_kind();
+        let slots = match &self.repr {
+            Repr::Dense { slots, .. } => slots
+                .iter()
+                .enumerate()
+                .map(|(k, s)| if s.is_some() { k as u64 } else { u64::MAX })
+                .collect(),
+            Repr::Open { slots, .. } => slots
+                .iter()
+                .map(|s| s.as_ref().map_or(u64::MAX, |(k, _)| *k))
+                .collect(),
+            Repr::Sharded { shards } => {
+                let mut out = Vec::with_capacity(self.len + shards.len());
+                for shard in shards {
+                    let mut keys: Vec<u64> = shard.keys().copied().collect();
+                    keys.sort_unstable();
+                    out.extend(keys);
+                    out.push(u64::MAX); // shard boundary
+                }
+                out
+            }
+        };
+        (kind, slots)
+    }
+
+    /// Number of key-value pairs stored (cached at seal time).
+    #[inline]
     pub fn len(&self) -> usize {
-        self.shards.iter().map(|s| s.len()).sum()
+        self.len
     }
 
     /// True if no pairs are stored.
+    #[inline]
     pub fn is_empty(&self) -> bool {
-        self.shards.iter().all(|s| s.is_empty())
+        self.len == 0
     }
 
-    /// Total serialized size of all pairs.
+    /// Total serialized size of all pairs (cached at seal time — the
+    /// per-round report path reads this in O(1)).
+    #[inline]
     pub fn size_bytes(&self) -> usize {
-        self.shards
-            .iter()
-            .flat_map(|s| s.values())
-            .map(|v| 8 + v.size_bytes())
-            .sum()
+        self.size_bytes
     }
 
-    /// Iterates all pairs (unspecified order).
+    /// Iterates all pairs. Dense generations iterate in ascending key
+    /// order (driven by the occupancy bitmap); other layouts iterate in
+    /// slot/shard order.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
-        self.shards
-            .iter()
-            .flat_map(|s| s.iter().map(|(&k, v)| (k, v)))
+        // Three layout-specific iterators unified behind one box; the
+        // store is read far more than iterated, so the indirection is
+        // irrelevant.
+        let it: Box<dyn Iterator<Item = (u64, &V)> + '_> = match &self.repr {
+            Repr::Dense { slots, occupied } => Box::new(
+                occupied
+                    .iter()
+                    .enumerate()
+                    .flat_map(move |(w, &bits)| BitIter { bits, base: w as u64 * 64 })
+                    .map(move |k| (k, slots[k as usize].as_ref().expect("bitmap/slot agree"))),
+            ),
+            Repr::Open { slots, .. } => Box::new(
+                slots
+                    .iter()
+                    .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v))),
+            ),
+            Repr::Sharded { shards } => Box::new(
+                shards
+                    .iter()
+                    .flat_map(|s| s.iter().map(|(&k, v)| (k, v))),
+            ),
+        };
+        it
+    }
+}
+
+/// Iterator over the set bits of one bitmap word.
+struct BitIter {
+    bits: u64,
+    base: u64,
+}
+
+impl Iterator for BitIter {
+    type Item = u64;
+
+    #[inline]
+    fn next(&mut self) -> Option<u64> {
+        if self.bits == 0 {
+            return None;
+        }
+        let tz = self.bits.trailing_zeros() as u64;
+        self.bits &= self.bits - 1;
+        Some(self.base + tz)
     }
 }
 
 /// Builds a generation directly from an iterator (single-threaded load
 /// path for `D0`).
-impl<V: Measured + Clone + PartialEq> FromIterator<(u64, V)> for Generation<V> {
+impl<V: Measured + Clone + PartialEq + Send> FromIterator<(u64, V)> for Generation<V> {
     fn from_iter<I: IntoIterator<Item = (u64, V)>>(items: I) -> Self {
         let w = GenerationWriter::with_shards(DEFAULT_SHARDS);
         for (k, v) in items {
@@ -230,6 +689,16 @@ impl<V: Measured + Clone> Dht<V> {
     /// Number of sealed generations (including `D0`).
     pub fn num_generations(&self) -> usize {
         self.generations.len()
+    }
+
+    /// Size in bytes of the largest generation sealed so far (each
+    /// generation's size is cached at seal, so this is O(generations)).
+    pub fn peak_generation_bytes(&self) -> usize {
+        self.generations
+            .iter()
+            .map(Generation::size_bytes)
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -343,12 +812,116 @@ mod tests {
         w.put_from(1, 7, 2);
     }
 
+    /// Dense 0..n keys must select the direct-index layout; sparse u64
+    /// keys must fall back to the single open-addressed table.
+    #[test]
+    fn layout_selection_rule() {
+        let dense = Generation::from_iter((0..1000u64).map(|k| (k, k)));
+        assert_eq!(dense.repr_kind(), ReprKind::Dense);
+        // Half-occupied 0..2n domain still qualifies as dense.
+        let gappy = Generation::from_iter((0..1000u64).map(|k| (2 * k, k)));
+        assert_eq!(gappy.repr_kind(), ReprKind::Dense);
+        // Sparse: keys spread over the whole u64 space.
+        let sparse =
+            Generation::from_iter((0..1000u64).map(|k| (k.wrapping_mul(0x9E37_79B9_7F4A_7C15), k)));
+        assert_eq!(sparse.repr_kind(), ReprKind::Open);
+        for k in 0..1000u64 {
+            assert_eq!(sparse.get(k.wrapping_mul(0x9E37_79B9_7F4A_7C15)), Some(&k));
+            assert_eq!(gappy.get(2 * k), Some(&k));
+            assert_eq!(gappy.get(2 * k + 1), None);
+        }
+        assert_eq!(sparse.get(12345), None);
+    }
+
+    /// The three layouts must agree on every lookup: dense, sparse and
+    /// shard-colliding adversarial key sets, hits and misses alike.
+    #[test]
+    fn flat_layouts_match_sharded_baseline() {
+        // Keys that all land in mix64 bucket 0 of the 64 writer stripes
+        // (the adversarial case for the old sharded layout: one shard
+        // holds everything) — and stress one probe neighborhood of the
+        // open table.
+        let colliding: Vec<u64> = (0..200_000u64)
+            .filter(|&k| mix64(k).is_multiple_of(64))
+            .take(500)
+            .collect();
+        let sparse: Vec<u64> = (0..500u64)
+            .map(|k| k.wrapping_mul(0xDEAD_BEEF_1234_5679) | 1 << 63)
+            .collect();
+        let dense: Vec<u64> = (0..500u64).collect();
+        for keys in [colliding, sparse, dense] {
+            let flat: Generation<u64> = {
+                let w = GenerationWriter::new();
+                for &k in &keys {
+                    w.put(k, mix64(k));
+                }
+                w.seal_with_threads(1)
+            };
+            let sharded: Generation<u64> = {
+                let w = GenerationWriter::new();
+                for &k in &keys {
+                    w.put(k, mix64(k));
+                }
+                w.seal_sharded()
+            };
+            assert_eq!(sharded.repr_kind(), ReprKind::Sharded);
+            assert_eq!(flat.len(), sharded.len());
+            assert_eq!(flat.size_bytes(), sharded.size_bytes());
+            for &k in &keys {
+                assert_eq!(flat.get(k), sharded.get(k), "key {k}");
+                // Probing for absent neighbors must agree too.
+                for probe in [k ^ 1, k.wrapping_add(64), !k] {
+                    assert_eq!(flat.get(probe), sharded.get(probe), "probe {probe}");
+                }
+            }
+            let mut a: Vec<(u64, u64)> = flat.iter().map(|(k, v)| (k, *v)).collect();
+            let mut b: Vec<(u64, u64)> = sharded.iter().map(|(k, v)| (k, *v)).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn get_many_into_reuses_buffer() {
+        let g = Generation::from_iter((0..50u64).map(|k| (k, k * 2)));
+        let mut buf = Vec::new();
+        g.get_many_into(&[1, 2, 99], &mut buf);
+        assert_eq!(buf, vec![Some(&2), Some(&4), None]);
+        g.get_many_into(&[3], &mut buf);
+        assert_eq!(buf, vec![Some(&6)]);
+    }
+
+    #[test]
+    fn cached_len_and_size_match_recomputation() {
+        let g = Generation::from_iter((0..77u64).map(|k| (k, vec![k as u32, 1, 2])));
+        assert_eq!(g.len(), 77);
+        let recomputed: usize = g.iter().map(|(_, v)| 8 + v.size_bytes()).sum();
+        assert_eq!(g.size_bytes(), recomputed);
+    }
+
+    #[test]
+    fn dense_iter_is_key_ordered() {
+        let g = Generation::from_iter([(4u64, 40u64), (0, 0), (129, 1290), (64, 640)]);
+        // 4 keys with max 129: 130 slots > 2*4, so this is Open — make a
+        // genuinely dense one instead.
+        assert_eq!(g.repr_kind(), ReprKind::Open);
+        let g = Generation::from_iter((0..130u64).map(|k| (k, k * 10)));
+        assert_eq!(g.repr_kind(), ReprKind::Dense);
+        let keys: Vec<u64> = g.iter().map(|(k, _)| k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+    }
+
     /// The §3 stress test: many machines racing duplicate keys under two
-    /// very different thread schedules must seal byte-identical
-    /// generations.
+    /// very different thread schedules must seal **byte-identical flat
+    /// generations** — same physical slot layout, same values — and the
+    /// layout must also be independent of the seal's worker count
+    /// (`AMPC_THREADS` 1 vs 8).
     #[test]
     fn schedules_seal_identical_generations() {
-        fn run(reverse: bool) -> Vec<(u64, u64)> {
+        fn run(reverse: bool, seal_threads: usize) -> Generation<u64> {
             let w: GenerationWriter<u64> = GenerationWriter::new();
             std::thread::scope(|s| {
                 let machines: Vec<u32> = if reverse {
@@ -373,14 +946,48 @@ mod tests {
                     });
                 }
             });
-            let mut pairs: Vec<(u64, u64)> =
-                w.seal().iter().map(|(k, v)| (k, *v)).collect();
-            pairs.sort_unstable();
-            pairs
+            w.seal_with_threads(seal_threads)
         }
-        let a = run(false);
-        let b = run(true);
+        let a = run(false, 1);
+        let pairs = |g: &Generation<u64>| -> Vec<(u64, u64)> {
+            g.iter().map(|(k, v)| (k, *v)).collect()
+        };
         assert_eq!(a.len(), 8 * 200 + 200);
-        assert_eq!(a, b);
+        for (reverse, threads) in [(true, 1), (false, 8), (true, 8)] {
+            let b = run(reverse, threads);
+            assert_eq!(
+                a.layout_fingerprint(),
+                b.layout_fingerprint(),
+                "layout differs (reverse={reverse}, threads={threads})"
+            );
+            // Identical layout + identical iteration contents ⇒ the
+            // sealed representations are byte-identical.
+            assert_eq!(pairs(&a), pairs(&b), "(reverse={reverse}, threads={threads})");
+        }
+    }
+
+    /// The parallel seal path (many entries, many workers) must produce
+    /// the same canonical layout as the sequential seal.
+    #[test]
+    fn parallel_seal_is_canonical_above_threshold() {
+        let build = || {
+            let w: GenerationWriter<u64> = GenerationWriter::new();
+            std::thread::scope(|s| {
+                for t in 0..4u64 {
+                    let w = &w;
+                    s.spawn(move || {
+                        for i in 0..(PARALLEL_SEAL_MIN as u64 / 2) {
+                            w.put(t * (PARALLEL_SEAL_MIN as u64) + i, i);
+                        }
+                    });
+                }
+            });
+            w
+        };
+        let seq = build().seal_with_threads(1);
+        let par = build().seal_with_threads(8);
+        assert_eq!(seq.layout_fingerprint(), par.layout_fingerprint());
+        assert_eq!(seq.len(), par.len());
+        assert_eq!(seq.size_bytes(), par.size_bytes());
     }
 }

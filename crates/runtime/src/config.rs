@@ -27,6 +27,19 @@ pub struct AmpcConfig {
     /// single-key baseline: identical queries, bytes and outputs, one
     /// round trip per key.
     pub batching: bool,
+    /// Concurrency of the simulation itself: how many machine bodies
+    /// may execute at once. `1` (the forced value under
+    /// `AMPC_THREADS=1`) runs every machine inline on the caller
+    /// thread; higher values dispatch machines as work items to the
+    /// persistent executor pool ([`crate::pool::WorkerPool`]). Purely a
+    /// wall-clock knob: outputs, round counts and `CommStats` are
+    /// identical for every value. Defaults to `AMPC_THREADS`, falling
+    /// back to the machine's available parallelism.
+    pub threads: usize,
+    /// When true, rounds use the pre-pool executor (one fresh OS thread
+    /// per machine per round) instead of the persistent pool. The
+    /// `perf_suite` A/B baseline; never the default.
+    pub legacy_spawn: bool,
     /// Seed for all algorithm randomness (vertex/edge priorities,
     /// sampling). Two runs with equal seeds produce identical outputs.
     pub seed: u64,
@@ -56,6 +69,8 @@ impl Default for AmpcConfig {
             cost: CostConfig::default(),
             caching: true,
             batching: batching_default(),
+            threads: ampc_dht::store::ampc_threads(),
+            legacy_spawn: false,
             seed: 0xA3C5,
             // Paper uses 5e7 on billion-edge graphs (~1/1000 of the
             // largest input); our bench analogues are ~1000x smaller.
@@ -103,6 +118,29 @@ impl AmpcConfig {
     pub fn with_batching(mut self, batching: bool) -> Self {
         self.batching = batching;
         self
+    }
+
+    /// Sets the simulation's execution concurrency (see
+    /// [`Self::threads`]; `1` means fully inline).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads >= 1, "need at least one executor thread");
+        self.threads = threads;
+        self
+    }
+
+    /// Selects the pre-pool spawn-per-machine executor (the `perf_suite`
+    /// baseline).
+    pub fn with_legacy_spawn(mut self, legacy: bool) -> Self {
+        self.legacy_spawn = legacy;
+        self
+    }
+
+    /// The execution policy rounds run under.
+    pub fn exec_policy(&self) -> crate::executor::ExecPolicy {
+        crate::executor::ExecPolicy {
+            threads: self.threads,
+            legacy_spawn: self.legacy_spawn,
+        }
     }
 
     /// Arms fault injection for jobs run under this configuration.

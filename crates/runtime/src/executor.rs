@@ -1,15 +1,63 @@
 //! Parallel execution of machine bodies.
 //!
-//! One simulated machine = one OS thread for the duration of a round
-//! (rounds are few and coarse, so thread spawn cost is negligible).
-//! Each machine gets a metered [`MachineHandle`] onto the DHT plus a
-//! local operation counter; the round's outcome carries per-machine
-//! statistics so the cost model can charge the *bottleneck* machine.
+//! Machines are **work items** executed on the persistent
+//! [`crate::pool::WorkerPool`] that the process creates once and reuses
+//! across all rounds of all jobs (the pre-pool executor spawned one
+//! fresh OS thread per machine per round — hundreds of spawns per round
+//! in the 100-machine cycle configurations, pure simulation overhead).
+//! With `AMPC_THREADS=1` (or a single machine) the round runs inline on
+//! the caller thread through the exact same per-machine entry point
+//! that fault injection replays ([`run_one_machine`]), so replays are
+//! byte-identical whichever execution policy produced the original
+//! round. Each machine gets a metered [`MachineHandle`] onto the DHT
+//! plus a local operation counter; the round's outcome carries
+//! per-machine statistics so the cost model can charge the *bottleneck*
+//! machine.
 
+use crate::pool::WorkerPool;
 use ampc_dht::handle::MachineHandle;
 use ampc_dht::measured::Measured;
 use ampc_dht::metrics::CommStats;
 use ampc_dht::store::{Generation, GenerationWriter};
+
+/// How a round's machines are executed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ExecPolicy {
+    /// Concurrency bound: `1` runs every machine inline on the caller
+    /// thread; anything higher dispatches machines to the persistent
+    /// pool with at most `threads` of them executing at once (the
+    /// submitting thread plus up to `threads - 1` pool workers — see
+    /// [`WorkerPool::run_batch`]).
+    pub threads: usize,
+    /// When true, falls back to the pre-pool executor that spawns one
+    /// scoped OS thread per machine per round. Kept for A/B measurement
+    /// (the `perf_suite` baseline); never the default.
+    pub legacy_spawn: bool,
+}
+
+impl ExecPolicy {
+    /// Run everything inline on the caller thread.
+    pub fn inline() -> Self {
+        ExecPolicy {
+            threads: 1,
+            legacy_spawn: false,
+        }
+    }
+
+    /// The default policy: pool execution with `threads` concurrency.
+    pub fn pooled(threads: usize) -> Self {
+        ExecPolicy {
+            threads,
+            legacy_spawn: false,
+        }
+    }
+}
+
+impl Default for ExecPolicy {
+    fn default() -> Self {
+        ExecPolicy::pooled(ampc_dht::store::ampc_threads())
+    }
+}
 
 /// Everything a machine body can touch during a round.
 pub struct MachineCtx<'a, V> {
@@ -20,7 +68,7 @@ pub struct MachineCtx<'a, V> {
     ops: u64,
 }
 
-impl<'a, V: Measured + Clone + PartialEq> MachineCtx<'a, V> {
+impl<'a, V: Measured + Clone + PartialEq + Send> MachineCtx<'a, V> {
     /// Records `n` units of local computation (charged by the cost
     /// model at `compute_ns_per_op` each).
     #[inline]
@@ -53,19 +101,42 @@ pub struct RoundOutcome<R> {
     pub per_machine: Vec<MachineRoundStats>,
 }
 
-/// Runs `body` once per machine over the given per-machine `chunks`,
-/// in parallel. Reads go to the sealed generation `read`; writes (if
-/// `write` is provided) go into the next generation under construction.
+impl<R> RoundOutcome<R> {
+    /// Assembles the final outcome from per-machine results in machine
+    /// order (identical for every execution policy).
+    fn collect(results: Vec<Option<(Vec<R>, MachineRoundStats)>>) -> Self {
+        let mut outputs = Vec::new();
+        let mut per_machine = Vec::with_capacity(results.len());
+        for r in results {
+            let (out, stats) = r.expect("machine result missing");
+            outputs.extend(out);
+            per_machine.push(stats);
+        }
+        RoundOutcome {
+            outputs,
+            per_machine,
+        }
+    }
+}
+
+/// Runs `body` once per machine over the given per-machine `chunks`.
+/// Reads go to the sealed generation `read`; writes (if `write` is
+/// provided) go into the next generation under construction.
 ///
 /// `budget` is the per-machine query budget (`O(S)` in the model);
 /// `batching` selects batched round-trip accounting vs the single-key
-/// baseline (see [`MachineHandle::get_many`]).
+/// baseline (see [`MachineHandle::get_many`]); `policy` selects inline,
+/// pooled or legacy spawn-per-machine execution. Outputs, per-machine
+/// statistics and the sealed result of `write` are identical across
+/// policies — execution policy is a wall-clock knob, never a semantic
+/// one.
 pub fn run_machines<V, T, R, F>(
     read: &Generation<V>,
     write: Option<&GenerationWriter<V>>,
     chunks: &[Vec<T>],
     budget: u64,
     batching: bool,
+    policy: ExecPolicy,
     body: F,
 ) -> RoundOutcome<R>
 where
@@ -77,35 +148,56 @@ where
     let p = chunks.len();
     let mut results: Vec<Option<(Vec<R>, MachineRoundStats)>> = (0..p).map(|_| None).collect();
 
-    std::thread::scope(|scope| {
-        let mut handles = Vec::with_capacity(p);
-        for (machine_id, chunk) in chunks.iter().enumerate() {
-            let body = &body;
-            handles.push(scope.spawn(move || {
-                run_one_machine(machine_id, read, write, chunk, budget, batching, body)
-            }));
+    if policy.legacy_spawn {
+        // The pre-pool baseline, bit-for-bit: one fresh scoped OS
+        // thread per machine per round, even when `p == 1` or
+        // `threads == 1` — exactly what every round paid before the
+        // pool existed.
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(p);
+            for (machine_id, chunk) in chunks.iter().enumerate() {
+                let body = &body;
+                handles.push(scope.spawn(move || {
+                    run_one_machine(machine_id, read, write, chunk, budget, batching, body)
+                }));
+            }
+            for (slot, h) in results.iter_mut().zip(handles) {
+                *slot = Some(h.join().expect("machine thread panicked"));
+            }
+        });
+    } else if p <= 1 || policy.threads <= 1 {
+        // Single machine or single thread: no dispatch at all — run on
+        // the caller thread through the replay entry point.
+        for (machine_id, (chunk, slot)) in chunks.iter().zip(results.iter_mut()).enumerate() {
+            *slot = Some(run_one_machine(
+                machine_id, read, write, chunk, budget, batching, &body,
+            ));
         }
-        for (slot, h) in results.iter_mut().zip(handles) {
-            *slot = Some(h.join().expect("machine thread panicked"));
-        }
-    });
+    } else {
+        // Machines become work items on the persistent pool.
+        let body = &body;
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
+            .iter()
+            .zip(results.iter_mut())
+            .enumerate()
+            .map(|(machine_id, (chunk, slot))| {
+                Box::new(move || {
+                    *slot = Some(run_one_machine(
+                        machine_id, read, write, chunk, budget, batching, body,
+                    ));
+                }) as Box<dyn FnOnce() + Send + '_>
+            })
+            .collect();
+        WorkerPool::global(policy.threads).run_batch(tasks, policy.threads);
+    }
 
-    let mut outputs = Vec::new();
-    let mut per_machine = Vec::with_capacity(p);
-    for r in results {
-        let (out, stats) = r.unwrap();
-        outputs.extend(out);
-        per_machine.push(stats);
-    }
-    RoundOutcome {
-        outputs,
-        per_machine,
-    }
+    RoundOutcome::collect(results)
 }
 
-/// Runs a single machine's share of a round (also the replay path used
-/// by fault injection — replaying against the same sealed generation
-/// necessarily reproduces the same result).
+/// Runs a single machine's share of a round. This is both the inline
+/// execution path and the replay path used by fault injection —
+/// replaying against the same sealed generation necessarily reproduces
+/// the same result, whichever policy ran the original round.
 pub fn run_one_machine<V, T, R, F>(
     machine_id: usize,
     read: &Generation<V>,
@@ -116,7 +208,7 @@ pub fn run_one_machine<V, T, R, F>(
     body: &F,
 ) -> (Vec<R>, MachineRoundStats)
 where
-    V: Measured + Clone + PartialEq,
+    V: Measured + Clone + PartialEq + Send,
     F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R>,
 {
     let mut ctx = MachineCtx {
@@ -140,52 +232,106 @@ mod tests {
     use super::*;
     use crate::partition;
 
+    /// Policies a round must behave identically under.
+    fn policies() -> [ExecPolicy; 3] {
+        [
+            ExecPolicy::inline(),
+            ExecPolicy::pooled(4),
+            ExecPolicy {
+                threads: 4,
+                legacy_spawn: true,
+            },
+        ]
+    }
+
     #[test]
     fn outputs_in_machine_order() {
         let read: Generation<u64> = Generation::from_iter((0..100u64).map(|k| (k, k * 10)));
         let chunks = partition::chunk((0..100u64).collect(), 4);
-        let outcome = run_machines(&read, None, &chunks, u64::MAX, true, |ctx, items| {
-            items
-                .iter()
-                .map(|&k| *ctx.handle.get(k).unwrap())
-                .collect::<Vec<_>>()
-        });
-        let expect: Vec<u64> = (0..100u64).map(|k| k * 10).collect();
-        assert_eq!(outcome.outputs, expect);
+        for policy in policies() {
+            let outcome =
+                run_machines(&read, None, &chunks, u64::MAX, true, policy, |ctx, items| {
+                    items
+                        .iter()
+                        .map(|&k| *ctx.handle.get(k).unwrap())
+                        .collect::<Vec<_>>()
+                });
+            let expect: Vec<u64> = (0..100u64).map(|k| k * 10).collect();
+            assert_eq!(outcome.outputs, expect, "{policy:?}");
+        }
     }
 
     #[test]
     fn per_machine_stats_collected() {
         let read: Generation<u64> = Generation::from_iter((0..40u64).map(|k| (k, k)));
         let chunks = partition::chunk((0..40u64).collect(), 4);
-        let outcome = run_machines(&read, None, &chunks, u64::MAX, true, |ctx, items| {
-            for &k in items {
-                ctx.handle.get(k);
-                ctx.add_ops(3);
+        for policy in policies() {
+            let outcome =
+                run_machines(&read, None, &chunks, u64::MAX, true, policy, |ctx, items| {
+                    for &k in items {
+                        ctx.handle.get(k);
+                        ctx.add_ops(3);
+                    }
+                    Vec::<()>::new()
+                });
+            assert_eq!(outcome.per_machine.len(), 4);
+            for m in &outcome.per_machine {
+                assert_eq!(m.comm.queries, 10, "{policy:?}");
+                assert_eq!(m.ops, 30, "{policy:?}");
             }
-            Vec::<()>::new()
-        });
-        assert_eq!(outcome.per_machine.len(), 4);
-        for m in &outcome.per_machine {
-            assert_eq!(m.comm.queries, 10);
-            assert_eq!(m.ops, 30);
         }
     }
 
     #[test]
-    fn writes_visible_after_seal() {
-        let read: Generation<u64> = Generation::empty();
-        let writer = GenerationWriter::new();
-        let chunks = partition::chunk((0..20u64).collect(), 3);
-        run_machines(&read, Some(&writer), &chunks, u64::MAX, true, |ctx, items| {
-            for &k in items {
-                ctx.handle.put(k, k + 1);
-            }
-            Vec::<()>::new()
+    fn writes_visible_after_seal_under_every_policy() {
+        for policy in policies() {
+            let read: Generation<u64> = Generation::empty();
+            let writer = GenerationWriter::new();
+            let chunks = partition::chunk((0..20u64).collect(), 3);
+            run_machines(&read, Some(&writer), &chunks, u64::MAX, true, policy, |ctx, items| {
+                for &k in items {
+                    ctx.handle.put(k, k + 1);
+                }
+                Vec::<()>::new()
+            });
+            let sealed = writer.seal();
+            assert_eq!(sealed.len(), 20, "{policy:?}");
+            assert_eq!(sealed.get(7), Some(&8), "{policy:?}");
+        }
+    }
+
+    /// The pool and the legacy spawn executor must seal byte-identical
+    /// generations from racing duplicate writers.
+    #[test]
+    fn pool_and_spawn_seal_identical_generations() {
+        let run = |policy: ExecPolicy| {
+            let read: Generation<u64> = Generation::empty();
+            let writer = GenerationWriter::new();
+            // Every machine writes the shared keys with equal values
+            // (the StatusWrite pattern) plus private keys.
+            let chunks: Vec<Vec<u64>> = (0..8u64).map(|m| vec![m]).collect();
+            run_machines(&read, Some(&writer), &chunks, u64::MAX, true, policy, |ctx, items| {
+                for &m in items {
+                    for i in 0..50u64 {
+                        ctx.handle.put(m * 100 + i, i * 3);
+                        ctx.handle.put(10_000 + i, i);
+                    }
+                }
+                Vec::<()>::new()
+            });
+            writer.seal_with_threads(1)
+        };
+        let pooled = run(ExecPolicy::pooled(4));
+        let spawned = run(ExecPolicy {
+            threads: 4,
+            legacy_spawn: true,
         });
-        let sealed = writer.seal();
-        assert_eq!(sealed.len(), 20);
-        assert_eq!(sealed.get(7), Some(&8));
+        let inline = run(ExecPolicy::inline());
+        assert_eq!(pooled.layout_fingerprint(), spawned.layout_fingerprint());
+        assert_eq!(pooled.layout_fingerprint(), inline.layout_fingerprint());
+        let pairs = |g: &Generation<u64>| g.iter().map(|(k, v)| (k, *v)).collect::<Vec<_>>();
+        assert_eq!(pairs(&pooled), pairs(&spawned));
+        assert_eq!(pairs(&pooled), pairs(&inline));
     }
 
     #[test]
@@ -216,8 +362,8 @@ mod tests {
                 .map(|v| *v.unwrap())
                 .collect::<Vec<u64>>()
         };
-        let on = run_machines(&read, None, &chunks, u64::MAX, true, body);
-        let off = run_machines(&read, None, &chunks, u64::MAX, false, body);
+        let on = run_machines(&read, None, &chunks, u64::MAX, true, ExecPolicy::inline(), body);
+        let off = run_machines(&read, None, &chunks, u64::MAX, false, ExecPolicy::inline(), body);
         assert_eq!(on.outputs, off.outputs);
         for (a, b) in on.per_machine.iter().zip(&off.per_machine) {
             assert_eq!(a.comm.queries, b.comm.queries);
@@ -234,24 +380,49 @@ mod tests {
         let read: Generation<u64> = Generation::from_iter((0..1000u64).map(|k| (k, k + 1)));
         let chunks = partition::chunk(vec![0u64, 500], 2);
         let budget = 5u64;
-        let outcome = run_machines(&read, None, &chunks, budget, true, |ctx, items| {
-            items
-                .iter()
-                .map(|&start| {
-                    let mut cur = start;
-                    loop {
-                        match ctx.handle.try_get(cur) {
-                            Ok(Some(&next)) => cur = next,
-                            Ok(None) | Err(_) => break cur,
+        for policy in policies() {
+            let outcome = run_machines(&read, None, &chunks, budget, true, policy, |ctx, items| {
+                items
+                    .iter()
+                    .map(|&start| {
+                        let mut cur = start;
+                        loop {
+                            match ctx.handle.try_get(cur) {
+                                Ok(Some(&next)) => cur = next,
+                                Ok(None) | Err(_) => break cur,
+                            }
                         }
-                    }
-                })
-                .collect::<Vec<u64>>()
-        });
-        // Each machine ran one chain and was cut off after `budget` hops.
-        assert_eq!(outcome.outputs, vec![budget, 500 + budget]);
-        for m in &outcome.per_machine {
-            assert_eq!(m.comm.queries, budget);
+                    })
+                    .collect::<Vec<u64>>()
+            });
+            // Each machine ran one chain and was cut off after `budget` hops.
+            assert_eq!(outcome.outputs, vec![budget, 500 + budget], "{policy:?}");
+            for m in &outcome.per_machine {
+                assert_eq!(m.comm.queries, budget, "{policy:?}");
+            }
         }
+    }
+
+    #[test]
+    fn machine_panic_propagates_from_the_pool() {
+        let read: Generation<u64> = Generation::from_iter((0..8u64).map(|k| (k, k)));
+        let chunks = partition::chunk((0..8u64).collect(), 4);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_machines(
+                &read,
+                None,
+                &chunks,
+                u64::MAX,
+                true,
+                ExecPolicy::pooled(4),
+                |ctx, items| {
+                    if ctx.machine_id == 2 {
+                        panic!("injected machine failure");
+                    }
+                    items.to_vec()
+                },
+            )
+        }));
+        assert!(result.is_err());
     }
 }

@@ -82,6 +82,7 @@ impl Job {
             comm: CommStats::default(),
             shuffle_bytes: total_bytes,
             shuffle_bytes_max_machine: max_machine_bytes,
+            gen_bytes: 0,
             ops: 0,
             sim_ns: sim,
             wall_ns: 0,
@@ -198,8 +199,10 @@ impl Job {
     {
         let stage = self.next_stage_index();
         let batching = self.cfg.batching;
+        let policy = self.cfg.exec_policy();
         let wall = Instant::now();
-        let mut outcome = executor::run_machines(read, write, chunks, budget, batching, &body);
+        let mut outcome =
+            executor::run_machines(read, write, chunks, budget, batching, policy, &body);
 
         // Fault injection: the chosen machine's first attempt is thrown
         // away and its chunk replayed against the same sealed input.
@@ -241,6 +244,9 @@ impl Job {
             comm,
             shuffle_bytes: 0,
             shuffle_bytes_max_machine: 0,
+            // Cached at seal time, so recording it per round is O(1)
+            // (the pre-flat layout re-walked every shard here).
+            gen_bytes: read.size_bytes() as u64,
             ops,
             sim_ns: self.cfg.cost.stage_overhead_ns + bottleneck + extra_sim,
             wall_ns: wall.elapsed().as_nanos() as u64,
@@ -287,6 +293,7 @@ impl Job {
             comm: CommStats::default(),
             shuffle_bytes: 0,
             shuffle_bytes_max_machine: 0,
+            gen_bytes: 0,
             ops,
             sim_ns: self.cfg.cost.stage_overhead_ns + self.cfg.cost.compute_time_ns(ops),
             wall_ns: wall.elapsed().as_nanos() as u64,

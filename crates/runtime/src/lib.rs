@@ -13,14 +13,19 @@
 //!   the DHT), and [`report::StageKind::Local`] (the "switch to an
 //!   in-memory algorithm on one machine" step both the AMPC and MPC
 //!   implementations use).
-//! * The **executor** ([`executor`]) actually runs machine bodies in
-//!   parallel OS threads (one per simulated machine, via
-//!   `std::thread::scope`), with each machine's DHT traffic metered
-//!   through an
+//! * The **executor** ([`executor`]) runs machine bodies as work items
+//!   on a **persistent worker pool** ([`pool::WorkerPool`]) created
+//!   once per process and reused across all rounds of all jobs (sized
+//!   by `AMPC_THREADS`; `AMPC_THREADS=1` — and any single-machine round
+//!   — runs inline on the caller thread with no dispatch at all). Each
+//!   machine's DHT traffic is metered through an
 //!   [`ampc_dht::MachineHandle`] that carries the machine's id (for
 //!   deterministic duplicate-write resolution), its enforced `O(S)`
 //!   query budget, and the §5.3 batching mode — lookup latency is
-//!   charged per batched round trip, bandwidth per key.
+//!   charged per batched round trip, bandwidth per key. The execution
+//!   policy is purely a wall-clock knob: outputs, round counts and
+//!   `CommStats` are identical under every policy, including the
+//!   retained pre-pool spawn-per-machine baseline.
 //! * Every stage appends a [`report::StageReport`]; the final
 //!   [`report::JobReport`] carries everything the benchmark harness needs
 //!   to regenerate the paper's tables and figures: shuffle counts
@@ -43,6 +48,7 @@ pub mod executor;
 pub mod fault;
 pub mod job;
 pub mod partition;
+pub mod pool;
 pub mod report;
 
 pub use config::AmpcConfig;

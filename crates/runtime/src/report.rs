@@ -37,6 +37,10 @@ pub struct StageReport {
     /// Bytes handled by the most loaded machine in the shuffle —
     /// captures the join skew the paper observes on ClueWeb (§5.3).
     pub shuffle_bytes_max_machine: u64,
+    /// Serialized size of the sealed generation this stage read (KV
+    /// rounds only; 0 elsewhere). Read from the size cached at seal
+    /// time, so recording it is O(1) per round.
+    pub gen_bytes: u64,
     /// Local computation operations (summed over machines).
     pub ops: u64,
     /// Simulated time of the stage (deterministic; the bottleneck
@@ -104,6 +108,13 @@ impl JobReport {
     /// Figure 9's y-axis).
     pub fn kv_comm(&self) -> CommStats {
         CommStats::merged(self.stages.iter().map(|s| &s.comm))
+    }
+
+    /// Size of the largest sealed generation any KV round read — the
+    /// job's peak DHT storage footprint (tracked by `perf_suite`).
+    /// O(stages): each stage's figure was cached at seal time.
+    pub fn peak_generation_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.gen_bytes).max().unwrap_or(0)
     }
 
     /// Charged KV round trips across all stages: one per batch under
@@ -196,6 +207,7 @@ mod tests {
             comm: CommStats::default(),
             shuffle_bytes: if kind == StageKind::Shuffle { 100 } else { 0 },
             shuffle_bytes_max_machine: 0,
+            gen_bytes: if kind == StageKind::KvRound { 40 } else { 0 },
             ops: 0,
             sim_ns: sim,
             wall_ns: 1,
@@ -214,6 +226,7 @@ mod tests {
         assert_eq!(r.shuffle_bytes(), 200);
         assert_eq!(r.breakdown()[1], ("b".into(), 20));
         assert_eq!(r.stage_sim_ns("c"), 30);
+        assert_eq!(r.peak_generation_bytes(), 40);
     }
 
     #[test]
