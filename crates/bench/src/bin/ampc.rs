@@ -1,0 +1,455 @@
+//! `ampc` — the workload CLI: run any registered algorithm on any
+//! graph source under any runtime configuration, emitting a
+//! machine-readable JSON run record.
+//!
+//! ```text
+//! ampc list
+//! ampc run <family> --graph <source> [--model ampc|mpc] [options]
+//! ampc smoke [--scale test|mid|bench]
+//! ```
+//!
+//! See `README.md` for the option reference, the graph-source grammar
+//! and the JSON report schema. `ampc smoke` is the CI entry point: it
+//! runs every registry row on a small instance, validates each output
+//! against the input, checks the AMPC/MPC cross-model equalities, and
+//! syntax-checks every emitted JSON record.
+
+use ampc_bench::registry::{self, AlgoParams};
+use ampc_bench::util::harness_config;
+use ampc_bench::{json, util};
+use ampc_core::algorithm::{AlgoInput, AlgoOutput, Model};
+use ampc_dht::cost::Network;
+use ampc_runtime::driver::{json_string, DriverOptions, Driven, RunSummary};
+use ampc_runtime::AmpcConfig;
+use ampc_graph::datasets::Scale;
+use ampc_graph::{CsrGraph, GraphSource, WeightedCsrGraph};
+use std::collections::HashMap;
+
+const USAGE: &str = "\
+ampc — the AMPC workload runner
+
+USAGE:
+  ampc list                          show all registered algorithms
+  ampc run <family> --graph <src>    run one algorithm on one graph
+  ampc smoke                         run every registry row on small inputs (CI)
+
+RUN OPTIONS:
+  --graph <src>        graph source (required), e.g. ok, rmat:12,40000,social,
+                       er:1000,3000, cycle:5000, pair:2500, file:edges.el
+  --model ampc|mpc     model backend (default ampc)
+  --machines <P>       machine count (default: harness config for the scale)
+  --seed <S>           algorithm seed
+  --scale test|mid|bench  analogue scale for named datasets + cost calibration
+                       (default: AMPC_SCALE env, else mid)
+  --threads <T>        simulation executor threads (AMPC_THREADS equivalent)
+  --batch on|off       §5.3 batching (AMPC_BATCH equivalent)
+  --caching on|off     §5.3 per-machine caching
+  --network rdma|tcp   KV transport profile (Table 4)
+  --threshold <E>      switch-to-in-memory edge threshold
+  --walkers <W>        walks: walkers per vertex (default 1)
+  --steps <K>          walks: hops per walk (default 8)
+  --sample-inv <R>     one-vs-two: inverse sampling rate (default 1024)
+  --validate           check the output against the input (exit 1 on failure)
+  --json <path|->      write the JSON run record to a file, or '-' for stdout
+  --quiet              suppress the human-readable summary
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(match run_cli(&args) {
+        Ok(()) => 0,
+        Err(e) => {
+            eprintln!("ampc: {e}");
+            1
+        }
+    });
+}
+
+/// Parsed command line: positionals, `--flag value` pairs, and bare
+/// `--switch`es.
+struct Cli {
+    positional: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+const VALUE_FLAGS: [&str; 14] = [
+    "--graph", "--model", "--machines", "--seed", "--scale", "--threads", "--batch",
+    "--caching", "--network", "--threshold", "--walkers", "--steps", "--sample-inv", "--json",
+];
+const SWITCHES: [&str; 3] = ["--validate", "--quiet", "--help"];
+
+impl Cli {
+    fn parse(args: &[String]) -> Result<Cli, String> {
+        let mut positional = Vec::new();
+        let mut flags = HashMap::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if VALUE_FLAGS.contains(&a.as_str()) {
+                let v = it
+                    .next()
+                    .ok_or_else(|| format!("{a} needs a value"))?;
+                flags.insert(a.clone(), v.clone());
+            } else if SWITCHES.contains(&a.as_str()) {
+                flags.insert(a.clone(), String::new());
+            } else if a.starts_with("--") {
+                return Err(format!("unknown option {a} (see ampc --help)"));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Cli { positional, flags })
+    }
+
+    fn has(&self, switch: &str) -> bool {
+        self.flags.contains_key(switch)
+    }
+
+    fn get(&self, flag: &str) -> Option<&str> {
+        self.flags.get(flag).map(String::as_str)
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, String> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some(v) => v
+                .parse::<T>()
+                .map(Some)
+                .map_err(|_| format!("{flag}: cannot parse {v:?}")),
+        }
+    }
+
+    fn parse_toggle(&self, flag: &str) -> Result<Option<bool>, String> {
+        match self.get(flag) {
+            None => Ok(None),
+            Some("on" | "true" | "1") => Ok(Some(true)),
+            Some("off" | "false" | "0") => Ok(Some(false)),
+            Some(v) => Err(format!("{flag}: expected on|off, got {v:?}")),
+        }
+    }
+}
+
+fn run_cli(args: &[String]) -> Result<(), String> {
+    let cli = Cli::parse(args)?;
+    if cli.has("--help") || cli.positional.is_empty() {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    match cli.positional[0].as_str() {
+        "list" => cmd_list(),
+        "run" => cmd_run(&cli),
+        "smoke" => cmd_smoke(&cli),
+        other => Err(format!("unknown command {other:?} (see ampc --help)")),
+    }
+}
+
+fn cmd_list() -> Result<(), String> {
+    let rows: Vec<Vec<String>> = registry::ENTRIES
+        .iter()
+        .map(|e| {
+            vec![
+                e.family.to_string(),
+                e.model.token().to_string(),
+                e.summary.to_string(),
+            ]
+        })
+        .collect();
+    print!("{}", util::md_table(&["family", "model", "description"], &rows));
+    Ok(())
+}
+
+fn scale_of(cli: &Cli) -> Result<Scale, String> {
+    match cli.get("--scale") {
+        None => Ok(Scale::from_env()),
+        Some("test") => Ok(Scale::Test),
+        Some("mid") => Ok(Scale::Mid),
+        Some("bench") => Ok(Scale::Bench),
+        Some(v) => Err(format!("--scale: expected test|mid|bench, got {v:?}")),
+    }
+}
+
+fn scale_token(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Test => "test",
+        Scale::Mid => "mid",
+        Scale::Bench => "bench",
+    }
+}
+
+/// Everything one resolved run request needs.
+struct RunSpec {
+    family: &'static str,
+    model: Model,
+    source: GraphSource,
+    scale: Scale,
+    cfg: AmpcConfig,
+    params: AlgoParams,
+}
+
+/// Loaded input graph, owning whichever representation the algorithm
+/// needs.
+enum LoadedGraph {
+    Unweighted(CsrGraph),
+    Weighted(WeightedCsrGraph),
+}
+
+impl LoadedGraph {
+    fn as_input(&self) -> AlgoInput<'_> {
+        match self {
+            LoadedGraph::Unweighted(g) => AlgoInput::Unweighted(g),
+            LoadedGraph::Weighted(g) => AlgoInput::Weighted(g),
+        }
+    }
+}
+
+fn load_for(spec: &RunSpec) -> Result<LoadedGraph, String> {
+    let entry = registry::lookup(spec.family, spec.model).expect("spec came from the registry");
+    Ok(
+        match entry.input_kind(&spec.params) {
+            ampc_core::algorithm::InputKind::Weighted => LoadedGraph::Weighted(
+                spec.source.load_weighted(spec.scale, util::GRAPH_SEED)?,
+            ),
+            _ => LoadedGraph::Unweighted(spec.source.load(spec.scale, util::GRAPH_SEED)?),
+        },
+    )
+}
+
+/// Runs one spec through the registry + driver, returning the driven
+/// result together with the loaded graph (so callers validate against
+/// the same instance instead of regenerating it).
+fn execute(spec: &RunSpec) -> Result<(Driven<AlgoOutput>, LoadedGraph), String> {
+    let graph = load_for(spec)?;
+    let driven = registry::run_family_with(
+        spec.family,
+        spec.model,
+        &graph.as_input(),
+        &spec.cfg,
+        &spec.params,
+    )?;
+    Ok((driven, graph))
+}
+
+/// The JSON run record (see README for the schema).
+fn run_record(
+    spec: &RunSpec,
+    n: usize,
+    m: usize,
+    driven: &Driven<AlgoOutput>,
+    validated: Option<bool>,
+) -> String {
+    let summary = RunSummary::from_report(&driven.report, driven.wall_ns);
+    let validated = match validated {
+        None => "null".to_string(),
+        Some(b) => b.to_string(),
+    };
+    format!(
+        "{{\n  \"tool\": \"ampc\",\n  \"algorithm\": {},\n  \"model\": {},\n  \
+         \"graph\": {},\n  \"scale\": {},\n  \"n\": {n},\n  \"m\": {m},\n  \
+         \"seed\": {},\n  \"machines\": {},\n  \"params\": {{\"walkers_per_node\": {}, \
+         \"steps\": {}, \"sample_inv\": {}}},\n  \"output\": {{\"kind\": {}, \"size\": {}, \
+         \"digest\": {}}},\n  \"validated\": {validated},\n  \"report\":\n{}\n}}\n",
+        json_string(spec.family),
+        json_string(spec.model.token()),
+        json_string(&spec.source.describe()),
+        json_string(scale_token(spec.scale)),
+        spec.cfg.seed,
+        spec.cfg.num_machines,
+        spec.params.walkers_per_node,
+        spec.params.steps,
+        spec.params.sample_inv,
+        json_string(driven.output.kind()),
+        driven.output.size(),
+        driven.output.digest(),
+        summary.to_json(2),
+    )
+}
+
+fn spec_from_cli(cli: &Cli) -> Result<RunSpec, String> {
+    if cli.positional.len() < 2 {
+        return Err("run: missing <family> (see ampc list)".into());
+    }
+    let family = registry::canonical_family(&cli.positional[1])
+        .ok_or_else(|| format!("unknown algorithm family {:?} (see ampc list)", cli.positional[1]))?;
+    let model = match cli.get("--model").unwrap_or("ampc") {
+        "ampc" => Model::Ampc,
+        "mpc" => Model::Mpc,
+        v => return Err(format!("--model: expected ampc|mpc, got {v:?}")),
+    };
+    let source = GraphSource::parse(
+        cli.get("--graph")
+            .ok_or("run: --graph <source> is required")?,
+    )?;
+    let scale = scale_of(cli)?;
+    let network = match cli.get("--network") {
+        None => None,
+        Some("rdma") => Some(Network::Rdma),
+        Some("tcp") => Some(Network::Tcp),
+        Some(v) => return Err(format!("--network: expected rdma|tcp, got {v:?}")),
+    };
+    let opts = DriverOptions {
+        machines: cli.parse_num("--machines")?,
+        seed: cli.parse_num("--seed")?,
+        threads: cli.parse_num("--threads")?,
+        batching: cli.parse_toggle("--batch")?,
+        caching: cli.parse_toggle("--caching")?,
+        network,
+        in_memory_threshold: cli.parse_num("--threshold")?,
+        ..Default::default()
+    };
+    let cfg = opts.apply(harness_config(scale));
+    let mut params = AlgoParams::default();
+    if let Some(w) = cli.parse_num("--walkers")? {
+        params.walkers_per_node = w;
+    }
+    if let Some(s) = cli.parse_num("--steps")? {
+        params.steps = s;
+    }
+    if let Some(r) = cli.parse_num("--sample-inv")? {
+        params.sample_inv = r;
+    }
+    Ok(RunSpec {
+        family,
+        model,
+        source,
+        scale,
+        cfg,
+        params,
+    })
+}
+
+fn cmd_run(cli: &Cli) -> Result<(), String> {
+    let spec = spec_from_cli(cli)?;
+    let (driven, graph) = execute(&spec)?;
+    let (n, m) = (graph.as_input().num_nodes(), graph.as_input().num_edges());
+
+    let validated = if cli.has("--validate") {
+        let entry = registry::lookup(spec.family, spec.model).unwrap();
+        match entry.validate(&graph.as_input(), &driven.output, &spec.params) {
+            Ok(()) => Some(true),
+            Err(e) => {
+                eprintln!("ampc: validation FAILED: {e}");
+                Some(false)
+            }
+        }
+    } else {
+        None
+    };
+
+    if !cli.has("--quiet") {
+        println!(
+            "{} [{}] on {} (n={n}, m={m}), P={}, seed={:#x}",
+            spec.family,
+            spec.model.token(),
+            spec.source.describe(),
+            spec.cfg.num_machines,
+            spec.cfg.seed,
+        );
+        println!(
+            "output: {} (size {}, digest {:#018x}){}",
+            driven.output.kind(),
+            driven.output.size(),
+            driven.output.digest(),
+            match validated {
+                Some(true) => " — validated",
+                Some(false) => " — INVALID",
+                None => "",
+            }
+        );
+        print!("{}", driven.report.summary());
+    }
+
+    if let Some(dest) = cli.get("--json") {
+        let record = run_record(&spec, n, m, &driven, validated);
+        json::validate_json(&record)
+            .map_err(|e| format!("internal error: emitted JSON does not parse: {e}"))?;
+        if dest == "-" {
+            print!("{record}");
+        } else {
+            std::fs::write(dest, &record).map_err(|e| format!("--json {dest}: {e}"))?;
+            if !cli.has("--quiet") {
+                println!("wrote {dest}");
+            }
+        }
+    }
+
+    if validated == Some(false) {
+        return Err("output failed validation".into());
+    }
+    Ok(())
+}
+
+/// The CI smoke matrix: every registry row on a small instance, with
+/// cross-model output equality asserted per family.
+fn cmd_smoke(cli: &Cli) -> Result<(), String> {
+    let scale = match cli.get("--scale") {
+        None => Scale::Test,
+        _ => scale_of(cli)?,
+    };
+    let sources: [(&str, &str); 6] = [
+        ("mis", "rmat:8,1500"),
+        ("mm", "rmat:8,1500"),
+        ("msf", "rmat:8,1500"),
+        ("cc", "er:300,420"),
+        ("one-vs-two", "pair:200"),
+        ("walks", "er:120,400"),
+    ];
+    let mut rows = Vec::new();
+    let mut failures = 0usize;
+    for (family, src) in sources {
+        let mut digests = Vec::new();
+        for model in [Model::Ampc, Model::Mpc] {
+            let mut cfg = harness_config(scale);
+            // Small instances: keep the MPC baselines distributed.
+            cfg.in_memory_threshold = 100;
+            let spec = RunSpec {
+                family: registry::canonical_family(family).unwrap(),
+                model,
+                source: GraphSource::parse(src)?,
+                scale,
+                cfg,
+                params: AlgoParams::default(),
+            };
+            let (driven, graph) = execute(&spec)?;
+            let (n, m) = (graph.as_input().num_nodes(), graph.as_input().num_edges());
+            let entry = registry::lookup(spec.family, model).unwrap();
+            let valid = entry.validate(&graph.as_input(), &driven.output, &spec.params);
+            let record = run_record(&spec, n, m, &driven, Some(valid.is_ok()));
+            let parses = json::validate_json(&record);
+            let ok = valid.is_ok() && parses.is_ok();
+            if let Err(e) = &valid {
+                eprintln!("ampc smoke: {family}/{}: validation failed: {e}", model.token());
+            }
+            if let Err(e) = &parses {
+                eprintln!("ampc smoke: {family}/{}: JSON does not parse: {e}", model.token());
+            }
+            failures += usize::from(!ok);
+            digests.push(driven.output.digest());
+            rows.push(vec![
+                family.to_string(),
+                model.token().to_string(),
+                src.to_string(),
+                format!("{}", driven.report.num_shuffles()),
+                format!("{}", driven.report.num_kv_rounds()),
+                if ok { "ok".into() } else { "FAIL".into() },
+            ]);
+        }
+        // Cross-model equality (DESIGN.md §3): both backends compute the
+        // same answer from the same seeded priorities. The 1-vs-2-cycle
+        // digests are cycle *counts*, identical here too (both find 2).
+        if digests[0] != digests[1] {
+            eprintln!("ampc smoke: {family}: AMPC and MPC outputs differ");
+            failures += 1;
+        }
+    }
+    print!(
+        "{}",
+        util::md_table(
+            &["family", "model", "graph", "shuffles", "kv rounds", "status"],
+            &rows,
+        )
+    );
+    if failures > 0 {
+        return Err(format!("{failures} smoke failure(s)"));
+    }
+    println!("smoke: all {} runs validated, JSON records parse", rows.len());
+    Ok(())
+}

@@ -3,11 +3,14 @@
 //! the paper's bars) its charged KV *round trips* under the §5.3
 //! batching optimization vs the single-key baseline.
 
+use crate::registry;
 use crate::util::{bytes, harness_config, load, Md};
-use ampc_core::mis::ampc_mis;
+use ampc_core::algorithm::{AlgoInput, Model};
 use ampc_graph::datasets::{Dataset, Scale};
 
-/// Runs the experiment, returning a markdown section.
+/// Runs the experiment, returning a markdown section. All three runs
+/// per dataset resolve through the algorithm registry — the same
+/// CLI-to-kernel code path as `ampc run mis`.
 pub fn run(scale: Scale) -> String {
     let cfg = harness_config(scale);
     let mut rows = Vec::new();
@@ -15,9 +18,13 @@ pub fn run(scale: Scale) -> String {
     let mut batching_always_wins = true;
     for d in Dataset::REAL_WORLD {
         let g = load(d, scale);
-        let a = ampc_mis(&g, &cfg.with_batching(true));
-        let single = ampc_mis(&g, &cfg.with_batching(false));
-        let m = ampc_mpc::mpc_mis(&g, &cfg);
+        let input = AlgoInput::Unweighted(&g);
+        let a = registry::run_family("mis", Model::Ampc, &input, &cfg.with_batching(true))
+            .expect("mis is registered");
+        let single = registry::run_family("mis", Model::Ampc, &input, &cfg.with_batching(false))
+            .expect("mis is registered");
+        let m = registry::run_family("mis", Model::Mpc, &input, &cfg)
+            .expect("mpc mis is registered");
         let a_shuf = a.report.shuffle_bytes();
         let a_kv = a.report.kv_comm().kv_bytes();
         let a_rt = a.report.kv_round_trips();
@@ -28,7 +35,7 @@ pub fn run(scale: Scale) -> String {
         // The acceptance claim the figure prints: batching must not
         // change outputs (checked in release too — the bench binaries
         // are the runs that actually make the claim).
-        assert_eq!(a.in_mis, single.in_mis, "batched MIS diverged on {}", d.name());
+        assert_eq!(a.output, single.output, "batched MIS diverged on {}", d.name());
         rows.push(vec![
             d.name(),
             bytes(a_shuf),

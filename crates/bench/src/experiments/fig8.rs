@@ -6,13 +6,16 @@
 //! for larger graphs, since there is more work to do relative to the
 //! overhead of spawning rounds and shuffles."*
 
+use crate::registry;
 use crate::util::{harness_config, load, secs, Md};
-use ampc_core::mis::ampc_mis;
+use ampc_core::algorithm::{AlgoInput, Model};
 use ampc_graph::datasets::{Dataset, Scale};
 
 const MACHINES: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 100];
 
-/// Runs the experiment, returning a markdown section.
+/// Runs the experiment, returning a markdown section. Every
+/// measurement resolves through the algorithm registry — the same
+/// CLI-to-kernel code path as `ampc run mis --machines P`.
 pub fn run(scale: Scale) -> String {
     let base = harness_config(scale);
     let mut rows = Vec::new();
@@ -20,6 +23,7 @@ pub fn run(scale: Scale) -> String {
     let mut batch_savings: Vec<(String, f64, u64, u64)> = Vec::new();
     for d in Dataset::REAL_WORLD {
         let g = load(d, scale);
+        let input = AlgoInput::Unweighted(&g);
         let mut row = vec![d.name()];
         let mut t1 = 0u64;
         let mut t100 = 0u64;
@@ -28,7 +32,9 @@ pub fn run(scale: Scale) -> String {
             // Batching pinned on: the scaling table is about the batched
             // pipeline regardless of the AMPC_BATCH environment.
             let cfg = base.with_machines(p).with_batching(true);
-            let report = ampc_mis(&g, &cfg).report;
+            let report = registry::run_family("mis", Model::Ampc, &input, &cfg)
+                .expect("mis is registered")
+                .report;
             let t = report.sim_ns();
             if p == 1 {
                 t1 = t;
@@ -41,7 +47,14 @@ pub fn run(scale: Scale) -> String {
         }
         // The single-key baseline at P=100: same queries and bytes, one
         // charged round trip per op instead of per batch (§5.3).
-        let single = ampc_mis(&g, &base.with_machines(100).with_batching(false)).report;
+        let single = registry::run_family(
+            "mis",
+            Model::Ampc,
+            &input,
+            &base.with_machines(100).with_batching(false),
+        )
+        .expect("mis is registered")
+        .report;
         let batched = batched_p100.expect("MACHINES contains 100");
         row.push(secs(single.sim_ns()));
         batch_savings.push((

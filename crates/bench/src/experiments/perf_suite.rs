@@ -19,9 +19,9 @@
 //! (wall-clock, rounds, round trips, peak generation bytes per kernel),
 //! the trajectory file future performance PRs are judged against.
 
+use crate::registry::{self, AlgoParams};
 use crate::util::{cycle_config, cycle_sizes, harness_config, load, secs, speedup, Md};
-use ampc_core::{connectivity, matching, mis, one_vs_two, walks};
-use ampc_dht::hasher::mix64;
+use ampc_core::algorithm::{digest_u64s, AlgoInput, Model};
 use ampc_dht::store::{Dht, GenerationWriter};
 use ampc_graph::datasets::{Dataset, Scale};
 use ampc_graph::gen;
@@ -39,7 +39,8 @@ struct ModeResult {
 /// One kernel's baseline-vs-current comparison.
 pub struct KernelPerf {
     /// Kernel name (`cc`, `mis`, `mm`, `mis-uncached`, `walks`,
-    /// `walks-uncached`, `pointer-chase`, `one-vs-two-cycle`).
+    /// `walks-uncached`, `pointer-chase`, `batch-write`,
+    /// `one-vs-two-cycle`).
     pub name: &'static str,
     /// Input description.
     pub input: String,
@@ -64,14 +65,9 @@ pub struct KernelPerf {
     pub output_digest: u64,
 }
 
-/// Digest helper: fold `u64` observations order-sensitively.
-fn fold(digest: u64, x: u64) -> u64 {
-    mix64(digest ^ x.wrapping_mul(0x9E37_79B9_7F4A_7C15))
-}
-
-fn digest_u64s(items: impl IntoIterator<Item = u64>) -> u64 {
-    items.into_iter().fold(0x5EED, fold)
-}
+// Output digests come from `AlgoOutput::digest` (the same fold the
+// suite always used, now shared with the CLI's run records), so the
+// figures tracked in `BENCH_perf.json` stay comparable.
 
 /// Runs `kernel` once in the given storage/executor mode, measuring
 /// wall-clock. `sharded_baseline` flips both baseline knobs: the
@@ -210,6 +206,38 @@ fn pointer_chase(cfg: &AmpcConfig, n: usize, steps: usize) -> (JobReport, u64) {
     (job.into_report(), digest_u64s(finals))
 }
 
+/// The batched-write substrate kernel: one KV round in which every
+/// machine issues its whole chunk as a single `put_many` batch (the
+/// KV-Write pattern of every AMPC kernel), then a read-back round over
+/// a sample. The write path is the measurement target: the flat
+/// store's `put_many_from` groups the batch by stripe via a counting
+/// sort over indices (each value moves once, one lock per touched
+/// stripe), while the sharded baseline locks once per key.
+fn batch_write(cfg: &AmpcConfig, n: usize) -> (JobReport, u64) {
+    let mut job = Job::new(*cfg);
+    let mut dht: Dht<u64> = Dht::new();
+    let writer = GenerationWriter::new();
+    job.kv_round(
+        "BatchWrite",
+        dht.current(),
+        Some(&writer),
+        (0..n as u64).collect(),
+        |ctx, items: &[u64]| {
+            ctx.handle
+                .put_many(items.iter().map(|&k| (k, k.wrapping_mul(0x9E37_79B9) ^ (k >> 5))));
+            Vec::<()>::new()
+        },
+    );
+    dht.push(writer.seal());
+    let sample: Vec<u64> = (0..n as u64).step_by(16).collect();
+    let got: Vec<u64> = job.kv_round("ReadBack", dht.current(), None, sample, |ctx, items| {
+        let mut buf: Vec<Option<&u64>> = Vec::with_capacity(items.len());
+        ctx.handle.get_many_into(items, &mut buf);
+        buf.iter().map(|v| *v.expect("written this job")).collect()
+    });
+    (job.into_report(), digest_u64s(got))
+}
+
 /// Runs the suite at `scale`, returning the measured kernels.
 pub fn measure_all(scale: Scale) -> Vec<KernelPerf> {
     let cfg = harness_config(scale);
@@ -218,48 +246,50 @@ pub fn measure_all(scale: Scale) -> Vec<KernelPerf> {
     let input = format!("{} (n={}, m={})", d.name(), g.num_nodes(), g.num_edges());
     let mut out = Vec::new();
 
-    out.push(measure("cc", input.clone(), &cfg, |c| {
-        let r = connectivity::ampc_connected_components(&g, c);
-        let digest = digest_u64s(r.label.iter().map(|&l| l as u64));
-        (r.report, digest)
-    }));
-    out.push(measure("mis", input.clone(), &cfg, |c| {
-        let r = mis::ampc_mis(&g, c);
-        let digest = digest_u64s(r.in_mis.iter().map(|&b| b as u64));
-        (r.report, digest)
-    }));
-    out.push(measure("mm", input.clone(), &cfg, |c| {
-        let r = matching::ampc_matching(&g, c);
-        let digest = digest_u64s(r.partner.iter().map(|&p| p as u64));
-        (r.report, digest)
-    }));
-    out.push(measure("mis-uncached", input.clone(), &cfg.with_caching(false), |c| {
-        let r = mis::ampc_mis(&g, c);
-        let digest = digest_u64s(r.in_mis.iter().map(|&b| b as u64));
-        (r.report, digest)
-    }));
-    out.push(measure("walks", format!("{input}, 8 hops"), &cfg, |c| {
-        let r = walks::ampc_random_walks(&g, c, 1, 8);
-        let digest = digest_u64s(
-            r.walks
-                .iter()
-                .flat_map(|w| w.iter().map(|&v| v as u64 + 1).chain([0])),
-        );
-        (r.report, digest)
-    }));
+    // The algorithm kernels all resolve through the registry — the
+    // same CLI-to-kernel code path as `ampc run <family>`.
+    let gi = AlgoInput::Unweighted(&g);
+    let via_registry = |family: &'static str, params: AlgoParams| {
+        move |c: &AmpcConfig| {
+            let r = registry::run_family_with(family, Model::Ampc, &gi, c, &params)
+                .expect("family is registered");
+            (r.report, r.output.digest())
+        }
+    };
+    out.push(measure("cc", input.clone(), &cfg, via_registry("cc", AlgoParams::default())));
+    out.push(measure("mis", input.clone(), &cfg, via_registry("mis", AlgoParams::default())));
+    out.push(measure("mm", input.clone(), &cfg, via_registry("mm", AlgoParams::default())));
+    out.push(measure(
+        "mis-uncached",
+        input.clone(),
+        &cfg.with_caching(false),
+        via_registry("mis", AlgoParams::default()),
+    ));
+    out.push(measure(
+        "walks",
+        format!("{input}, 8 hops"),
+        &cfg,
+        via_registry(
+            "walks",
+            AlgoParams {
+                walkers_per_node: 1,
+                steps: 8,
+                ..Default::default()
+            },
+        ),
+    ));
     out.push(measure(
         "walks-uncached",
         format!("{input}, 4x32 hops"),
         &cfg.with_caching(false),
-        |c| {
-            let r = walks::ampc_random_walks(&g, c, 4, 32);
-            let digest = digest_u64s(
-                r.walks
-                    .iter()
-                    .flat_map(|w| w.iter().map(|&v| v as u64 + 1).chain([0])),
-            );
-            (r.report, digest)
-        },
+        via_registry(
+            "walks",
+            AlgoParams {
+                walkers_per_node: 4,
+                steps: 32,
+                ..Default::default()
+            },
+        ),
     ));
 
     // The storage substrate kernel: lockstep pointer chasing through a
@@ -279,18 +309,35 @@ pub fn measure_all(scale: Scale) -> Vec<KernelPerf> {
         |c| pointer_chase(c, chase_n, chase_steps),
     ));
 
+    // The write-side substrate kernel: `put_many` batches dominated by
+    // the stripe-grouped batched write path (vs one lock per key in the
+    // sharded baseline).
+    let write_n = match scale {
+        Scale::Test => 1 << 12,
+        Scale::Mid => 1 << 21,
+        Scale::Bench => 1 << 22,
+    };
+    out.push(measure(
+        "batch-write",
+        format!("u64 store (n={write_n}, one put_many batch per machine)"),
+        &cfg,
+        |c| batch_write(c, write_n),
+    ));
+
     // The cycle family runs on the paper's 100-machine configuration —
     // the workload where per-round executor overhead dominates.
     let k = *cycle_sizes(scale).last().unwrap();
     let cycle = gen::single_cycle(k, crate::util::GRAPH_SEED);
     let ccfg = cycle_config(scale);
+    let ci = AlgoInput::Unweighted(&cycle);
     out.push(measure(
         "one-vs-two-cycle",
         format!("single cycle (n={k}, P=100)"),
         &ccfg,
         |c| {
-            let r = one_vs_two::ampc_one_vs_two(&cycle, c);
-            (r.report, digest_u64s([r.num_cycles as u64]))
+            let r = registry::run_family("one-vs-two", Model::Ampc, &ci, c)
+                .expect("one-vs-two is registered");
+            (r.report, r.output.digest())
         },
     ));
     out
@@ -384,7 +431,8 @@ mod tests {
     #[test]
     fn modes_agree_at_test_scale() {
         let kernels = measure_all(Scale::Test);
-        assert_eq!(kernels.len(), 8);
+        assert_eq!(kernels.len(), 9);
+        assert!(kernels.iter().any(|k| k.name == "batch-write"));
         let json = to_json(Scale::Test, &kernels);
         assert!(json.contains("\"suite\": \"perf\""));
         assert!(json.contains("one-vs-two-cycle"));

@@ -1,0 +1,264 @@
+//! The algorithm registry: every kernel family × model backend the
+//! workspace implements, addressable by name.
+//!
+//! The registry is the composition point the tentpole refactor builds
+//! toward: the `ampc` workload CLI, the figure harnesses and the
+//! equivalence test suite all resolve algorithms here and run them
+//! through `ampc_runtime::driver::drive`, so there is **one** code path
+//! from a (family, model, graph, config) request to a finished
+//! [`Driven`] run record — the paper's fixed experiment menu becomes an
+//! any-algorithm × any-graph matrix.
+
+use ampc_core::algorithm::{self, AlgoInput, AlgoOutput, AmpcAlgorithm, InputKind, Model};
+use ampc_runtime::driver::{drive, Driven};
+use ampc_runtime::AmpcConfig;
+
+/// Tunables for the parameterized families (walks, 1-vs-2-cycle);
+/// ignored by the others.
+#[derive(Clone, Copy, Debug)]
+pub struct AlgoParams {
+    /// Walkers started per vertex (walks).
+    pub walkers_per_node: usize,
+    /// Hops per walk (walks).
+    pub steps: usize,
+    /// Inverse sampling rate (1-vs-2-cycle; paper: 1024).
+    pub sample_inv: u64,
+}
+
+impl Default for AlgoParams {
+    fn default() -> Self {
+        AlgoParams {
+            walkers_per_node: 1,
+            steps: 8,
+            sample_inv: 1024,
+        }
+    }
+}
+
+/// One registry row: a family name, a model backend, and a factory.
+pub struct RegistryEntry {
+    /// Canonical family name (`"mis"`, `"mm"`, `"msf"`, `"cc"`,
+    /// `"one-vs-two"`, `"walks"`).
+    pub family: &'static str,
+    /// Which model backend the row provides.
+    pub model: Model,
+    /// One-line description for `ampc list`.
+    pub summary: &'static str,
+    build: fn(&AlgoParams) -> Box<dyn AmpcAlgorithm>,
+}
+
+impl RegistryEntry {
+    /// Instantiates the algorithm with the given parameters.
+    pub fn build(&self, params: &AlgoParams) -> Box<dyn AmpcAlgorithm> {
+        (self.build)(params)
+    }
+
+    /// What input the algorithm requires.
+    pub fn input_kind(&self, params: &AlgoParams) -> InputKind {
+        self.build(params).input_kind()
+    }
+
+    /// Checks the input, then runs the algorithm through the driver —
+    /// the single CLI-to-kernel code path.
+    pub fn run(
+        &self,
+        input: &AlgoInput<'_>,
+        cfg: &AmpcConfig,
+        params: &AlgoParams,
+    ) -> Result<Driven<AlgoOutput>, String> {
+        let alg = self.build(params);
+        input.satisfies(alg.input_kind())?;
+        Ok(drive(cfg, |job| alg.run(job, input)))
+    }
+
+    /// Validates an output produced by [`Self::run`].
+    pub fn validate(
+        &self,
+        input: &AlgoInput<'_>,
+        output: &AlgoOutput,
+        params: &AlgoParams,
+    ) -> Result<(), String> {
+        self.build(params).validate(input, output)
+    }
+}
+
+/// All registered algorithms: six kernel families × two model backends.
+pub const ENTRIES: [RegistryEntry; 12] = [
+    RegistryEntry {
+        family: "mis",
+        model: Model::Ampc,
+        summary: "maximal independent set, 1 shuffle + recursive query process (Fig. 1)",
+        build: |_| Box::new(algorithm::AmpcMis),
+    },
+    RegistryEntry {
+        family: "mis",
+        model: Model::Mpc,
+        summary: "rootset MIS, 2 shuffles per phase (Fig. 2)",
+        build: |_| Box::new(ampc_mpc::algorithms::MpcMis),
+    },
+    RegistryEntry {
+        family: "mm",
+        model: Model::Ampc,
+        summary: "maximal matching via the vertex query process (§4.2, §5.4)",
+        build: |_| Box::new(algorithm::AmpcMatching),
+    },
+    RegistryEntry {
+        family: "mm",
+        model: Model::Mpc,
+        summary: "rootset maximal matching (§5.4 baseline)",
+        build: |_| Box::new(ampc_mpc::algorithms::MpcMatching),
+    },
+    RegistryEntry {
+        family: "msf",
+        model: Model::Ampc,
+        summary: "minimum spanning forest, the §5.5 production pipeline",
+        build: |_| Box::new(algorithm::AmpcMsf),
+    },
+    RegistryEntry {
+        family: "msf",
+        model: Model::Mpc,
+        summary: "Boruvka MSF with red/blue contraction (§5.5 baseline)",
+        build: |_| Box::new(ampc_mpc::algorithms::MpcMsf),
+    },
+    RegistryEntry {
+        family: "cc",
+        model: Model::Ampc,
+        summary: "connected components = random-weight MSF + forest connectivity (Thm. 1)",
+        build: |_| Box::new(algorithm::AmpcConnectivity),
+    },
+    RegistryEntry {
+        family: "cc",
+        model: Model::Mpc,
+        summary: "CC-LocalContraction (§5.6 baseline)",
+        build: |_| Box::new(ampc_mpc::algorithms::MpcConnectivity),
+    },
+    RegistryEntry {
+        family: "one-vs-two",
+        model: Model::Ampc,
+        summary: "1-vs-2-cycle by sampled bidirectional search (§5.6)",
+        build: |p| {
+            Box::new(algorithm::AmpcOneVsTwo {
+                sample_inv: p.sample_inv,
+            })
+        },
+    },
+    RegistryEntry {
+        family: "one-vs-two",
+        model: Model::Mpc,
+        summary: "1-vs-2-cycle answered by CC-LocalContraction",
+        build: |_| Box::new(ampc_mpc::algorithms::MpcOneVsTwo),
+    },
+    RegistryEntry {
+        family: "walks",
+        model: Model::Ampc,
+        summary: "random walks: one KV round of adaptive depth = walk length (§5.7)",
+        build: |p| {
+            Box::new(algorithm::AmpcWalks {
+                walkers_per_node: p.walkers_per_node,
+                steps: p.steps,
+            })
+        },
+    },
+    RegistryEntry {
+        family: "walks",
+        model: Model::Mpc,
+        summary: "random walks: one shuffle per hop (the §5.7 separation baseline)",
+        build: |p| {
+            Box::new(ampc_mpc::algorithms::MpcWalks {
+                walkers_per_node: p.walkers_per_node,
+                steps: p.steps,
+            })
+        },
+    },
+];
+
+/// The canonical family names, in registry order.
+pub const FAMILIES: [&str; 6] = ["mis", "mm", "msf", "cc", "one-vs-two", "walks"];
+
+/// Resolves a user-supplied family name (aliases included) to its
+/// canonical form.
+pub fn canonical_family(name: &str) -> Option<&'static str> {
+    match name.to_ascii_lowercase().as_str() {
+        "mis" => Some("mis"),
+        "mm" | "matching" | "maximal-matching" => Some("mm"),
+        "msf" | "mst" => Some("msf"),
+        "cc" | "connectivity" | "components" => Some("cc"),
+        "one-vs-two" | "1v2" | "1-vs-2" | "cycle" | "one-vs-two-cycle" => Some("one-vs-two"),
+        "walks" | "walk" | "random-walks" => Some("walks"),
+        _ => None,
+    }
+}
+
+/// Looks up the registry row for `(family, model)`, aliases accepted.
+pub fn lookup(family: &str, model: Model) -> Option<&'static RegistryEntry> {
+    let family = canonical_family(family)?;
+    ENTRIES
+        .iter()
+        .find(|e| e.family == family && e.model == model)
+}
+
+/// Convenience: resolve and run in one step (the figure harnesses'
+/// entry point).
+pub fn run_family(
+    family: &str,
+    model: Model,
+    input: &AlgoInput<'_>,
+    cfg: &AmpcConfig,
+) -> Result<Driven<AlgoOutput>, String> {
+    run_family_with(family, model, input, cfg, &AlgoParams::default())
+}
+
+/// [`run_family`] with explicit parameters.
+pub fn run_family_with(
+    family: &str,
+    model: Model,
+    input: &AlgoInput<'_>,
+    cfg: &AmpcConfig,
+    params: &AlgoParams,
+) -> Result<Driven<AlgoOutput>, String> {
+    let entry = lookup(family, model)
+        .ok_or_else(|| format!("no registered algorithm {family:?} for model {}", model.token()))?;
+    entry.run(input, cfg, params)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_graph::gen;
+
+    #[test]
+    fn registry_is_complete() {
+        for family in FAMILIES {
+            for model in [Model::Ampc, Model::Mpc] {
+                assert!(
+                    lookup(family, model).is_some(),
+                    "missing {family}/{}",
+                    model.token()
+                );
+            }
+        }
+        assert_eq!(ENTRIES.len(), FAMILIES.len() * 2);
+    }
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(canonical_family("Matching"), Some("mm"));
+        assert_eq!(canonical_family("1v2"), Some("one-vs-two"));
+        assert_eq!(canonical_family("components"), Some("cc"));
+        assert_eq!(canonical_family("nope"), None);
+    }
+
+    #[test]
+    fn run_family_checks_input_kind() {
+        let g = gen::erdos_renyi(30, 60, 1);
+        let input = AlgoInput::Unweighted(&g);
+        let cfg = AmpcConfig::for_tests();
+        // MSF needs a weighted graph.
+        assert!(run_family("msf", Model::Ampc, &input, &cfg).is_err());
+        // A non-2-regular graph is rejected by one-vs-two.
+        assert!(run_family("one-vs-two", Model::Ampc, &input, &cfg).is_err());
+        // MIS runs fine.
+        let out = run_family("mis", Model::Ampc, &input, &cfg).unwrap();
+        assert!(matches!(out.output, AlgoOutput::Mis(_)));
+    }
+}

@@ -20,8 +20,20 @@ use ampc_graph::{CsrGraph, NodeId};
 /// Computes connected components: spanning forest via randomly-weighted
 /// MSF, then forest connectivity.
 pub fn ampc_connected_components(g: &CsrGraph, cfg: &AmpcConfig) -> CcOutcome {
-    let n = g.num_nodes();
     let mut job = Job::new(*cfg);
+    let label = ampc_connected_components_in_job(&mut job, g);
+    CcOutcome {
+        label,
+        report: job.into_report(),
+    }
+}
+
+/// The in-job kernel body: computes component labels inside a
+/// caller-provided [`Job`] (the [`crate::algorithm::AmpcAlgorithm`]
+/// entry point).
+pub fn ampc_connected_components_in_job(job: &mut Job, g: &CsrGraph) -> Vec<NodeId> {
+    let cfg = *job.config();
+    let n = g.num_nodes();
 
     // Random distinct weights: rank edges by a hash of their identity.
     let mut keyed: Vec<(u64, NodeId, NodeId)> = g
@@ -42,18 +54,14 @@ pub fn ampc_connected_components(g: &CsrGraph, cfg: &AmpcConfig) -> CcOutcome {
         .collect();
 
     // Spanning forest = MSF under these weights.
-    let forest_internal = crate::msf::dense::dense_msf_loop(&mut job, n, edges.clone(), cfg);
+    let forest_internal = crate::msf::dense::dense_msf_loop(job, n, edges.clone(), &cfg);
     let forest_pairs: Vec<(NodeId, NodeId)> = forest_internal
         .iter()
         .map(|&w| (keyed[w as usize].1, keyed[w as usize].2))
         .collect();
 
     // Forest connectivity (Proposition 3.2).
-    let cc = forest_cc::forest_cc_in_job(&mut job, n, &forest_pairs, cfg);
-    CcOutcome {
-        label: cc,
-        report: job.into_report(),
-    }
+    forest_cc::forest_cc_in_job(job, n, &forest_pairs, &cfg)
 }
 
 #[cfg(test)]

@@ -19,6 +19,10 @@
 //!   forest connectivity (Proposition 3.2).
 //! * [`one_vs_two`] — the O(1)-round 1-vs-2-cycle algorithm (§5.6).
 //! * [`validate`] — result checkers used across the test suites.
+//! * [`algorithm`] — the [`AmpcAlgorithm`] trait that exposes every
+//!   kernel family (and, from `ampc-mpc`, every baseline) through one
+//!   driver-composable interface: name, input requirements, in-job
+//!   `run`, output validation.
 //! * [`priorities`] — the shared random priorities: AMPC and MPC
 //!   implementations seeded identically compute the *same* lex-first
 //!   MIS/matching and the same (unique) MSF, which is the paper's own
@@ -31,6 +35,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod algorithm;
 pub mod connectivity;
 pub mod matching;
 pub mod mis;
@@ -40,13 +45,4 @@ pub mod priorities;
 pub mod validate;
 pub mod walks;
 
-/// The enforced per-machine handle budget backing a round of truncated
-/// searches: room for every per-search budget over the whole pending
-/// set, so legitimate runs never trip the handle while it still
-/// backstops the `O(S)` contract (saturating at `u64::MAX` for the
-/// untruncated configuration).
-pub(crate) fn round_handle_budget(per_search_budget: u64, pending: usize) -> u64 {
-    per_search_budget
-        .saturating_mul(pending.max(1) as u64)
-        .max(per_search_budget)
-}
+pub use algorithm::{AlgoInput, AlgoOutput, AmpcAlgorithm, InputKind, Model};

@@ -23,6 +23,7 @@ use crate::priorities::{edge_key, edge_rank, Rank};
 use ampc_dht::cache::DenseCache;
 use ampc_dht::hasher::FxHashMap;
 use ampc_dht::store::{Dht, GenerationWriter};
+use ampc_runtime::driver::AdaptiveRounds;
 use ampc_runtime::executor::MachineCtx;
 use ampc_runtime::{AmpcConfig, Job, JobReport};
 use ampc_graph::{CsrGraph, NodeId, NO_NODE};
@@ -100,9 +101,21 @@ pub fn ampc_matching_with_options(
     cfg: &AmpcConfig,
     opts: MatchingOptions,
 ) -> MatchingOutcome {
+    let mut job = Job::new(*cfg);
+    let partner = ampc_matching_in_job(&mut job, g, opts);
+    MatchingOutcome {
+        partner,
+        report: job.into_report(),
+    }
+}
+
+/// The in-job kernel body: runs AMPC maximal matching inside a
+/// caller-provided [`Job`] (the [`crate::algorithm::AmpcAlgorithm`]
+/// entry point), returning the partner array.
+pub fn ampc_matching_in_job(job: &mut Job, g: &CsrGraph, opts: MatchingOptions) -> Vec<NodeId> {
+    let cfg = *job.config();
     let n = g.num_nodes();
     let seed = cfg.seed;
-    let mut job = Job::new(*cfg);
 
     // ----------------------------------------------------- PermuteGraph
     let records: Vec<(NodeId, Vec<NodeId>)> = g
@@ -137,20 +150,18 @@ pub fn ampc_matching_with_options(
     let mut resolved = vec![0u8; n];
     let mut partner = vec![NO_NODE; n];
     let mut pending: Vec<NodeId> = (0..n as NodeId).collect();
-    let mut budget = if opts.truncated {
+    let mut rounds = AdaptiveRounds::new(if opts.truncated {
         cfg.search_budget(n)
     } else {
         u64::MAX
-    };
-    let mut round = 0usize;
+    });
     while !pending.is_empty() {
-        round += 1;
-        assert!(round <= 64, "IsInMM failed to converge");
+        let budget = rounds.begin("IsInMM");
         let resolved_ro = &resolved;
         let partner_ro = &partner;
-        let handle_budget = crate::round_handle_budget(budget, pending.len());
+        let handle_budget = rounds.handle_budget(pending.len());
         let outputs: Vec<(NodeId, Option<NodeId>)> = job.kv_round_budgeted(
-            &format!("IsInMM{}", if round == 1 { String::new() } else { format!("-r{round}") }),
+            &rounds.stage_name("IsInMM"),
             dht.current(),
             None,
             pending.clone(),
@@ -198,7 +209,7 @@ pub fn ampc_matching_with_options(
         // Cross-check symmetry of what we committed so far: a matched
         // partner must agree or still be pending resolution.
         if !pending.is_empty() {
-            budget = budget.saturating_mul(cfg.search_budget(n).max(2));
+            rounds.escalate(cfg.search_budget(n));
         }
     }
 
@@ -211,10 +222,7 @@ pub fn ampc_matching_with_options(
         }
     }
 
-    MatchingOutcome {
-        partner,
-        report: job.into_report(),
-    }
+    partner
 }
 
 /// Machine-local state for the IsInMM round.

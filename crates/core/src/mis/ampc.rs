@@ -22,6 +22,7 @@ use crate::priorities::node_rank;
 use ampc_dht::cache::DenseCache;
 use ampc_dht::hasher::FxHashMap;
 use ampc_dht::store::{Dht, GenerationWriter};
+use ampc_runtime::driver::AdaptiveRounds;
 use ampc_runtime::executor::MachineCtx;
 use ampc_runtime::{AmpcConfig, Job, JobReport};
 use ampc_graph::{CsrGraph, NodeId};
@@ -86,9 +87,21 @@ enum Status {
 
 /// Runs AMPC MIS with explicit options.
 pub fn ampc_mis_with_options(g: &CsrGraph, cfg: &AmpcConfig, opts: MisOptions) -> MisOutcome {
+    let mut job = Job::new(*cfg);
+    let in_mis = ampc_mis_in_job(&mut job, g, opts);
+    MisOutcome {
+        in_mis,
+        report: job.into_report(),
+    }
+}
+
+/// The in-job kernel body: runs AMPC MIS inside a caller-provided
+/// [`Job`] (the [`crate::algorithm::AmpcAlgorithm`] entry point —
+/// config resolution and report finalization belong to the driver).
+pub fn ampc_mis_in_job(job: &mut Job, g: &CsrGraph, opts: MisOptions) -> Vec<bool> {
+    let cfg = *job.config();
     let n = g.num_nodes();
     let seed = cfg.seed;
-    let mut job = Job::new(*cfg);
 
     // ------------------------------------------------------ DirectGraph
     // One record per vertex: its earlier-in-π neighbors, sorted by rank.
@@ -133,19 +146,17 @@ pub fn ampc_mis_with_options(g: &CsrGraph, cfg: &AmpcConfig, opts: MisOptions) -
     // round, consulting statuses resolved in earlier rounds.
     let mut resolved: Vec<u8> = vec![0; n]; // 0 unknown, 1 in, 2 out
     let mut pending: Vec<NodeId> = (0..n as NodeId).collect();
-    let mut budget = if opts.truncated {
+    let mut rounds = AdaptiveRounds::new(if opts.truncated {
         cfg.search_budget(n)
     } else {
         u64::MAX
-    };
-    let mut round = 0usize;
+    });
     while !pending.is_empty() {
-        round += 1;
-        assert!(round <= 64, "IsInMIS failed to converge");
+        let budget = rounds.begin("IsInMIS");
         let resolved_ro = &resolved;
-        let handle_budget = crate::round_handle_budget(budget, pending.len());
+        let handle_budget = rounds.handle_budget(pending.len());
         let outputs: Vec<(NodeId, Option<bool>)> = job.kv_round_budgeted(
-            &format!("IsInMIS{}", if round == 1 { String::new() } else { format!("-r{round}") }),
+            &rounds.stage_name("IsInMIS"),
             dht.current(),
             None,
             pending.clone(),
@@ -206,14 +217,11 @@ pub fn ampc_mis_with_options(g: &CsrGraph, cfg: &AmpcConfig, opts: MisOptions) -
                     Vec::<()>::new()
                 },
             );
-            budget = budget.saturating_mul(cfg.search_budget(n).max(2));
+            rounds.escalate(cfg.search_budget(n));
         }
     }
 
-    MisOutcome {
-        in_mis: resolved.iter().map(|&s| s == 1).collect(),
-        report: job.into_report(),
-    }
+    resolved.iter().map(|&s| s == 1).collect()
 }
 
 /// Iterative evaluation of the Yoshida et al. recursion from `v`.

@@ -14,13 +14,25 @@ use ampc_graph::WeightedCsrGraph;
 
 /// Computes the MSF with the iterated dense routine.
 pub fn dense_msf(g: &WeightedCsrGraph, cfg: &AmpcConfig) -> MsfOutcome {
-    let d = distinctify(g);
     let mut job = Job::new(*cfg);
-    let internal = dense_msf_loop(&mut job, d.n, d.edges.clone(), cfg);
+    let edges = dense_msf_in_job(&mut job, g);
     MsfOutcome {
-        edges: d.restore(internal),
+        edges,
         report: job.into_report(),
     }
+}
+
+/// The in-job kernel body: runs the iterated dense MSF inside a
+/// caller-provided [`Job`] (the [`crate::algorithm::AmpcAlgorithm`]
+/// entry point), returning the MSF edges in canonical order.
+pub fn dense_msf_in_job(
+    job: &mut Job,
+    g: &WeightedCsrGraph,
+) -> Vec<ampc_graph::WeightedEdge> {
+    let cfg = *job.config();
+    let d = distinctify(g);
+    let internal = dense_msf_loop(job, d.n, d.edges.clone(), &cfg);
+    d.restore(internal)
 }
 
 /// The search-and-contract loop over provenance edges; returns the

@@ -24,4 +24,4 @@ pub mod pipeline;
 pub use common::MsfOutcome;
 pub use dense::dense_msf;
 pub use kkt::kkt_msf;
-pub use pipeline::{ampc_msf, ampc_msf_algorithm2};
+pub use pipeline::{ampc_msf, ampc_msf_algorithm2, ampc_msf_in_job};

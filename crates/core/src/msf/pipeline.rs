@@ -41,6 +41,12 @@ pub fn ampc_msf(g: &WeightedCsrGraph, cfg: &AmpcConfig) -> MsfOutcome {
     dense_msf(g, cfg)
 }
 
+/// The in-job kernel body of the §5.5 production pipeline (the
+/// [`crate::algorithm::AmpcAlgorithm`] entry point).
+pub fn ampc_msf_in_job(job: &mut Job, g: &WeightedCsrGraph) -> Vec<WeightedEdge> {
+    super::dense::dense_msf_in_job(job, g)
+}
+
 /// Algorithm 2: ternarize sparse graphs before the truncated-Prim round.
 pub fn ampc_msf_algorithm2(g: &WeightedCsrGraph, cfg: &AmpcConfig) -> MsfOutcome {
     let n = g.num_nodes();

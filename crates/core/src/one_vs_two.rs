@@ -63,13 +63,30 @@ pub fn ampc_one_vs_two(g: &CsrGraph, cfg: &AmpcConfig) -> CycleOutcome {
 
 /// [`ampc_one_vs_two`] with an explicit inverse sampling rate.
 pub fn ampc_one_vs_two_with_rate(g: &CsrGraph, cfg: &AmpcConfig, sample_inv: u64) -> CycleOutcome {
+    let mut job = Job::new(*cfg);
+    let (answer, num_cycles) = ampc_one_vs_two_in_job(&mut job, g, sample_inv);
+    CycleOutcome {
+        answer,
+        num_cycles,
+        report: job.into_report(),
+    }
+}
+
+/// The in-job kernel body (the [`crate::algorithm::AmpcAlgorithm`]
+/// entry point): answers the instance inside a caller-provided [`Job`],
+/// returning the answer and the cycle count found.
+pub fn ampc_one_vs_two_in_job(
+    job: &mut Job,
+    g: &CsrGraph,
+    sample_inv: u64,
+) -> (CycleAnswer, usize) {
+    let cfg = *job.config();
     let n = g.num_nodes();
     assert!(n >= 3, "cycle instances need >= 3 vertices");
     assert!(
         (0..n as NodeId).all(|v| g.degree(v) == 2),
         "1-vs-2-cycle input must be 2-regular"
     );
-    let mut job = Job::new(*cfg);
 
     // Sampling: hash-based, rate 1/sample_inv but at least a handful of
     // samples so tiny test instances stay covered w.h.p.
@@ -200,11 +217,7 @@ pub fn ampc_one_vs_two_with_rate(g: &CsrGraph, cfg: &AmpcConfig, sample_inv: u64
     // algorithms (unused here beyond determinism checks).
     let _ = node_rank(cfg.seed, 0);
 
-    CycleOutcome {
-        answer,
-        num_cycles,
-        report: job.into_report(),
-    }
+    (answer, num_cycles)
 }
 
 #[cfg(test)]

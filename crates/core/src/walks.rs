@@ -37,8 +37,25 @@ pub fn ampc_random_walks(
     walkers_per_node: usize,
     steps: usize,
 ) -> WalkOutcome {
-    let n = g.num_nodes();
     let mut job = Job::new(*cfg);
+    let walks = ampc_random_walks_in_job(&mut job, g, walkers_per_node, steps);
+    WalkOutcome {
+        walks,
+        report: job.into_report(),
+    }
+}
+
+/// The in-job kernel body (the [`crate::algorithm::AmpcAlgorithm`]
+/// entry point): runs the walks inside a caller-provided [`Job`],
+/// returning one vertex sequence per walker.
+pub fn ampc_random_walks_in_job(
+    job: &mut Job,
+    g: &CsrGraph,
+    walkers_per_node: usize,
+    steps: usize,
+) -> Vec<Vec<NodeId>> {
+    let cfg = *job.config();
+    let n = g.num_nodes();
 
     // WriteGraph shuffle + KV-write, like every AMPC algorithm here.
     let records: Vec<(NodeId, Vec<NodeId>)> = g
@@ -91,21 +108,25 @@ pub fn ampc_random_walks(
                     p
                 })
                 .collect();
-            // Lockstep buffers, reused across hops: one batched lookup
-            // per adaptive step, no per-hop allocation.
+            // Lockstep key buffer, reused across hops: one batched
+            // lookup per adaptive step, no per-hop allocation. The
+            // visitor form serves adjacency *references* (cache or
+            // generation), so a cache miss costs exactly one clone —
+            // the cache insert — and the hop loop clones nothing.
             let mut keys: Vec<u64> = Vec::with_capacity(cur.len());
-            let mut frontier: Vec<Option<Vec<NodeId>>> = Vec::with_capacity(cur.len());
             for s in 0..steps {
                 keys.clear();
                 keys.extend(cur.iter().map(|&c| c as u64));
-                ctx.handle.get_many_through_into(&keys, &mut frontier);
-                for (i, nbrs) in frontier.iter().enumerate() {
-                    let nbrs = nbrs.as_ref().expect("vertex record");
+                let mut moved = 0u64;
+                let cur = &mut cur;
+                let paths = &mut paths;
+                ctx.handle.get_many_through_with(&keys, |i, nbrs| {
+                    let nbrs = nbrs.expect("vertex record");
                     if nbrs.is_empty() {
                         paths[i].push(cur[i]);
-                        continue;
+                        return;
                     }
-                    ctx.add_ops(1);
+                    moved += 1;
                     let (w, _) = items[i];
                     let r = mix64(
                         seed ^ w
@@ -114,16 +135,14 @@ pub fn ampc_random_walks(
                     );
                     cur[i] = nbrs[(r % nbrs.len() as u64) as usize];
                     paths[i].push(cur[i]);
-                }
+                });
+                ctx.add_ops(moved);
             }
             paths
         },
     );
 
-    WalkOutcome {
-        walks,
-        report: job.into_report(),
-    }
+    walks
 }
 
 /// Visit-frequency PageRank estimate from random walks with restarts:

@@ -245,19 +245,36 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
     /// locally (counted in [`CommStats::cache_hits`], no budget use); a
     /// miss queries the DHT and populates the cache. Without a mounted
     /// cache this is `get` + clone.
+    ///
+    /// Returns an owned value, which costs a second clone on top of the
+    /// cache-insert one; kernels on the hot path should prefer
+    /// [`Self::get_through_ref`] (single clone per miss, none for the
+    /// caller).
     pub fn get_through(&mut self, key: u64) -> Option<V> {
-        if self.cache.is_none() {
-            return self.get(key).cloned();
-        }
-        if let Some(v) = self.cache.as_ref().and_then(|c| c.get(key)).cloned() {
+        self.get_through_ref(key).cloned()
+    }
+
+    /// Reference-serving read-through lookup: a cache hit is served
+    /// from the cache, a miss is fetched, inserted into the cache with
+    /// **one** clone, and served to the caller as the generation's own
+    /// reference — no caller-side clone at all. Accounting is identical
+    /// to [`Self::get_through`].
+    pub fn get_through_ref(&mut self, key: u64) -> Option<&V> {
+        let mut cache = match self.cache.take() {
+            None => return self.get(key).map(|v| -> &V { v }),
+            Some(c) => c,
+        };
+        if cache.get(key).is_some() {
             self.stats.cache_hits += 1;
-            return Some(v);
+            self.cache = Some(cache);
+            return self.cache.as_ref().and_then(|c| c.get(key));
         }
-        let fetched = self.get(key).cloned();
-        if let (Some(v), Some(c)) = (&fetched, self.cache.as_mut()) {
-            c.put(key, v.clone());
+        let fetched = self.get(key);
+        if let Some(v) = fetched {
+            cache.put(key, v.clone()); // the single per-miss clone
         }
-        fetched
+        self.cache = Some(cache);
+        fetched.map(|v| -> &V { v })
     }
 
     /// Read-through batch lookup: cached keys (and repeats within the
@@ -278,19 +295,38 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
     /// [`Self::get_many_through`] into a caller-owned buffer: `out` is
     /// cleared and refilled with one `Option<V>` per key. Accounting
     /// (queries, cache hits, batches) is identical; lockstep kernels
-    /// reuse the buffer across hops.
+    /// reuse the buffer across hops. Costs one caller-side clone per
+    /// key on top of [`Self::get_many_through_with`]'s single
+    /// cache-insert clone per miss — hot paths that only *read* the
+    /// values should use the visitor form directly.
     pub fn get_many_through_into(&mut self, keys: &[u64], out: &mut Vec<Option<V>>) {
         out.clear();
+        out.reserve(keys.len());
+        self.get_many_through_with(keys, |_, v| out.push(v.cloned()));
+    }
+
+    /// The reference-serving read-through batch at the bottom of the
+    /// `get_many_through*` family: `f` is called once per key, in key
+    /// order, with the index and the value — a cache reference for
+    /// hits, the generation's own reference for misses. Each *present
+    /// miss* is cloned exactly once (into the mounted cache); the
+    /// caller is never handed an owned copy it didn't ask for. With no
+    /// cache mounted this is a plain batch served straight from the
+    /// generation — zero clones. Accounting (queries, cache hits,
+    /// batches, bytes) is identical to [`Self::get_many_through`] by
+    /// construction, which the `CommStats` regression tests pin.
+    pub fn get_many_through_with(&mut self, keys: &[u64], mut f: impl FnMut(usize, Option<&V>)) {
         if keys.is_empty() {
             return;
         }
-        out.reserve(keys.len());
         let Some(mut cache) = self.cache.take() else {
-            // No cache mounted: a plain batch, cloned straight into the
-            // caller's buffer (same accounting as `get_many_into`, no
-            // intermediate allocation).
+            // No cache mounted: a plain batch (same accounting as
+            // `get_many_into`), served by reference.
             if !self.batching {
-                out.extend(keys.iter().map(|&k| self.get(k).cloned()));
+                for (i, &k) in keys.iter().enumerate() {
+                    let v = self.get(k);
+                    f(i, v.map(|v| -> &V { v }));
+                }
                 return;
             }
             debug_assert!(
@@ -301,7 +337,10 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
                 self.budget
             );
             self.stats.batches += 1;
-            out.extend(keys.iter().map(|&k| self.charge_read(k).cloned()));
+            for (i, &k) in keys.iter().enumerate() {
+                let v = self.charge_read(k);
+                f(i, v.map(|v| -> &V { v }));
+            }
             return;
         };
         let mut fetch: Vec<u64> = Vec::new();
@@ -319,13 +358,17 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
         for (&k, v) in fetch.iter().zip(&fetched) {
             batch.insert(k, *v);
             if let Some(v) = v {
-                cache.put(k, (*v).clone());
+                cache.put(k, (*v).clone()); // the single per-miss clone
             }
         }
-        out.extend(keys.iter().map(|k| match batch.get(k) {
-            Some(v) => v.cloned(),
-            None => cache.get(*k).cloned(),
-        }));
+        for (i, k) in keys.iter().enumerate() {
+            match batch.get(k) {
+                // Miss: the generation's reference, no caller clone.
+                Some(v) => f(i, v.map(|v| -> &V { v })),
+                // Hit: the cache's reference.
+                None => f(i, cache.get(*k)),
+            }
+        }
         self.cache = Some(cache);
     }
 
@@ -593,6 +636,121 @@ mod tests {
         assert_eq!(h.stats().queries, 3);
         assert_eq!(h.stats().cache_hits, 0);
         assert_eq!(h.stats().batches, 1);
+    }
+
+    /// A value that counts how often it is cloned, for pinning the
+    /// read-through paths' clone budget.
+    #[derive(Debug)]
+    struct CloneCounter(u64, std::sync::Arc<std::sync::atomic::AtomicUsize>);
+
+    impl Clone for CloneCounter {
+        fn clone(&self) -> Self {
+            self.1
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            CloneCounter(self.0, std::sync::Arc::clone(&self.1))
+        }
+    }
+
+    impl PartialEq for CloneCounter {
+        fn eq(&self, other: &Self) -> bool {
+            self.0 == other.0
+        }
+    }
+
+    impl crate::measured::Measured for CloneCounter {
+        fn size_bytes(&self) -> usize {
+            8
+        }
+    }
+
+    /// The satellite contract: the reference-serving read-through path
+    /// clones each present miss exactly once (the cache insert) and
+    /// nothing else — not twice as the old owned path did.
+    #[test]
+    fn read_through_clones_once_per_miss() {
+        let clones = std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let g: Generation<CloneCounter> = Generation::from_iter(
+            (0..8u64).map(|k| (k, CloneCounter(k, std::sync::Arc::clone(&clones)))),
+        );
+        clones.store(0, std::sync::atomic::Ordering::Relaxed);
+
+        let mut h: MachineHandle<CloneCounter> = MachineHandle::new(&g, None);
+        h.mount_cache(DenseCache::unbounded(8));
+        // 4 distinct present misses, one repeat, one absent key.
+        let mut seen = 0usize;
+        h.get_many_through_with(&[0, 1, 2, 3, 1, 99], |_, v| {
+            seen += usize::from(v.is_some());
+        });
+        assert_eq!(seen, 5);
+        assert_eq!(
+            clones.load(std::sync::atomic::Ordering::Relaxed),
+            4,
+            "one clone per present miss, none for the caller"
+        );
+        // Second batch: all hits — zero further clones.
+        h.get_many_through_with(&[3, 2, 1, 0], |_, v| assert!(v.is_some()));
+        assert_eq!(clones.load(std::sync::atomic::Ordering::Relaxed), 4);
+        // Single-key ref path: a miss on a fresh handle costs one.
+        let mut h2: MachineHandle<CloneCounter> = MachineHandle::new(&g, None);
+        h2.mount_cache(DenseCache::unbounded(8));
+        clones.store(0, std::sync::atomic::Ordering::Relaxed);
+        assert!(h2.get_through_ref(5).is_some());
+        assert_eq!(clones.load(std::sync::atomic::Ordering::Relaxed), 1);
+        assert!(h2.get_through_ref(5).is_some()); // hit
+        assert_eq!(clones.load(std::sync::atomic::Ordering::Relaxed), 1);
+    }
+
+    /// The `CommStats` regression the satellite asks for: the visitor
+    /// path, the owned path and `get_through` charge *identical*
+    /// queries, bytes, batches and cache hits for the same key
+    /// sequence, with and without a mounted cache.
+    #[test]
+    fn read_through_paths_charge_identical_stats() {
+        let g: Generation<Vec<u64>> =
+            Generation::from_iter((0..16u64).map(|k| (k, vec![k, k + 1, k + 2])));
+        let batches: [&[u64]; 3] = [&[0, 1, 2, 1, 99], &[2, 3, 0], &[5, 5, 5]];
+        let run = |mode: u8, cache: bool| -> CommStats {
+            let mut h: MachineHandle<Vec<u64>> = MachineHandle::new(&g, None);
+            if cache {
+                h.mount_cache(DenseCache::unbounded(16));
+            }
+            for keys in batches {
+                match mode {
+                    0 => h.get_many_through_with(keys, |_, _| ()),
+                    1 => {
+                        let mut out = Vec::new();
+                        h.get_many_through_into(keys, &mut out);
+                        assert_eq!(out.len(), keys.len());
+                    }
+                    _ => {
+                        let _ = h.get_many_through(keys);
+                    }
+                }
+            }
+            *h.stats()
+        };
+        for cache in [true, false] {
+            let visitor = run(0, cache);
+            let into = run(1, cache);
+            let owned = run(2, cache);
+            assert_eq!(visitor, into, "cache={cache}");
+            assert_eq!(visitor, owned, "cache={cache}");
+            assert!(visitor.bytes_read > 0);
+        }
+        // Single-key: `get_through` (owned) vs `get_through_ref`.
+        let single = |owned: bool| -> CommStats {
+            let mut h: MachineHandle<Vec<u64>> = MachineHandle::new(&g, None);
+            h.mount_cache(DenseCache::unbounded(16));
+            for k in [1u64, 2, 1, 99, 2] {
+                if owned {
+                    let _ = h.get_through(k);
+                } else {
+                    let _ = h.get_through_ref(k);
+                }
+            }
+            *h.stats()
+        };
+        assert_eq!(single(true), single(false));
     }
 
     /// Algorithm-1-style truncation: a search loop that explores until

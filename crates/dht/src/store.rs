@@ -231,22 +231,51 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
             }
             return (written, total_bytes);
         }
-        // Bucket by stripe first so each stripe is locked exactly once.
-        let mut buckets: Vec<Vec<(u64, V)>> = (0..self.shards.len()).map(|_| Vec::new()).collect();
+        // Group the batch by stripe *by index*, not by moving payloads:
+        // the pairs are materialized once, a counting sort over their
+        // stripe ids yields the per-stripe visit order, and each value
+        // is then moved exactly once — out of the batch, into its
+        // stripe map. (The previous implementation pushed every pair
+        // through a fresh `Vec<Vec<_>>` of stripe buckets: one extra
+        // move per value plus `shards.len()` vector allocations on
+        // every batched write.)
+        let mut batch: Vec<Option<(u64, V)>> = pairs.into_iter().map(Some).collect();
+        let written = batch.len() as u64;
+        let nshards = self.shards.len();
         let mut total_bytes = 0usize;
-        let mut written = 0u64;
-        for (key, value) in pairs {
+        let mut stripe_of: Vec<u32> = Vec::with_capacity(batch.len());
+        let mut counts: Vec<usize> = vec![0; nshards];
+        for slot in &batch {
+            let (key, value) = slot.as_ref().expect("just materialized");
             total_bytes += 8 + value.size_bytes();
-            written += 1;
-            buckets[self.shard_of(key)].push((key, value));
+            let s = self.shard_of(*key);
+            stripe_of.push(s as u32);
+            counts[s] += 1;
         }
-        for (i, bucket) in buckets.into_iter().enumerate() {
-            if bucket.is_empty() {
+        // Prefix sums → each stripe's index range in `order`.
+        let mut starts: Vec<usize> = Vec::with_capacity(nshards + 1);
+        let mut acc = 0usize;
+        for &c in &counts {
+            starts.push(acc);
+            acc += c;
+        }
+        starts.push(acc);
+        let mut cursor = starts[..nshards].to_vec();
+        let mut order: Vec<u32> = vec![0; batch.len()];
+        for (i, &s) in stripe_of.iter().enumerate() {
+            order[cursor[s as usize]] = i as u32;
+            cursor[s as usize] += 1;
+        }
+        for s in 0..nshards {
+            let range = starts[s]..starts[s + 1];
+            if range.is_empty() {
                 continue;
             }
-            let mut shard = self.shards[i].lock();
-            shard.reserve(bucket.len());
-            for (key, value) in bucket {
+            // One lock + one reserve per touched stripe.
+            let mut shard = self.shards[s].lock();
+            shard.reserve(range.len());
+            for &i in &order[range] {
+                let (key, value) = batch[i as usize].take().expect("each index drained once");
                 match shard.entry(key) {
                     std::collections::hash_map::Entry::Vacant(e) => {
                         e.insert((machine, value));

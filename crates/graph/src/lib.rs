@@ -15,7 +15,10 @@
 //!   counts, connected components, diameter estimates);
 //! * the registry of paper-dataset analogues ([`datasets`]), documenting the
 //!   substitution of proprietary inputs by synthetic equivalents;
-//! * plain-text edge-list I/O ([`io`]).
+//! * plain-text edge-list I/O ([`io`]);
+//! * the [`source::GraphSource`] grammar: one parseable string format
+//!   (`rmat:…`, `er:…`, named datasets, `file:…`, …) from which every
+//!   harness entry point loads its input.
 //!
 //! The representation convention throughout the workspace: **undirected
 //! graphs are stored symmetrized** (every edge `{u, v}` appears in both
@@ -33,10 +36,12 @@ pub mod edge;
 pub mod gen;
 pub mod io;
 pub mod ops;
+pub mod source;
 pub mod stats;
 pub mod weighted;
 
 pub use builder::GraphBuilder;
+pub use source::GraphSource;
 pub use csr::CsrGraph;
 pub use edge::{Edge, WeightedEdge};
 pub use weighted::WeightedCsrGraph;

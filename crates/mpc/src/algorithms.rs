@@ -1,0 +1,236 @@
+//! [`AmpcAlgorithm`] implementations for the MPC baselines.
+//!
+//! Every baseline family implements the same trait as its AMPC
+//! counterpart, so the driver, the registry and the `ampc` CLI treat
+//! the two models uniformly (`--model mpc` is just a different registry
+//! row). The five pre-existing baselines run through their established
+//! entry points and merge the resulting stages into the driver's job
+//! via [`Job::absorb`] — stage sequence, costs and fault-replay
+//! behavior are identical to a direct call by construction. The walks
+//! baseline is in-job native (it was written after the trait existed).
+
+use crate::walks::mpc_random_walks_in_job;
+use ampc_core::algorithm::{
+    validate_output, AlgoInput, AlgoOutput, AmpcAlgorithm, InputKind, Model,
+};
+use ampc_runtime::Job;
+
+/// MPC rootset MIS (Figure 2), as a registry-composable algorithm.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpcMis;
+
+impl AmpcAlgorithm for MpcMis {
+    fn name(&self) -> &'static str {
+        "mis"
+    }
+    fn model(&self) -> Model {
+        Model::Mpc
+    }
+    fn input_kind(&self) -> InputKind {
+        InputKind::Unweighted
+    }
+    fn run(&self, job: &mut Job, input: &AlgoInput<'_>) -> AlgoOutput {
+        let cfg = *job.config();
+        let out = crate::mpc_mis(input.structure(), &cfg);
+        job.absorb(out.report);
+        AlgoOutput::Mis(out.in_mis)
+    }
+    fn validate(&self, input: &AlgoInput<'_>, output: &AlgoOutput) -> Result<(), String> {
+        validate_output(self.name(), input, output)
+    }
+}
+
+/// MPC rootset maximal matching (§5.4 baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpcMatching;
+
+impl AmpcAlgorithm for MpcMatching {
+    fn name(&self) -> &'static str {
+        "mm"
+    }
+    fn model(&self) -> Model {
+        Model::Mpc
+    }
+    fn input_kind(&self) -> InputKind {
+        InputKind::Unweighted
+    }
+    fn run(&self, job: &mut Job, input: &AlgoInput<'_>) -> AlgoOutput {
+        let cfg = *job.config();
+        let out = crate::mpc_matching(input.structure(), &cfg);
+        job.absorb(out.report);
+        AlgoOutput::Matching(out.partner)
+    }
+    fn validate(&self, input: &AlgoInput<'_>, output: &AlgoOutput) -> Result<(), String> {
+        validate_output(self.name(), input, output)
+    }
+}
+
+/// Borůvka MSF with red/blue contraction (§5.5 baseline).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpcMsf;
+
+impl AmpcAlgorithm for MpcMsf {
+    fn name(&self) -> &'static str {
+        "msf"
+    }
+    fn model(&self) -> Model {
+        Model::Mpc
+    }
+    fn input_kind(&self) -> InputKind {
+        InputKind::Weighted
+    }
+    fn run(&self, job: &mut Job, input: &AlgoInput<'_>) -> AlgoOutput {
+        let cfg = *job.config();
+        let w = input.weighted().expect("driver checked input kind");
+        let out = crate::mpc_msf(w, &cfg);
+        job.absorb(out.report);
+        AlgoOutput::Forest(out.edges)
+    }
+    fn validate(&self, input: &AlgoInput<'_>, output: &AlgoOutput) -> Result<(), String> {
+        validate_output(self.name(), input, output)
+    }
+}
+
+/// CC-LocalContraction connectivity (§5.6 baseline, \[48\]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpcConnectivity;
+
+impl AmpcAlgorithm for MpcConnectivity {
+    fn name(&self) -> &'static str {
+        "cc"
+    }
+    fn model(&self) -> Model {
+        Model::Mpc
+    }
+    fn input_kind(&self) -> InputKind {
+        InputKind::Unweighted
+    }
+    fn run(&self, job: &mut Job, input: &AlgoInput<'_>) -> AlgoOutput {
+        let cfg = *job.config();
+        let out = crate::mpc_connected_components(input.structure(), &cfg);
+        job.absorb(out.report);
+        AlgoOutput::Components(out.label)
+    }
+    fn validate(&self, input: &AlgoInput<'_>, output: &AlgoOutput) -> Result<(), String> {
+        validate_output(self.name(), input, output)
+    }
+}
+
+/// 1-vs-2-cycle answered with the connectivity baseline.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpcOneVsTwo;
+
+impl AmpcAlgorithm for MpcOneVsTwo {
+    fn name(&self) -> &'static str {
+        "one-vs-two"
+    }
+    fn model(&self) -> Model {
+        Model::Mpc
+    }
+    fn input_kind(&self) -> InputKind {
+        InputKind::CycleUnion
+    }
+    fn run(&self, job: &mut Job, input: &AlgoInput<'_>) -> AlgoOutput {
+        let cfg = *job.config();
+        let out = crate::mpc_connected_components(input.structure(), &cfg);
+        job.absorb(out.report);
+        let mut labels: Vec<_> = out.label;
+        labels.sort_unstable();
+        labels.dedup();
+        let num_cycles = labels.len();
+        let answer = if num_cycles == 1 {
+            ampc_core::one_vs_two::CycleAnswer::One
+        } else {
+            ampc_core::one_vs_two::CycleAnswer::Two
+        };
+        AlgoOutput::Cycles { answer, num_cycles }
+    }
+    fn validate(&self, input: &AlgoInput<'_>, output: &AlgoOutput) -> Result<(), String> {
+        validate_output(self.name(), input, output)
+    }
+}
+
+/// Shuffle-per-hop random walks (the §5.7 separation baseline).
+#[derive(Clone, Copy, Debug)]
+pub struct MpcWalks {
+    /// Walkers started per vertex.
+    pub walkers_per_node: usize,
+    /// Hops per walk.
+    pub steps: usize,
+}
+
+impl Default for MpcWalks {
+    fn default() -> Self {
+        MpcWalks {
+            walkers_per_node: 1,
+            steps: 8,
+        }
+    }
+}
+
+impl AmpcAlgorithm for MpcWalks {
+    fn name(&self) -> &'static str {
+        "walks"
+    }
+    fn model(&self) -> Model {
+        Model::Mpc
+    }
+    fn input_kind(&self) -> InputKind {
+        InputKind::Unweighted
+    }
+    fn run(&self, job: &mut Job, input: &AlgoInput<'_>) -> AlgoOutput {
+        AlgoOutput::Walks(mpc_random_walks_in_job(
+            job,
+            input.structure(),
+            self.walkers_per_node,
+            self.steps,
+        ))
+    }
+    fn validate(&self, input: &AlgoInput<'_>, output: &AlgoOutput) -> Result<(), String> {
+        ampc_core::algorithm::validate_walks_shape(
+            input,
+            output,
+            self.walkers_per_node,
+            self.steps,
+        )?;
+        validate_output(self.name(), input, output)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_runtime::driver::drive;
+    use ampc_runtime::AmpcConfig;
+    use ampc_graph::gen;
+
+    #[test]
+    fn mpc_trait_run_matches_direct_call() {
+        let g = gen::erdos_renyi(120, 360, 5);
+        let mut cfg = AmpcConfig::for_tests();
+        cfg.in_memory_threshold = 100;
+        let direct = crate::mpc_mis(&g, &cfg);
+        let input = AlgoInput::Unweighted(&g);
+        let driven = drive(&cfg, |job| MpcMis.run(job, &input));
+        assert_eq!(driven.output, AlgoOutput::Mis(direct.in_mis));
+        assert_eq!(driven.report.num_shuffles(), direct.report.num_shuffles());
+        assert_eq!(driven.report.sim_ns(), direct.report.sim_ns());
+        MpcMis.validate(&input, &driven.output).unwrap();
+    }
+
+    #[test]
+    fn one_vs_two_baseline_answers() {
+        let one = gen::single_cycle(400, 3);
+        let cfg = AmpcConfig::for_tests();
+        let input = AlgoInput::Unweighted(&one);
+        let driven = drive(&cfg, |job| MpcOneVsTwo.run(job, &input));
+        assert!(matches!(
+            driven.output,
+            AlgoOutput::Cycles {
+                answer: ampc_core::one_vs_two::CycleAnswer::One,
+                ..
+            }
+        ));
+        MpcOneVsTwo.validate(&input, &driven.output).unwrap();
+    }
+}

@@ -17,6 +17,11 @@
 //! * [`simulate_ampc`] — the §5.3 negative result: naively simulating
 //!   the AMPC MIS in MPC maps every adaptive KV query step to a
 //!   shuffle, needing 1000+ shuffles on real inputs.
+//! * [`walks`] — shuffle-per-hop random walks, the §5.7 separation
+//!   baseline (identical walks to the AMPC kernel under equal seeds).
+//! * [`algorithms`] — every baseline exposed through the
+//!   [`ampc_core::algorithm::AmpcAlgorithm`] trait, so the driver,
+//!   registry and `ampc` CLI compose the two models uniformly.
 //!
 //! All baselines share randomness with their AMPC counterparts (the
 //! priorities of `ampc-core::priorities`), so MIS/MM outputs are
@@ -26,13 +31,16 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod algorithms;
 pub mod boruvka;
 pub mod local_contraction;
 pub mod mis_rootset;
 pub mod mm_rootset;
 pub mod simulate_ampc;
+pub mod walks;
 
 pub use boruvka::mpc_msf;
 pub use local_contraction::mpc_connected_components;
 pub use mis_rootset::mpc_mis;
 pub use mm_rootset::mpc_matching;
+pub use walks::mpc_random_walks;

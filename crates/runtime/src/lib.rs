@@ -35,6 +35,13 @@
 //! * [`fault`] demonstrates the fault-tolerance property of §2: because
 //!   sealed DHT generations are immutable, replaying a preempted
 //!   machine's work yields byte-identical results.
+//! * [`driver`] owns the orchestration kernels used to hand-roll —
+//!   job lifecycle ([`driver::drive`]), truncated-round budget
+//!   bookkeeping ([`driver::AdaptiveRounds`]), config resolution
+//!   ([`driver::DriverOptions`]) and report flattening
+//!   ([`driver::RunSummary`]) — so every algorithm behind the
+//!   `AmpcAlgorithm` trait shares one code path from configuration to
+//!   finished report (DESIGN.md §7).
 //!
 //! Simulated time is deterministic given the job's [`config::AmpcConfig`]
 //! and is the primary "running time" in all reproduced figures; see
@@ -44,6 +51,7 @@
 #![deny(unsafe_code)]
 
 pub mod config;
+pub mod driver;
 pub mod executor;
 pub mod fault;
 pub mod job;

@@ -34,8 +34,9 @@ pub use ampc_trees as trees;
 /// assert_eq!(out.report.num_shuffles(), 1);
 /// ```
 pub mod prelude {
+    pub use ampc_core::algorithm::{AlgoInput, AlgoOutput, AmpcAlgorithm, Model};
     pub use ampc_core::{
-        connectivity, matching, mis, msf, one_vs_two,
+        connectivity, matching, mis, msf, one_vs_two, walks,
     };
     pub use ampc_dht::cost::{CostConfig, Network};
     pub use ampc_graph::{

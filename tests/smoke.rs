@@ -71,3 +71,15 @@ fn smoke_one_vs_two_cycle() {
         assert_eq!(m, truth, "AMPC and MPC disagree on 1-vs-2-cycle");
     }
 }
+
+#[test]
+fn smoke_walks() {
+    let g = tiny();
+    let c = cfg();
+    let a = ampc_core::walks::ampc_random_walks(&g, &c, 1, 6);
+    let m = ampc_mpc::mpc_random_walks(&g, &c, 1, 6);
+    assert_eq!(a.walks, m.walks, "AMPC and MPC disagree on the walks");
+    // The §5.7 separation: AMPC pays one shuffle, MPC one per hop.
+    assert_eq!(a.report.num_shuffles(), 1);
+    assert_eq!(m.report.num_shuffles(), 6);
+}
