@@ -6,12 +6,16 @@ use ampc_core::mis::{ampc_mis, greedy_mis};
 use ampc_core::msf::in_memory::kruskal;
 use ampc_core::msf::{ampc_msf, kkt_msf};
 use ampc_core::one_vs_two::ampc_one_vs_two;
-use ampc_runtime::AmpcConfig;
 use ampc_graph::datasets::{Dataset, Scale};
+use ampc_runtime::AmpcConfig;
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn cfg() -> AmpcConfig {
-    AmpcConfig { num_machines: 8, in_memory_threshold: 2_000, ..AmpcConfig::default() }
+    AmpcConfig {
+        num_machines: 8,
+        in_memory_threshold: 2_000,
+        ..AmpcConfig::default()
+    }
 }
 
 fn bench_mis(c: &mut Criterion) {
@@ -19,11 +23,11 @@ fn bench_mis(c: &mut Criterion) {
     let conf = cfg();
     let mut group = c.benchmark_group("mis");
     group.sample_size(10);
-    group.bench_function("ampc_query_process", |b| {
-        b.iter(|| ampc_mis(&g, &conf))
-    });
+    group.bench_function("ampc_query_process", |b| b.iter(|| ampc_mis(&g, &conf)));
     group.bench_function("mpc_rootset", |b| b.iter(|| ampc_mpc::mpc_mis(&g, &conf)));
-    group.bench_function("sequential_greedy", |b| b.iter(|| greedy_mis(&g, conf.seed)));
+    group.bench_function("sequential_greedy", |b| {
+        b.iter(|| greedy_mis(&g, conf.seed))
+    });
     group.finish();
 }
 

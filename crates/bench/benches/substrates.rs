@@ -4,11 +4,11 @@
 
 use ampc_dht::store::{Generation, GenerationWriter};
 use ampc_dht::MachineHandle;
+use ampc_graph::{gen, GraphBuilder, WeightedEdge};
 use ampc_trees::flight::FlightIndex;
 use ampc_trees::lca::LcaIndex;
 use ampc_trees::rooting::root_forest;
 use ampc_trees::UnionFind;
-use ampc_graph::{gen, GraphBuilder, WeightedEdge};
 use criterion::{criterion_group, criterion_main, Criterion};
 
 fn bench_dht(c: &mut Criterion) {

@@ -19,10 +19,11 @@ use ampc_bench::util::harness_config;
 use ampc_bench::{json, util};
 use ampc_core::algorithm::{AlgoInput, AlgoOutput, Model};
 use ampc_dht::cost::Network;
-use ampc_runtime::driver::{json_string, DriverOptions, Driven, RunSummary};
-use ampc_runtime::AmpcConfig;
 use ampc_graph::datasets::Scale;
+use ampc_graph::dynamic::{BatchMix, DynamicSource};
 use ampc_graph::{CsrGraph, GraphSource, WeightedCsrGraph};
+use ampc_runtime::driver::{json_string, Driven, DriverOptions, RunSummary};
+use ampc_runtime::AmpcConfig;
 use std::collections::HashMap;
 
 const USAGE: &str = "\
@@ -35,7 +36,9 @@ USAGE:
 
 RUN OPTIONS:
   --graph <src>        graph source (required), e.g. ok, rmat:12,40000,social,
-                       er:1000,3000, cycle:5000, pair:2500, file:edges.el
+                       er:1000,3000, cycle:5000, pair:2500, file:edges.el;
+                       dynamic families also accept
+                       dyn:<base>:batches=B:ops=K[:mix=churn|insert|delete][:seed=S]
   --model ampc|mpc     model backend (default ampc)
   --machines <P>       machine count (default: harness config for the scale)
   --seed <S>           algorithm seed
@@ -49,6 +52,10 @@ RUN OPTIONS:
   --walkers <W>        walks: walkers per vertex (default 1)
   --steps <K>          walks: hops per walk (default 8)
   --sample-inv <R>     one-vs-two: inverse sampling rate (default 1024)
+  --batches <B>        dyn-cc: update batches (default 4)
+  --ops <K>            dyn-cc: updates per batch (default 64)
+  --mix <M>            dyn-cc: churn|insert|delete (default churn)
+  --dyn-seed <S>       dyn-cc: update-schedule seed
   --validate           check the output against the input (exit 1 on failure)
   --json <path|->      write the JSON run record to a file, or '-' for stdout
   --quiet              suppress the human-readable summary
@@ -72,9 +79,25 @@ struct Cli {
     flags: HashMap<String, String>,
 }
 
-const VALUE_FLAGS: [&str; 14] = [
-    "--graph", "--model", "--machines", "--seed", "--scale", "--threads", "--batch",
-    "--caching", "--network", "--threshold", "--walkers", "--steps", "--sample-inv", "--json",
+const VALUE_FLAGS: [&str; 18] = [
+    "--graph",
+    "--model",
+    "--machines",
+    "--seed",
+    "--scale",
+    "--threads",
+    "--batch",
+    "--caching",
+    "--network",
+    "--threshold",
+    "--walkers",
+    "--steps",
+    "--sample-inv",
+    "--json",
+    "--batches",
+    "--ops",
+    "--mix",
+    "--dyn-seed",
 ];
 const SWITCHES: [&str; 3] = ["--validate", "--quiet", "--help"];
 
@@ -85,9 +108,7 @@ impl Cli {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if VALUE_FLAGS.contains(&a.as_str()) {
-                let v = it
-                    .next()
-                    .ok_or_else(|| format!("{a} needs a value"))?;
+                let v = it.next().ok_or_else(|| format!("{a} needs a value"))?;
                 flags.insert(a.clone(), v.clone());
             } else if SWITCHES.contains(&a.as_str()) {
                 flags.insert(a.clone(), String::new());
@@ -153,7 +174,10 @@ fn cmd_list() -> Result<(), String> {
             ]
         })
         .collect();
-    print!("{}", util::md_table(&["family", "model", "description"], &rows));
+    print!(
+        "{}",
+        util::md_table(&["family", "model", "description"], &rows)
+    );
     Ok(())
 }
 
@@ -179,10 +203,62 @@ fn scale_token(scale: Scale) -> &'static str {
 struct RunSpec {
     family: &'static str,
     model: Model,
+    /// The (base) graph to load; dynamic schedules live in `params`.
     source: GraphSource,
+    /// Canonical source description for records: the full `dyn:` spec
+    /// for dynamic families, `source.describe()` otherwise.
+    source_desc: String,
     scale: Scale,
     cfg: AmpcConfig,
     params: AlgoParams,
+}
+
+/// Whether a family consumes a dynamic update schedule (and therefore
+/// accepts `dyn:` graph sources).
+fn is_dynamic_family(family: &str) -> bool {
+    family == "dyn-cc"
+}
+
+/// Resolves a `--graph` argument: plain sources parse as-is; `dyn:`
+/// sources are only valid for dynamic families and fold their schedule
+/// into `params`, returning the base source.
+fn resolve_source(family: &str, s: &str, params: &mut AlgoParams) -> Result<GraphSource, String> {
+    let is_dyn = s
+        .trim_start()
+        .get(..4)
+        .is_some_and(|head| head.eq_ignore_ascii_case("dyn:"));
+    if is_dyn {
+        if !is_dynamic_family(family) {
+            return Err(format!(
+                "dynamic graph source {s:?} is only valid for dynamic families (dyn-cc)"
+            ));
+        }
+        let d = DynamicSource::parse(s)?;
+        params.dyn_batches = d.batches;
+        params.dyn_ops = d.ops;
+        params.dyn_mix = d.mix;
+        params.dyn_seed = d.seed;
+        Ok(d.base)
+    } else {
+        GraphSource::parse(s)
+    }
+}
+
+/// The canonical source description for run records: dynamic families
+/// always describe as a full `dyn:` spec (flag overrides included).
+fn source_desc(family: &str, source: &GraphSource, params: &AlgoParams) -> String {
+    if is_dynamic_family(family) {
+        DynamicSource {
+            base: source.clone(),
+            batches: params.dyn_batches,
+            ops: params.dyn_ops,
+            mix: params.dyn_mix,
+            seed: params.dyn_seed,
+        }
+        .describe()
+    } else {
+        source.describe()
+    }
 }
 
 /// Loaded input graph, owning whichever representation the algorithm
@@ -203,14 +279,12 @@ impl LoadedGraph {
 
 fn load_for(spec: &RunSpec) -> Result<LoadedGraph, String> {
     let entry = registry::lookup(spec.family, spec.model).expect("spec came from the registry");
-    Ok(
-        match entry.input_kind(&spec.params) {
-            ampc_core::algorithm::InputKind::Weighted => LoadedGraph::Weighted(
-                spec.source.load_weighted(spec.scale, util::GRAPH_SEED)?,
-            ),
-            _ => LoadedGraph::Unweighted(spec.source.load(spec.scale, util::GRAPH_SEED)?),
-        },
-    )
+    Ok(match entry.input_kind(&spec.params) {
+        ampc_core::algorithm::InputKind::Weighted => {
+            LoadedGraph::Weighted(spec.source.load_weighted(spec.scale, util::GRAPH_SEED)?)
+        }
+        _ => LoadedGraph::Unweighted(spec.source.load(spec.scale, util::GRAPH_SEED)?),
+    })
 }
 
 /// Runs one spec through the registry + driver, returning the driven
@@ -245,17 +319,22 @@ fn run_record(
         "{{\n  \"tool\": \"ampc\",\n  \"algorithm\": {},\n  \"model\": {},\n  \
          \"graph\": {},\n  \"scale\": {},\n  \"n\": {n},\n  \"m\": {m},\n  \
          \"seed\": {},\n  \"machines\": {},\n  \"params\": {{\"walkers_per_node\": {}, \
-         \"steps\": {}, \"sample_inv\": {}}},\n  \"output\": {{\"kind\": {}, \"size\": {}, \
+         \"steps\": {}, \"sample_inv\": {}, \"dyn_batches\": {}, \"dyn_ops\": {}, \
+         \"dyn_mix\": {}, \"dyn_seed\": {}}},\n  \"output\": {{\"kind\": {}, \"size\": {}, \
          \"digest\": {}}},\n  \"validated\": {validated},\n  \"report\":\n{}\n}}\n",
         json_string(spec.family),
         json_string(spec.model.token()),
-        json_string(&spec.source.describe()),
+        json_string(&spec.source_desc),
         json_string(scale_token(spec.scale)),
         spec.cfg.seed,
         spec.cfg.num_machines,
         spec.params.walkers_per_node,
         spec.params.steps,
         spec.params.sample_inv,
+        spec.params.dyn_batches,
+        spec.params.dyn_ops,
+        json_string(spec.params.dyn_mix.token()),
+        spec.params.dyn_seed,
         json_string(driven.output.kind()),
         driven.output.size(),
         driven.output.digest(),
@@ -267,16 +346,23 @@ fn spec_from_cli(cli: &Cli) -> Result<RunSpec, String> {
     if cli.positional.len() < 2 {
         return Err("run: missing <family> (see ampc list)".into());
     }
-    let family = registry::canonical_family(&cli.positional[1])
-        .ok_or_else(|| format!("unknown algorithm family {:?} (see ampc list)", cli.positional[1]))?;
+    let family = registry::canonical_family(&cli.positional[1]).ok_or_else(|| {
+        format!(
+            "unknown algorithm family {:?} (see ampc list)",
+            cli.positional[1]
+        )
+    })?;
     let model = match cli.get("--model").unwrap_or("ampc") {
         "ampc" => Model::Ampc,
         "mpc" => Model::Mpc,
         v => return Err(format!("--model: expected ampc|mpc, got {v:?}")),
     };
-    let source = GraphSource::parse(
+    let mut params = AlgoParams::default();
+    let source = resolve_source(
+        family,
         cli.get("--graph")
             .ok_or("run: --graph <source> is required")?,
+        &mut params,
     )?;
     let scale = scale_of(cli)?;
     let network = match cli.get("--network") {
@@ -296,7 +382,6 @@ fn spec_from_cli(cli: &Cli) -> Result<RunSpec, String> {
         ..Default::default()
     };
     let cfg = opts.apply(harness_config(scale));
-    let mut params = AlgoParams::default();
     if let Some(w) = cli.parse_num("--walkers")? {
         params.walkers_per_node = w;
     }
@@ -306,10 +391,25 @@ fn spec_from_cli(cli: &Cli) -> Result<RunSpec, String> {
     if let Some(r) = cli.parse_num("--sample-inv")? {
         params.sample_inv = r;
     }
+    // Explicit schedule flags override a dyn: source's options.
+    if let Some(b) = cli.parse_num("--batches")? {
+        params.dyn_batches = b;
+    }
+    if let Some(k) = cli.parse_num("--ops")? {
+        params.dyn_ops = k;
+    }
+    if let Some(m) = cli.get("--mix") {
+        params.dyn_mix = BatchMix::parse(m).map_err(|e| format!("--{e}"))?;
+    }
+    if let Some(s) = cli.parse_num("--dyn-seed")? {
+        params.dyn_seed = s;
+    }
+    let source_desc = source_desc(family, &source, &params);
     Ok(RunSpec {
         family,
         model,
         source,
+        source_desc,
         scale,
         cfg,
         params,
@@ -339,7 +439,7 @@ fn cmd_run(cli: &Cli) -> Result<(), String> {
             "{} [{}] on {} (n={n}, m={m}), P={}, seed={:#x}",
             spec.family,
             spec.model.token(),
-            spec.source.describe(),
+            spec.source_desc,
             spec.cfg.num_machines,
             spec.cfg.seed,
         );
@@ -384,13 +484,14 @@ fn cmd_smoke(cli: &Cli) -> Result<(), String> {
         None => Scale::Test,
         _ => scale_of(cli)?,
     };
-    let sources: [(&str, &str); 6] = [
+    let sources: [(&str, &str); 7] = [
         ("mis", "rmat:8,1500"),
         ("mm", "rmat:8,1500"),
         ("msf", "rmat:8,1500"),
         ("cc", "er:300,420"),
         ("one-vs-two", "pair:200"),
         ("walks", "er:120,400"),
+        ("dyn-cc", "dyn:er:300,420:batches=3:ops=48"),
     ];
     let mut rows = Vec::new();
     let mut failures = 0usize;
@@ -400,13 +501,18 @@ fn cmd_smoke(cli: &Cli) -> Result<(), String> {
             let mut cfg = harness_config(scale);
             // Small instances: keep the MPC baselines distributed.
             cfg.in_memory_threshold = 100;
+            let family = registry::canonical_family(family).unwrap();
+            let mut params = AlgoParams::default();
+            let source = resolve_source(family, src, &mut params)?;
+            let source_desc = source_desc(family, &source, &params);
             let spec = RunSpec {
-                family: registry::canonical_family(family).unwrap(),
+                family,
                 model,
-                source: GraphSource::parse(src)?,
+                source,
+                source_desc,
                 scale,
                 cfg,
-                params: AlgoParams::default(),
+                params,
             };
             let (driven, graph) = execute(&spec)?;
             let (n, m) = (graph.as_input().num_nodes(), graph.as_input().num_edges());
@@ -416,10 +522,16 @@ fn cmd_smoke(cli: &Cli) -> Result<(), String> {
             let parses = json::validate_json(&record);
             let ok = valid.is_ok() && parses.is_ok();
             if let Err(e) = &valid {
-                eprintln!("ampc smoke: {family}/{}: validation failed: {e}", model.token());
+                eprintln!(
+                    "ampc smoke: {family}/{}: validation failed: {e}",
+                    model.token()
+                );
             }
             if let Err(e) = &parses {
-                eprintln!("ampc smoke: {family}/{}: JSON does not parse: {e}", model.token());
+                eprintln!(
+                    "ampc smoke: {family}/{}: JSON does not parse: {e}",
+                    model.token()
+                );
             }
             failures += usize::from(!ok);
             digests.push(driven.output.digest());
@@ -443,13 +555,23 @@ fn cmd_smoke(cli: &Cli) -> Result<(), String> {
     print!(
         "{}",
         util::md_table(
-            &["family", "model", "graph", "shuffles", "kv rounds", "status"],
+            &[
+                "family",
+                "model",
+                "graph",
+                "shuffles",
+                "kv rounds",
+                "status"
+            ],
             &rows,
         )
     );
     if failures > 0 {
         return Err(format!("{failures} smoke failure(s)"));
     }
-    println!("smoke: all {} runs validated, JSON records parse", rows.len());
+    println!(
+        "smoke: all {} runs validated, JSON records parse",
+        rows.len()
+    );
     Ok(())
 }

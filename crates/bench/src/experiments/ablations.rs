@@ -33,12 +33,14 @@ pub fn run(scale: Scale) -> String {
         ]);
     }
     md.para("**Prim budget sweep** (MSF on the OK analogue): larger ε = deeper searches = fewer rounds but more queries per search.");
-    md.table(&["epsilon", "budget n^(eps/2)", "KV queries", "shuffles"], &rows);
+    md.table(
+        &["epsilon", "budget n^(eps/2)", "KV queries", "shuffles"],
+        &rows,
+    );
 
     // ---- 2: KKT sampling vs direct pipeline on a sparse graph.
-    let sparse = ampc_graph::gen::degree_weights(&ampc_graph::gen::erdos_renyi(
-        200_000, 400_000, 11,
-    ));
+    let sparse =
+        ampc_graph::gen::degree_weights(&ampc_graph::gen::erdos_renyi(200_000, 400_000, 11));
     let direct = ampc_msf(&sparse, &cfg);
     let kkt = kkt_msf(&sparse, &cfg);
     assert_eq!(direct.edges, kkt.edges, "KKT must agree with the pipeline");

@@ -7,8 +7,8 @@
 
 use crate::util::{cycle_config, secs, speedup, Md};
 use ampc_core::one_vs_two::ampc_one_vs_two;
-use ampc_mpc::local_contraction::mpc_one_vs_two;
 use ampc_graph::datasets::Scale;
+use ampc_mpc::local_contraction::mpc_one_vs_two;
 
 /// Runs the experiment, returning a markdown section.
 pub fn run(scale: Scale) -> String {
@@ -23,8 +23,7 @@ pub fn run(scale: Scale) -> String {
         assert_eq!(answer, a.answer, "models disagree at k={k}");
         let iters = m_rep.num_shuffles() / 3;
         let shrink = if iters > 0 {
-            (2.0 * k as f64 / cfg.in_memory_threshold as f64)
-                .powf(1.0 / iters as f64)
+            (2.0 * k as f64 / cfg.in_memory_threshold as f64).powf(1.0 / iters as f64)
         } else {
             f64::NAN
         };
@@ -41,7 +40,10 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut md = Md::new();
-    md.heading(2, "1-vs-2-Cycle (§5.6) — AMPC sampling vs CC-LocalContraction");
+    md.heading(
+        2,
+        "1-vs-2-Cycle (§5.6) — AMPC sampling vs CC-LocalContraction",
+    );
     md.table(
         &[
             "Instance",

@@ -23,8 +23,8 @@ pub fn run(scale: Scale) -> String {
             .expect("mis is registered");
         let single = registry::run_family("mis", Model::Ampc, &input, &cfg.with_batching(false))
             .expect("mis is registered");
-        let m = registry::run_family("mis", Model::Mpc, &input, &cfg)
-            .expect("mpc mis is registered");
+        let m =
+            registry::run_family("mis", Model::Mpc, &input, &cfg).expect("mpc mis is registered");
         let a_shuf = a.report.shuffle_bytes();
         let a_kv = a.report.kv_comm().kv_bytes();
         let a_rt = a.report.kv_round_trips();
@@ -35,7 +35,12 @@ pub fn run(scale: Scale) -> String {
         // The acceptance claim the figure prints: batching must not
         // change outputs (checked in release too — the bench binaries
         // are the runs that actually make the claim).
-        assert_eq!(a.output, single.output, "batched MIS diverged on {}", d.name());
+        assert_eq!(
+            a.output,
+            single.output,
+            "batched MIS diverged on {}",
+            d.name()
+        );
         rows.push(vec![
             d.name(),
             bytes(a_shuf),
@@ -49,7 +54,10 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut md = Md::new();
-    md.heading(2, "Figure 3 — bytes shuffled (MIS) and AMPC KV communication");
+    md.heading(
+        2,
+        "Figure 3 — bytes shuffled (MIS) and AMPC KV communication",
+    );
     md.table(
         &[
             "Dataset",
@@ -79,7 +87,11 @@ pub fn run(scale: Scale) -> String {
          only how round trips are counted), because independent lookups — KV writes, \
          per-vertex root fetches — share a round trip while only dependent (adaptive) \
          queries pay their own latency.",
-        if batching_always_wins { "strictly" } else { "mostly" }
+        if batching_always_wins {
+            "strictly"
+        } else {
+            "mostly"
+        }
     ));
     md.finish()
 }

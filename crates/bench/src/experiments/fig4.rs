@@ -6,9 +6,9 @@
 
 use crate::util::{harness_config, load, secs, Md};
 use ampc_core::mis::{ampc_mis_with_options, MisOptions};
-use ampc_runtime::AmpcConfig;
 use ampc_graph::datasets::{Dataset, Scale};
 use ampc_graph::CsrGraph;
+use ampc_runtime::AmpcConfig;
 
 fn run_variant(g: &CsrGraph, cfg: &AmpcConfig, caching: bool, mt: bool) -> (u64, u64) {
     let mut c = *cfg;
@@ -58,7 +58,10 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut md = Md::new();
-    md.heading(2, "Figure 4 — caching and multithreading ablation (AMPC MIS, sim seconds)");
+    md.heading(
+        2,
+        "Figure 4 — caching and multithreading ablation (AMPC MIS, sim seconds)",
+    );
     md.table(
         &[
             "Dataset",

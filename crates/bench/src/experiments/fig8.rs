@@ -68,7 +68,10 @@ pub fn run(scale: Scale) -> String {
     }
 
     let mut md = Md::new();
-    md.heading(2, "Figure 8 — AMPC MIS self-speedup, 1 to 100 machines (sim seconds)");
+    md.heading(
+        2,
+        "Figure 8 — AMPC MIS self-speedup, 1 to 100 machines (sim seconds)",
+    );
     let header: Vec<String> = std::iter::once("Dataset".to_string())
         .chain(MACHINES.iter().map(|p| format!("P={p}")))
         .chain(std::iter::once("P=100 single-key".to_string()))

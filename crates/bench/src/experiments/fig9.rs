@@ -39,15 +39,27 @@ pub fn run(scale: Scale) -> String {
         .iter()
         .zip(&ratios)
         .map(|(name, r)| {
-            let spread =
-                r.iter().cloned().fold(f64::MIN, f64::max) / r.iter().cloned().fold(f64::MAX, f64::min);
+            let spread = r.iter().cloned().fold(f64::MIN, f64::max)
+                / r.iter().cloned().fold(f64::MAX, f64::min);
             format!("{name} {spread:.1}x")
         })
         .collect();
 
     let mut md = Md::new();
-    md.heading(2, "Figure 9 — KV-store communication vs. edges (AMPC algorithms)");
-    md.table(&["Dataset", "m", "MIS KV bytes", "MM KV bytes", "MSF KV bytes"], &rows);
+    md.heading(
+        2,
+        "Figure 9 — KV-store communication vs. edges (AMPC algorithms)",
+    );
+    md.table(
+        &[
+            "Dataset",
+            "m",
+            "MIS KV bytes",
+            "MM KV bytes",
+            "MSF KV bytes",
+        ],
+        &rows,
+    );
     md.para(&format!(
         "Shape check: per-problem bytes-per-edge stays within small bands across two \
          orders of magnitude of edge counts ({}) — the linear trend of the paper's \

@@ -40,7 +40,7 @@ struct ModeResult {
 pub struct KernelPerf {
     /// Kernel name (`cc`, `mis`, `mm`, `mis-uncached`, `walks`,
     /// `walks-uncached`, `pointer-chase`, `batch-write`,
-    /// `one-vs-two-cycle`).
+    /// `one-vs-two-cycle`, `dyn-cc`, `dyn-cc-vs-recompute`).
     pub name: &'static str,
     /// Input description.
     pub input: String,
@@ -63,6 +63,10 @@ pub struct KernelPerf {
     /// Digest of the kernel output (identical across modes by
     /// construction — the suite asserts it).
     pub output_digest: u64,
+    /// What `baseline_wall_ns` measures: `"sharded+spawn"` for the
+    /// storage-layout/executor A/B rows, `"mpc-recompute"` for the
+    /// batch-dynamic maintained-vs-recompute comparison.
+    pub baseline: &'static str,
 }
 
 // Output digests come from `AlgoOutput::digest` (the same fold the
@@ -159,6 +163,46 @@ where
         kv_bytes: current.report.kv_comm().kv_bytes(),
         peak_generation_bytes: current.report.peak_generation_bytes(),
         output_digest: current.output_digest,
+        baseline: "sharded+spawn",
+    }
+}
+
+/// Runs two *different* kernels on the same input in the current
+/// (flat + pool) configuration, pinning their outputs byte-identical —
+/// the maintained-vs-recompute comparison of the batch-dynamic family,
+/// where the speedup is algorithmic (maintenance vs recomputation)
+/// rather than a storage-layout effect. Reported round/CommStats
+/// figures are the *current* (maintained) kernel's.
+fn measure_vs<C, B>(
+    name: &'static str,
+    input: String,
+    cfg: &AmpcConfig,
+    current: C,
+    baseline: B,
+) -> KernelPerf
+where
+    C: Fn(&AmpcConfig) -> (JobReport, u64),
+    B: Fn(&AmpcConfig) -> (JobReport, u64),
+{
+    let base = best_of(cfg, false, &baseline);
+    let cur = best_of(cfg, false, &current);
+    assert_eq!(
+        cur.output_digest, base.output_digest,
+        "{name}: maintained and recomputed outputs differ"
+    );
+    KernelPerf {
+        name,
+        input,
+        wall_ns: cur.wall_ns,
+        baseline_wall_ns: base.wall_ns,
+        kv_rounds: cur.report.num_kv_rounds(),
+        shuffles: cur.report.num_shuffles(),
+        round_trips: cur.report.kv_round_trips(),
+        queries: cur.report.kv_comm().queries,
+        kv_bytes: cur.report.kv_comm().kv_bytes(),
+        peak_generation_bytes: cur.report.peak_generation_bytes(),
+        output_digest: cur.output_digest,
+        baseline: "mpc-recompute",
     }
 }
 
@@ -223,8 +267,11 @@ fn batch_write(cfg: &AmpcConfig, n: usize) -> (JobReport, u64) {
         Some(&writer),
         (0..n as u64).collect(),
         |ctx, items: &[u64]| {
-            ctx.handle
-                .put_many(items.iter().map(|&k| (k, k.wrapping_mul(0x9E37_79B9) ^ (k >> 5))));
+            ctx.handle.put_many(
+                items
+                    .iter()
+                    .map(|&k| (k, k.wrapping_mul(0x9E37_79B9) ^ (k >> 5))),
+            );
             Vec::<()>::new()
         },
     );
@@ -249,27 +296,43 @@ pub fn measure_all(scale: Scale) -> Vec<KernelPerf> {
     // The algorithm kernels all resolve through the registry — the
     // same CLI-to-kernel code path as `ampc run <family>`.
     let gi = AlgoInput::Unweighted(&g);
-    let via_registry = |family: &'static str, params: AlgoParams| {
+    let via_registry = |family: &'static str, model: Model, params: AlgoParams| {
         move |c: &AmpcConfig| {
-            let r = registry::run_family_with(family, Model::Ampc, &gi, c, &params)
+            let r = registry::run_family_with(family, model, &gi, c, &params)
                 .expect("family is registered");
             (r.report, r.output.digest())
         }
     };
-    out.push(measure("cc", input.clone(), &cfg, via_registry("cc", AlgoParams::default())));
-    out.push(measure("mis", input.clone(), &cfg, via_registry("mis", AlgoParams::default())));
-    out.push(measure("mm", input.clone(), &cfg, via_registry("mm", AlgoParams::default())));
+    let ampc = |family: &'static str, params: AlgoParams| via_registry(family, Model::Ampc, params);
+    out.push(measure(
+        "cc",
+        input.clone(),
+        &cfg,
+        ampc("cc", AlgoParams::default()),
+    ));
+    out.push(measure(
+        "mis",
+        input.clone(),
+        &cfg,
+        ampc("mis", AlgoParams::default()),
+    ));
+    out.push(measure(
+        "mm",
+        input.clone(),
+        &cfg,
+        ampc("mm", AlgoParams::default()),
+    ));
     out.push(measure(
         "mis-uncached",
         input.clone(),
         &cfg.with_caching(false),
-        via_registry("mis", AlgoParams::default()),
+        ampc("mis", AlgoParams::default()),
     ));
     out.push(measure(
         "walks",
         format!("{input}, 8 hops"),
         &cfg,
-        via_registry(
+        ampc(
             "walks",
             AlgoParams {
                 walkers_per_node: 1,
@@ -282,7 +345,7 @@ pub fn measure_all(scale: Scale) -> Vec<KernelPerf> {
         "walks-uncached",
         format!("{input}, 4x32 hops"),
         &cfg.with_caching(false),
-        via_registry(
+        ampc(
             "walks",
             AlgoParams {
                 walkers_per_node: 4,
@@ -290,6 +353,37 @@ pub fn measure_all(scale: Scale) -> Vec<KernelPerf> {
                 ..Default::default()
             },
         ),
+    ));
+
+    // The batch-dynamic connectivity family, tracked two ways: the
+    // maintained kernel under the storage-layout A/B like every other
+    // kernel, and — the figure the subsystem exists for — amortized
+    // cost per batch of maintenance vs recompute-from-scratch (both in
+    // the current configuration, per-epoch labels asserted identical).
+    let (dyn_batches, dyn_ops) = match scale {
+        Scale::Test => (4, 64),
+        Scale::Mid => (8, 256),
+        Scale::Bench => (12, 1024),
+    };
+    let dyn_params = AlgoParams {
+        dyn_batches,
+        dyn_ops,
+        ..Default::default()
+    };
+    out.push(measure(
+        "dyn-cc",
+        format!("{input}, {dyn_batches} batches x {dyn_ops} churn ops"),
+        &cfg,
+        ampc("dyn-cc", dyn_params),
+    ));
+    out.push(measure_vs(
+        "dyn-cc-vs-recompute",
+        format!(
+            "{input}, {dyn_batches} batches x {dyn_ops} churn ops (baseline: MPC recompute per batch)"
+        ),
+        &cfg,
+        ampc("dyn-cc", dyn_params),
+        via_registry("dyn-cc", Model::Mpc, dyn_params),
     ));
 
     // The storage substrate kernel: lockstep pointer chasing through a
@@ -350,6 +444,7 @@ pub fn to_json(scale: Scale, kernels: &[KernelPerf]) -> String {
     for k in kernels {
         rows.push(format!(
             "    {{\n      \"name\": \"{}\",\n      \"input\": \"{}\",\n      \
+             \"baseline\": \"{}\",\n      \
              \"wall_ns\": {},\n      \"baseline_wall_ns\": {},\n      \
              \"speedup_vs_baseline\": {:.3},\n      \"kv_rounds\": {},\n      \
              \"shuffles\": {},\n      \"round_trips\": {},\n      \
@@ -357,6 +452,7 @@ pub fn to_json(scale: Scale, kernels: &[KernelPerf]) -> String {
              \"peak_generation_bytes\": {},\n      \"output_digest\": {}\n    }}",
             k.name,
             k.input,
+            k.baseline,
             k.wall_ns,
             k.baseline_wall_ns,
             k.baseline_wall_ns as f64 / k.wall_ns.max(1) as f64,
@@ -371,11 +467,155 @@ pub fn to_json(scale: Scale, kernels: &[KernelPerf]) -> String {
     }
     format!(
         "{{\n  \"suite\": \"perf\",\n  \"scale\": \"{scale:?}\",\n  \
-         \"ampc_threads\": {},\n  \"baseline\": \"AMPC_STORE=sharded + spawn-per-machine executor\",\n  \
+         \"ampc_threads\": {},\n  \"baselines\": {{\
+         \"sharded+spawn\": \"AMPC_STORE=sharded + spawn-per-machine executor\", \
+         \"mpc-recompute\": \"MPC recompute-from-scratch per update batch\"}},\n  \
          \"kernels\": [\n{}\n  ]\n}}\n",
         ampc_dht::ampc_threads(),
         rows.join(",\n")
     )
+}
+
+/// Result of a [`check_against`] comparison: the rendered report and
+/// every violation found (empty = gate passes).
+pub struct CheckReport {
+    /// Markdown comparison table + notes.
+    pub md: String,
+    /// Human-readable violations; non-empty fails the gate.
+    pub failures: Vec<String>,
+    /// The scale the comparison ran at (the committed trajectory's).
+    pub scale: Scale,
+    /// The fresh measurements (for artifact upload).
+    pub fresh: Vec<KernelPerf>,
+}
+
+/// The deterministic per-kernel fields the gate compares *exactly*:
+/// they are pure functions of (scale, seeds, kernel), identical on
+/// every machine, so any drift is a real semantic change — not noise.
+fn exact_fields(
+    name: &str,
+    committed: &crate::json::Json,
+    fresh: &KernelPerf,
+    failures: &mut Vec<String>,
+) {
+    let fields: [(&str, u64); 7] = [
+        ("kv_rounds", fresh.kv_rounds as u64),
+        ("shuffles", fresh.shuffles as u64),
+        ("round_trips", fresh.round_trips),
+        ("queries", fresh.queries),
+        ("kv_bytes", fresh.kv_bytes),
+        ("peak_generation_bytes", fresh.peak_generation_bytes),
+        ("output_digest", fresh.output_digest),
+    ];
+    for (field, got) in fields {
+        match committed.get(field).and_then(|v| v.as_u64()) {
+            None => failures.push(format!("{name}: committed entry lacks {field:?}")),
+            Some(want) if want != got => failures.push(format!(
+                "{name}: {field} changed: committed {want}, fresh {got}"
+            )),
+            Some(_) => {}
+        }
+    }
+}
+
+/// The perf-regression gate: re-measures the suite **at the scale the
+/// committed trajectory records** and compares. Deterministic fields
+/// (rounds, shuffles, round trips, queries, bytes, digests) must match
+/// exactly; the wall-clock `speedup_vs_baseline` may not fall below
+/// `committed * (1 - tolerance)` (wall-clock is machine-dependent, so
+/// the tolerance is deliberately loose — the equivalence *assertions*
+/// inside the measurement are what guard correctness, and they abort
+/// the process on violation). `committed` is the file's content.
+pub fn check_against(committed: &str, tolerance: f64) -> Result<CheckReport, String> {
+    let doc = crate::json::parse_json(committed)
+        .map_err(|e| format!("committed trajectory does not parse: {e}"))?;
+    let scale = match doc.get("scale").and_then(|s| s.as_str()) {
+        Some("Test") => Scale::Test,
+        Some("Mid") => Scale::Mid,
+        Some("Bench") => Scale::Bench,
+        other => return Err(format!("committed trajectory has bad scale {other:?}")),
+    };
+    let rows = doc
+        .get("kernels")
+        .and_then(|k| k.as_arr())
+        .ok_or("committed trajectory has no kernels array")?;
+    let committed_by_name: Vec<(&str, &crate::json::Json)> = rows
+        .iter()
+        .map(|k| {
+            k.get("name")
+                .and_then(|n| n.as_str())
+                .map(|n| (n, k))
+                .ok_or_else(|| "committed kernel entry lacks a name".to_string())
+        })
+        .collect::<Result<_, _>>()?;
+
+    let fresh = measure_all(scale);
+    let mut failures = Vec::new();
+    let mut table = Vec::new();
+    for (name, entry) in &committed_by_name {
+        let Some(f) = fresh.iter().find(|k| k.name == *name) else {
+            failures.push(format!("{name}: tracked kernel no longer measured"));
+            continue;
+        };
+        exact_fields(name, entry, f, &mut failures);
+        let committed_speedup = entry
+            .get("speedup_vs_baseline")
+            .and_then(|v| v.as_f64())
+            .unwrap_or_else(|| {
+                failures.push(format!("{name}: committed entry lacks speedup_vs_baseline"));
+                0.0
+            });
+        let fresh_speedup = f.baseline_wall_ns as f64 / f.wall_ns.max(1) as f64;
+        let floor = committed_speedup * (1.0 - tolerance);
+        let ok = fresh_speedup >= floor;
+        if !ok {
+            failures.push(format!(
+                "{name}: speedup regressed: committed {committed_speedup:.3}, fresh \
+                 {fresh_speedup:.3} < floor {floor:.3}"
+            ));
+        }
+        table.push(vec![
+            name.to_string(),
+            format!("{committed_speedup:.3}x"),
+            format!("{fresh_speedup:.3}x"),
+            format!("{floor:.3}x"),
+            if ok { "ok".into() } else { "REGRESSED".into() },
+        ]);
+    }
+    for f in &fresh {
+        if !committed_by_name.iter().any(|(n, _)| *n == f.name) {
+            failures.push(format!(
+                "{}: measured but missing from the committed trajectory — regenerate \
+                 BENCH_perf.json",
+                f.name
+            ));
+        }
+    }
+
+    let mut md = Md::new();
+    md.heading(
+        2,
+        "perf_suite --check — fresh run vs committed BENCH_perf.json",
+    );
+    md.para(&format!(
+        "Scale `{scale:?}` (from the committed trajectory), speedup tolerance {:.0}%. \
+         Deterministic fields (rounds, round trips, queries, bytes, digests) must match \
+         exactly; equivalence assertions ran on every measurement.",
+        tolerance * 100.0
+    ));
+    md.table(&["kernel", "committed", "fresh", "floor", "status"], &table);
+    if !failures.is_empty() {
+        md.para(&format!("**{} violation(s):**", failures.len()));
+        for f in &failures {
+            md.para(&format!("- {f}"));
+        }
+    }
+    Ok(CheckReport {
+        md: md.finish(),
+        failures,
+        scale,
+        fresh,
+    })
 }
 
 /// Runs the suite and renders the markdown summary.
@@ -426,19 +666,87 @@ pub fn run(scale: Scale) -> (String, Vec<KernelPerf>) {
 mod tests {
     use super::*;
 
+    /// `run_mode` flips the process-global sealed-layout override, so
+    /// any two tests that measure concurrently could corrupt each
+    /// other's "sharded baseline" windows (the equivalence assertions
+    /// would still hold — the layouts are observationally identical —
+    /// but the sharded path would silently go unexercised). Every
+    /// measuring test serializes on this lock.
+    static MEASURE_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
     /// The suite's equivalence assertions must hold at test scale (this
     /// is also what CI's perf job runs).
     #[test]
     fn modes_agree_at_test_scale() {
+        let _guard = MEASURE_LOCK.lock().unwrap();
         let kernels = measure_all(Scale::Test);
-        assert_eq!(kernels.len(), 9);
+        assert_eq!(kernels.len(), 11);
         assert!(kernels.iter().any(|k| k.name == "batch-write"));
+        assert!(kernels.iter().any(|k| k.name == "dyn-cc"));
         let json = to_json(Scale::Test, &kernels);
         assert!(json.contains("\"suite\": \"perf\""));
         assert!(json.contains("one-vs-two-cycle"));
+        assert!(json.contains("dyn-cc-vs-recompute"));
         for k in &kernels {
             assert!(k.queries > 0, "{} did not touch the DHT", k.name);
-            assert!(k.peak_generation_bytes > 0, "{} tracked no generation", k.name);
+            assert!(
+                k.peak_generation_bytes > 0,
+                "{} tracked no generation",
+                k.name
+            );
         }
+        // The two dyn-cc rows come from the same maintained kernel run
+        // under the same config: their digests must agree.
+        let dyn_rows: Vec<_> = kernels
+            .iter()
+            .filter(|k| k.name.starts_with("dyn-cc"))
+            .collect();
+        assert_eq!(dyn_rows.len(), 2);
+        assert_eq!(dyn_rows[0].output_digest, dyn_rows[1].output_digest);
+    }
+
+    /// The regression gate passes against a trajectory the same build
+    /// just produced, and flags tampered digests, lost kernels and
+    /// speedup collapses.
+    #[test]
+    fn check_mode_self_consistency_and_tamper_detection() {
+        let _guard = MEASURE_LOCK.lock().unwrap();
+        let kernels = measure_all(Scale::Test);
+        let committed = to_json(Scale::Test, &kernels);
+        let ok = check_against(&committed, 0.9).expect("trajectory parses");
+        assert!(
+            ok.failures.is_empty(),
+            "self-check must pass: {:?}",
+            ok.failures
+        );
+
+        // A flipped digest is a deterministic-field violation.
+        let first_digest = format!("\"output_digest\": {}", kernels[0].output_digest);
+        let tampered = committed.replace(&first_digest, "\"output_digest\": 1");
+        assert_ne!(tampered, committed);
+        let bad = check_against(&tampered, 0.9).unwrap();
+        assert!(bad.failures.iter().any(|f| f.contains("output_digest")));
+
+        // A committed kernel that is no longer measured must fail too.
+        let renamed = committed.replace("\"name\": \"mis\"", "\"name\": \"gone\"");
+        let bad = check_against(&renamed, 0.9).unwrap();
+        assert!(bad
+            .failures
+            .iter()
+            .any(|f| f.contains("no longer measured")));
+        assert!(bad
+            .failures
+            .iter()
+            .any(|f| f.contains("missing from the committed")));
+
+        // An absurd committed speedup trips the tolerance floor.
+        let inflated = committed.replace(
+            "\"speedup_vs_baseline\": ",
+            "\"speedup_vs_baseline\": 9e9; ",
+        );
+        assert!(
+            check_against(&inflated, 0.5).is_err(),
+            "corrupt JSON rejected"
+        );
     }
 }

@@ -10,8 +10,8 @@ use crate::util::{harness_config, load, load_weighted, secs, speedup, Md};
 use ampc_core::matching::ampc_matching;
 use ampc_core::mis::ampc_mis;
 use ampc_core::msf::ampc_msf;
-use ampc_runtime::JobReport;
 use ampc_graph::datasets::{Dataset, Scale};
+use ampc_runtime::JobReport;
 
 /// Sums the simulated time of stages whose name starts with any prefix.
 fn group(r: &JobReport, prefixes: &[&str]) -> u64 {
@@ -134,7 +134,10 @@ pub fn run_fig7(scale: Scale) -> String {
             ("KV-Write", vec!["KV-Write"]),
             ("PrimSearch", vec!["PrimSearch"]),
             ("PointerJump", vec!["Combine", "PointerJump", "PJ-Write"]),
-            ("Contract (Shuf.)", vec!["Contract", "Rebuild", "InMemoryMSF"]),
+            (
+                "Contract (Shuf.)",
+                vec!["Contract", "Rebuild", "InMemoryMSF"],
+            ),
         ],
         runs,
     )

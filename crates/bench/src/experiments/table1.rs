@@ -6,8 +6,8 @@ use ampc_core::matching::{ampc_matching, ampc_matching_loglog};
 use ampc_core::mis::ampc_mis;
 use ampc_core::msf::ampc_msf;
 use ampc_core::one_vs_two::ampc_one_vs_two;
-use ampc_runtime::JobReport;
 use ampc_graph::datasets::{Dataset, Scale};
+use ampc_runtime::JobReport;
 
 fn rounds(r: &JobReport) -> String {
     format!(
@@ -32,11 +32,7 @@ pub fn run(scale: Scale) -> String {
     let cyc = ampc_one_vs_two(&ampc_graph::gen::two_cycles(100_000, 1), &cfg);
 
     let rows = vec![
-        vec![
-            "Connectivity".into(),
-            "O(1)".into(),
-            rounds(&cc.report),
-        ],
+        vec!["Connectivity".into(), "O(1)".into(), rounds(&cc.report)],
         vec!["MSF".into(), "O(1)".into(), rounds(&msf.report)],
         vec![
             "Matching (O(m + n^{1+eps}) space)".into(),
@@ -49,7 +45,11 @@ pub fn run(scale: Scale) -> String {
             rounds(&mm_ll.report),
         ],
         vec!["MIS [19]".into(), "O(1)".into(), rounds(&mis.report)],
-        vec!["1-vs-2-Cycle [19]".into(), "O(1)".into(), rounds(&cyc.report)],
+        vec![
+            "1-vs-2-Cycle [19]".into(),
+            "O(1)".into(),
+            rounds(&cyc.report),
+        ],
     ];
 
     let mut md = Md::new();

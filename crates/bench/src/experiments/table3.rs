@@ -5,8 +5,8 @@ use crate::util::{harness_config, load, load_weighted, Md};
 use ampc_core::matching::ampc_matching;
 use ampc_core::mis::ampc_mis;
 use ampc_core::msf::ampc_msf;
-use ampc_mpc::simulate_ampc::simulated_ampc_mis_shuffles;
 use ampc_graph::datasets::{Dataset, Scale};
+use ampc_mpc::simulate_ampc::simulated_ampc_mis_shuffles;
 
 /// Paper's Table 3 values for the footnote.
 const PAPER: &str = "Paper: AMPC MIS/MM = 1 shuffle, AMPC MSF = 5; \
@@ -56,13 +56,7 @@ pub fn run(scale: Scale) -> String {
     md.heading(2, "Table 3 — shuffles (costly rounds) per implementation");
     md.table(
         &[
-            "Dataset",
-            "AMPC MIS",
-            "AMPC MM",
-            "AMPC MSF",
-            "MPC MIS",
-            "MPC MM",
-            "MPC MSF",
+            "Dataset", "AMPC MIS", "AMPC MM", "AMPC MSF", "MPC MIS", "MPC MM", "MPC MSF",
         ],
         &rows,
     );

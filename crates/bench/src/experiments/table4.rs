@@ -9,9 +9,9 @@ use crate::util::{cycle_config, harness_config, load, Md};
 use ampc_core::mis::ampc_mis;
 use ampc_core::one_vs_two::ampc_one_vs_two;
 use ampc_dht::cost::Network;
+use ampc_graph::datasets::{Dataset, Scale};
 use ampc_mpc::local_contraction::mpc_one_vs_two;
 use ampc_runtime::AmpcConfig;
-use ampc_graph::datasets::{Dataset, Scale};
 
 fn with_net(cfg: &AmpcConfig, n: Network) -> AmpcConfig {
     let mut c = *cfg;
@@ -23,7 +23,10 @@ fn with_net(cfg: &AmpcConfig, n: Network) -> AmpcConfig {
 pub fn run(scale: Scale) -> String {
     let cfg = harness_config(scale);
     let mut md = Md::new();
-    md.heading(2, "Table 4 — RDMA vs TCP/IP vs MPC (normalized running times)");
+    md.heading(
+        2,
+        "Table 4 — RDMA vs TCP/IP vs MPC (normalized running times)",
+    );
 
     // ---- 1-vs-2-cycle over the 2×k family.
     let ks = crate::util::cycle_sizes(scale);
@@ -47,7 +50,10 @@ pub fn run(scale: Scale) -> String {
         ]);
     }
     md.para("1-vs-2-Cycle (paper: TCP 1.74–5.90, MPC 3.40–9.87, both relative to RDMA = 1):");
-    md.table(&["Instance", "2-Cyc. (RDMA)", "2-Cyc. (TCP/IP)", "MPC 2-Cyc."], &rows);
+    md.table(
+        &["Instance", "2-Cyc. (RDMA)", "2-Cyc. (TCP/IP)", "MPC 2-Cyc."],
+        &rows,
+    );
 
     // ---- MIS over the real-world analogues.
     let mut rows = Vec::new();

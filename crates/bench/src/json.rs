@@ -1,24 +1,94 @@
-//! Minimal JSON utilities for the workload CLI.
+//! Minimal JSON utilities for the workload CLI and the perf gate.
 //!
 //! The workspace vendors no JSON crate, so run records are written with
 //! `ampc_runtime::driver::json_string` + format strings, and this
-//! module supplies the other half: a strict syntax checker the CLI's
-//! smoke mode (and CI) uses to prove every emitted report actually
-//! parses. The checker accepts exactly the RFC 8259 grammar (objects,
-//! arrays, strings with escapes, numbers, `true`/`false`/`null`).
+//! module supplies the other half: a strict RFC 8259 parser. The CLI's
+//! smoke mode (and CI) uses [`validate_json`] to prove every emitted
+//! report actually parses; `perf_suite --check` uses [`parse_json`] to
+//! read the committed `BENCH_perf.json` trajectory back in and compare
+//! fresh measurements against it. Numbers keep their raw token
+//! ([`Json::as_u64`] parses exactly), because the tracked output
+//! digests are full-width `u64` values an `f64` would corrupt.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token for lossless reparsing.
+    Num(String),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion order preserved).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The number as an exact `u64` (full 64-bit precision — digests
+    /// are u64 tokens an `f64` round-trip would corrupt).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The number as an `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(t) => t.parse().ok(),
+            _ => None,
+        }
+    }
+}
 
 /// Checks that `s` is one well-formed JSON value (plus trailing
 /// whitespace). Returns the byte offset and reason of the first error.
 pub fn validate_json(s: &str) -> Result<(), String> {
+    parse_json(s).map(|_| ())
+}
+
+/// Parses `s` as one well-formed JSON value (strict RFC 8259 grammar:
+/// objects, arrays, strings with escapes, numbers, `true`/`false`/
+/// `null`; trailing whitespace allowed).
+pub fn parse_json(s: &str) -> Result<Json, String> {
     let b = s.as_bytes();
     let mut i = 0usize;
     skip_ws(b, &mut i);
-    parse_value(b, &mut i)?;
+    let v = parse_value(b, &mut i)?;
     skip_ws(b, &mut i);
     if i != b.len() {
         return Err(format!("trailing content at byte {i}"));
     }
-    Ok(())
+    Ok(v)
 }
 
 fn skip_ws(b: &[u8], i: &mut usize) {
@@ -27,102 +97,137 @@ fn skip_ws(b: &[u8], i: &mut usize) {
     }
 }
 
-fn parse_value(b: &[u8], i: &mut usize) -> Result<(), String> {
+fn parse_value(b: &[u8], i: &mut usize) -> Result<Json, String> {
     skip_ws(b, i);
     match b.get(*i) {
         None => Err("unexpected end of input".into()),
         Some(b'{') => parse_object(b, i),
         Some(b'[') => parse_array(b, i),
-        Some(b'"') => parse_string(b, i),
-        Some(b't') => parse_lit(b, i, b"true"),
-        Some(b'f') => parse_lit(b, i, b"false"),
-        Some(b'n') => parse_lit(b, i, b"null"),
+        Some(b'"') => parse_string(b, i).map(Json::Str),
+        Some(b't') => parse_lit(b, i, b"true").map(|()| Json::Bool(true)),
+        Some(b'f') => parse_lit(b, i, b"false").map(|()| Json::Bool(false)),
+        Some(b'n') => parse_lit(b, i, b"null").map(|()| Json::Null),
         Some(c) if c.is_ascii_digit() || *c == b'-' => parse_number(b, i),
         Some(c) => Err(format!("unexpected byte {:?} at {}", *c as char, *i)),
     }
 }
 
-fn parse_object(b: &[u8], i: &mut usize) -> Result<(), String> {
+fn parse_object(b: &[u8], i: &mut usize) -> Result<Json, String> {
     *i += 1; // '{'
+    let mut fields = Vec::new();
     skip_ws(b, i);
     if b.get(*i) == Some(&b'}') {
         *i += 1;
-        return Ok(());
+        return Ok(Json::Obj(fields));
     }
     loop {
         skip_ws(b, i);
         if b.get(*i) != Some(&b'"') {
             return Err(format!("expected object key at byte {i}", i = *i));
         }
-        parse_string(b, i)?;
+        let key = parse_string(b, i)?;
         skip_ws(b, i);
         if b.get(*i) != Some(&b':') {
             return Err(format!("expected ':' at byte {i}", i = *i));
         }
         *i += 1;
-        parse_value(b, i)?;
+        let value = parse_value(b, i)?;
+        fields.push((key, value));
         skip_ws(b, i);
         match b.get(*i) {
             Some(b',') => *i += 1,
             Some(b'}') => {
                 *i += 1;
-                return Ok(());
+                return Ok(Json::Obj(fields));
             }
             _ => return Err(format!("expected ',' or '}}' at byte {i}", i = *i)),
         }
     }
 }
 
-fn parse_array(b: &[u8], i: &mut usize) -> Result<(), String> {
+fn parse_array(b: &[u8], i: &mut usize) -> Result<Json, String> {
     *i += 1; // '['
+    let mut items = Vec::new();
     skip_ws(b, i);
     if b.get(*i) == Some(&b']') {
         *i += 1;
-        return Ok(());
+        return Ok(Json::Arr(items));
     }
     loop {
-        parse_value(b, i)?;
+        items.push(parse_value(b, i)?);
         skip_ws(b, i);
         match b.get(*i) {
             Some(b',') => *i += 1,
             Some(b']') => {
                 *i += 1;
-                return Ok(());
+                return Ok(Json::Arr(items));
             }
             _ => return Err(format!("expected ',' or ']' at byte {i}", i = *i)),
         }
     }
 }
 
-fn parse_string(b: &[u8], i: &mut usize) -> Result<(), String> {
+fn parse_string(b: &[u8], i: &mut usize) -> Result<String, String> {
     *i += 1; // opening quote
+    let mut out = String::new();
     while let Some(&c) = b.get(*i) {
         match c {
             b'"' => {
                 *i += 1;
-                return Ok(());
+                return Ok(out);
             }
             b'\\' => {
                 match b.get(*i + 1) {
-                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *i += 2,
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
                     Some(b'u') => {
                         let hex = b.get(*i + 2..*i + 6).ok_or("truncated \\u escape")?;
                         if !hex.iter().all(u8::is_ascii_hexdigit) {
                             return Err(format!("bad \\u escape at byte {i}", i = *i));
                         }
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).expect("hex digits are ASCII"),
+                            16,
+                        )
+                        .expect("validated hex");
+                        // Surrogates decode to the replacement character
+                        // (the workspace never emits them).
+                        out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
                         *i += 6;
+                        continue;
                     }
                     _ => return Err(format!("bad escape at byte {i}", i = *i)),
                 }
+                *i += 2;
             }
             c if c < 0x20 => return Err(format!("raw control byte in string at {i}", i = *i)),
-            _ => *i += 1,
+            _ => {
+                // Copy one UTF-8 scalar (input is a &str, so boundaries
+                // are valid).
+                let len = match c {
+                    0x00..=0x7F => 1,
+                    0xC0..=0xDF => 2,
+                    0xE0..=0xEF => 3,
+                    _ => 4,
+                };
+                let chunk = b
+                    .get(*i..*i + len)
+                    .ok_or("truncated UTF-8 sequence in string")?;
+                out.push_str(std::str::from_utf8(chunk).map_err(|_| "invalid UTF-8 in string")?);
+                *i += len;
+            }
         }
     }
     Err("unterminated string".into())
 }
 
-fn parse_number(b: &[u8], i: &mut usize) -> Result<(), String> {
+fn parse_number(b: &[u8], i: &mut usize) -> Result<Json, String> {
     let start = *i;
     if b.get(*i) == Some(&b'-') {
         *i += 1;
@@ -158,7 +263,8 @@ fn parse_number(b: &[u8], i: &mut usize) -> Result<(), String> {
             return Err(format!("bad exponent at byte {start}"));
         }
     }
-    Ok(())
+    let token = std::str::from_utf8(&b[start..*i]).expect("number tokens are ASCII");
+    Ok(Json::Num(token.to_string()))
 }
 
 fn parse_lit(b: &[u8], i: &mut usize, lit: &[u8]) -> Result<(), String> {
@@ -210,13 +316,41 @@ mod tests {
     }
 
     #[test]
+    fn parses_values_losslessly() {
+        let doc = parse_json(
+            r#"{"name": "dyn-cc", "digest": 12836948064979459057, "speedup": 1.128,
+                "list": [1, "two!", false, null]}"#,
+        )
+        .unwrap();
+        assert_eq!(doc.get("name").unwrap().as_str(), Some("dyn-cc"));
+        // Full-width u64: would be corrupted through f64.
+        assert_eq!(
+            doc.get("digest").unwrap().as_u64(),
+            Some(12836948064979459057)
+        );
+        assert_eq!(doc.get("speedup").unwrap().as_f64(), Some(1.128));
+        let list = doc.get("list").unwrap().as_arr().unwrap();
+        assert_eq!(list.len(), 4);
+        assert_eq!(list[1].as_str(), Some("two!"));
+        assert_eq!(list[2], Json::Bool(false));
+        assert_eq!(list[3], Json::Null);
+        assert_eq!(doc.get("missing"), None);
+    }
+
+    #[test]
     fn accepts_the_perf_suite_trajectory_format() {
-        // The committed BENCH_perf.json must satisfy the checker.
+        // The committed BENCH_perf.json must parse, and its tracked
+        // digests must survive the round trip exactly.
         if let Ok(s) = std::fs::read_to_string(concat!(
             env!("CARGO_MANIFEST_DIR"),
             "/../../BENCH_perf.json"
         )) {
-            validate_json(&s).unwrap();
+            let doc = parse_json(&s).unwrap();
+            let kernels = doc.get("kernels").unwrap().as_arr().unwrap();
+            assert!(!kernels.is_empty());
+            for k in kernels {
+                assert!(k.get("output_digest").unwrap().as_u64().is_some());
+            }
         }
     }
 }

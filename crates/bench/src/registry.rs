@@ -10,11 +10,12 @@
 //! any-algorithm × any-graph matrix.
 
 use ampc_core::algorithm::{self, AlgoInput, AlgoOutput, AmpcAlgorithm, InputKind, Model};
+use ampc_graph::dynamic::BatchMix;
 use ampc_runtime::driver::{drive, Driven};
 use ampc_runtime::AmpcConfig;
 
-/// Tunables for the parameterized families (walks, 1-vs-2-cycle);
-/// ignored by the others.
+/// Tunables for the parameterized families (walks, 1-vs-2-cycle,
+/// batch-dynamic connectivity); ignored by the others.
 #[derive(Clone, Copy, Debug)]
 pub struct AlgoParams {
     /// Walkers started per vertex (walks).
@@ -23,14 +24,27 @@ pub struct AlgoParams {
     pub steps: usize,
     /// Inverse sampling rate (1-vs-2-cycle; paper: 1024).
     pub sample_inv: u64,
+    /// Update batches in the dynamic schedule (dyn-cc).
+    pub dyn_batches: usize,
+    /// Updates per batch (dyn-cc).
+    pub dyn_ops: usize,
+    /// Insert/delete composition of the schedule (dyn-cc).
+    pub dyn_mix: BatchMix,
+    /// Schedule seed (dyn-cc; decoupled from the algorithm seed).
+    pub dyn_seed: u64,
 }
 
 impl Default for AlgoParams {
     fn default() -> Self {
+        let dyn_defaults = algorithm::AmpcDynamicCc::default();
         AlgoParams {
             walkers_per_node: 1,
             steps: 8,
             sample_inv: 1024,
+            dyn_batches: dyn_defaults.batches,
+            dyn_ops: dyn_defaults.ops,
+            dyn_mix: dyn_defaults.mix,
+            dyn_seed: dyn_defaults.schedule_seed,
         }
     }
 }
@@ -82,8 +96,9 @@ impl RegistryEntry {
     }
 }
 
-/// All registered algorithms: six kernel families × two model backends.
-pub const ENTRIES: [RegistryEntry; 12] = [
+/// All registered algorithms: seven kernel families × two model
+/// backends.
+pub const ENTRIES: [RegistryEntry; 14] = [
     RegistryEntry {
         family: "mis",
         model: Model::Ampc,
@@ -170,10 +185,36 @@ pub const ENTRIES: [RegistryEntry; 12] = [
             })
         },
     },
+    RegistryEntry {
+        family: "dyn-cc",
+        model: Model::Ampc,
+        summary: "batch-dynamic connectivity: labels maintained, one DHT epoch per batch",
+        build: |p| {
+            Box::new(algorithm::AmpcDynamicCc {
+                batches: p.dyn_batches,
+                ops: p.dyn_ops,
+                mix: p.dyn_mix,
+                schedule_seed: p.dyn_seed,
+            })
+        },
+    },
+    RegistryEntry {
+        family: "dyn-cc",
+        model: Model::Mpc,
+        summary: "batch-dynamic connectivity: full recompute from scratch per batch",
+        build: |p| {
+            Box::new(ampc_mpc::algorithms::MpcDynamicCc {
+                batches: p.dyn_batches,
+                ops: p.dyn_ops,
+                mix: p.dyn_mix,
+                schedule_seed: p.dyn_seed,
+            })
+        },
+    },
 ];
 
 /// The canonical family names, in registry order.
-pub const FAMILIES: [&str; 6] = ["mis", "mm", "msf", "cc", "one-vs-two", "walks"];
+pub const FAMILIES: [&str; 7] = ["mis", "mm", "msf", "cc", "one-vs-two", "walks", "dyn-cc"];
 
 /// Resolves a user-supplied family name (aliases included) to its
 /// canonical form.
@@ -185,6 +226,7 @@ pub fn canonical_family(name: &str) -> Option<&'static str> {
         "cc" | "connectivity" | "components" => Some("cc"),
         "one-vs-two" | "1v2" | "1-vs-2" | "cycle" | "one-vs-two-cycle" => Some("one-vs-two"),
         "walks" | "walk" | "random-walks" => Some("walks"),
+        "dyn-cc" | "dyncc" | "dynamic-cc" | "dynamic-connectivity" => Some("dyn-cc"),
         _ => None,
     }
 }
@@ -216,8 +258,12 @@ pub fn run_family_with(
     cfg: &AmpcConfig,
     params: &AlgoParams,
 ) -> Result<Driven<AlgoOutput>, String> {
-    let entry = lookup(family, model)
-        .ok_or_else(|| format!("no registered algorithm {family:?} for model {}", model.token()))?;
+    let entry = lookup(family, model).ok_or_else(|| {
+        format!(
+            "no registered algorithm {family:?} for model {}",
+            model.token()
+        )
+    })?;
     entry.run(input, cfg, params)
 }
 
@@ -245,7 +291,29 @@ mod tests {
         assert_eq!(canonical_family("Matching"), Some("mm"));
         assert_eq!(canonical_family("1v2"), Some("one-vs-two"));
         assert_eq!(canonical_family("components"), Some("cc"));
+        assert_eq!(canonical_family("dynamic-cc"), Some("dyn-cc"));
         assert_eq!(canonical_family("nope"), None);
+    }
+
+    #[test]
+    fn dynamic_rows_run_and_agree() {
+        let g = gen::erdos_renyi(60, 90, 3);
+        let input = AlgoInput::Unweighted(&g);
+        let cfg = AmpcConfig::for_tests();
+        let params = AlgoParams {
+            dyn_batches: 3,
+            dyn_ops: 20,
+            ..Default::default()
+        };
+        let a = run_family_with("dyn-cc", Model::Ampc, &input, &cfg, &params).unwrap();
+        let b = run_family_with("dyn-cc", Model::Mpc, &input, &cfg, &params).unwrap();
+        assert_eq!(a.output, b.output, "maintained == recompute per epoch");
+        assert_eq!(a.output.size(), 4, "initial + 3 batches");
+        assert_eq!(a.report.num_epochs(), 4);
+        lookup("dyn-cc", Model::Ampc)
+            .unwrap()
+            .validate(&input, &a.output, &params)
+            .unwrap();
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Harness utilities: configurations, dataset caching, markdown tables.
 
-use ampc_runtime::AmpcConfig;
 use ampc_graph::datasets::{Dataset, Scale};
 use ampc_graph::{CsrGraph, WeightedCsrGraph};
+use ampc_runtime::AmpcConfig;
 
 /// The shared experiment configuration: machine count, in-memory
 /// thresholds and the cost model's `data_scale` calibration matched to
@@ -81,7 +81,8 @@ impl Md {
 
     /// Appends a heading.
     pub fn heading(&mut self, level: usize, text: &str) -> &mut Self {
-        self.buf.push_str(&format!("\n{} {}\n\n", "#".repeat(level), text));
+        self.buf
+            .push_str(&format!("\n{} {}\n\n", "#".repeat(level), text));
         self
     }
 

@@ -10,9 +10,9 @@ use ampc_bench::registry::{self, AlgoParams};
 use ampc_bench::util::harness_config;
 use ampc_core::algorithm::{AlgoInput, AlgoOutput, Model};
 use ampc_core::{connectivity, matching, mis, msf, one_vs_two, walks};
-use ampc_runtime::{AmpcConfig, JobReport};
 use ampc_graph::datasets::Scale;
 use ampc_graph::gen;
+use ampc_runtime::{AmpcConfig, JobReport};
 
 fn cfg() -> AmpcConfig {
     let mut c = harness_config(Scale::Test);
@@ -35,12 +35,18 @@ fn assert_reports_identical(what: &str, a: &JobReport, b: &JobReport) {
         assert_eq!(x.name, y.name, "{what}: stage {i} name");
         assert_eq!(x.kind, y.kind, "{what}: stage {i} kind");
         assert_eq!(x.comm, y.comm, "{what}: stage {i} CommStats");
-        assert_eq!(x.shuffle_bytes, y.shuffle_bytes, "{what}: stage {i} shuffle bytes");
+        assert_eq!(
+            x.shuffle_bytes, y.shuffle_bytes,
+            "{what}: stage {i} shuffle bytes"
+        );
         assert_eq!(
             x.shuffle_bytes_max_machine, y.shuffle_bytes_max_machine,
             "{what}: stage {i} max-machine bytes"
         );
-        assert_eq!(x.gen_bytes, y.gen_bytes, "{what}: stage {i} generation bytes");
+        assert_eq!(
+            x.gen_bytes, y.gen_bytes,
+            "{what}: stage {i} generation bytes"
+        );
         assert_eq!(x.ops, y.ops, "{what}: stage {i} ops");
         assert_eq!(x.sim_ns, y.sim_ns, "{what}: stage {i} simulated time");
     }
@@ -81,10 +87,26 @@ fn mis_both_models_identical_through_registry() {
     let p = AlgoParams::default();
 
     let direct = mis::ampc_mis(&g, &c);
-    let a = check("mis", Model::Ampc, &input, &c, &p, AlgoOutput::Mis(direct.in_mis.clone()), &direct.report);
+    let a = check(
+        "mis",
+        Model::Ampc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::Mis(direct.in_mis.clone()),
+        &direct.report,
+    );
 
     let direct_m = ampc_mpc::mpc_mis(&g, &c);
-    let m = check("mis", Model::Mpc, &input, &c, &p, AlgoOutput::Mis(direct_m.in_mis), &direct_m.report);
+    let m = check(
+        "mis",
+        Model::Mpc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::Mis(direct_m.in_mis),
+        &direct_m.report,
+    );
 
     // Cross-model equality through the registry (DESIGN.md §3).
     assert_eq!(a, m, "AMPC and MPC MIS disagree through the registry");
@@ -100,10 +122,26 @@ fn matching_both_models_identical_through_registry() {
     let p = AlgoParams::default();
 
     let direct = matching::ampc_matching(&g, &c);
-    let a = check("mm", Model::Ampc, &input, &c, &p, AlgoOutput::Matching(direct.partner.clone()), &direct.report);
+    let a = check(
+        "mm",
+        Model::Ampc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::Matching(direct.partner.clone()),
+        &direct.report,
+    );
 
     let direct_m = ampc_mpc::mpc_matching(&g, &c);
-    let m = check("mm", Model::Mpc, &input, &c, &p, AlgoOutput::Matching(direct_m.partner), &direct_m.report);
+    let m = check(
+        "mm",
+        Model::Mpc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::Matching(direct_m.partner),
+        &direct_m.report,
+    );
 
     assert_eq!(a, m, "AMPC and MPC matching disagree through the registry");
     assert_eq!(direct.report.num_shuffles(), 1); // Table 3
@@ -117,10 +155,26 @@ fn msf_both_models_identical_through_registry() {
     let p = AlgoParams::default();
 
     let direct = msf::ampc_msf(&g, &c);
-    let a = check("msf", Model::Ampc, &input, &c, &p, AlgoOutput::Forest(direct.edges.clone()), &direct.report);
+    let a = check(
+        "msf",
+        Model::Ampc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::Forest(direct.edges.clone()),
+        &direct.report,
+    );
 
     let direct_m = ampc_mpc::mpc_msf(&g, &c);
-    let m = check("msf", Model::Mpc, &input, &c, &p, AlgoOutput::Forest(direct_m.edges), &direct_m.report);
+    let m = check(
+        "msf",
+        Model::Mpc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::Forest(direct_m.edges),
+        &direct_m.report,
+    );
 
     assert_eq!(a, m, "AMPC and MPC MSF disagree through the registry");
     // Table 3 through the new path: the AMPC MSF pipeline costs 5
@@ -140,10 +194,26 @@ fn connectivity_both_models_identical_through_registry() {
     let p = AlgoParams::default();
 
     let direct = connectivity::ampc_connected_components(&g, &c);
-    let a = check("cc", Model::Ampc, &input, &c, &p, AlgoOutput::Components(direct.label.clone()), &direct.report);
+    let a = check(
+        "cc",
+        Model::Ampc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::Components(direct.label.clone()),
+        &direct.report,
+    );
 
     let direct_m = ampc_mpc::mpc_connected_components(&g, &c);
-    let m = check("cc", Model::Mpc, &input, &c, &p, AlgoOutput::Components(direct_m.label), &direct_m.report);
+    let m = check(
+        "cc",
+        Model::Mpc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::Components(direct_m.label),
+        &direct_m.report,
+    );
 
     assert_eq!(a, m, "AMPC and MPC CC disagree through the registry");
 }
@@ -198,16 +268,80 @@ fn walks_both_models_identical_through_registry() {
     };
 
     let direct = walks::ampc_random_walks(&g, &c, 2, 5);
-    let a = check("walks", Model::Ampc, &input, &c, &p, AlgoOutput::Walks(direct.walks.clone()), &direct.report);
+    let a = check(
+        "walks",
+        Model::Ampc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::Walks(direct.walks.clone()),
+        &direct.report,
+    );
 
     let direct_m = ampc_mpc::mpc_random_walks(&g, &c, 2, 5);
-    let m = check("walks", Model::Mpc, &input, &c, &p, AlgoOutput::Walks(direct_m.walks), &direct_m.report);
+    let m = check(
+        "walks",
+        Model::Mpc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::Walks(direct_m.walks),
+        &direct_m.report,
+    );
 
     // The walks themselves agree across models (§5.7 cross-validation);
     // only their round structure differs.
     assert_eq!(a, m, "AMPC and MPC walks disagree through the registry");
     assert_eq!(direct.report.num_shuffles(), 1);
     assert_eq!(direct_m.report.num_shuffles(), 5); // one per hop
+}
+
+#[test]
+fn dynamic_cc_both_models_identical_through_registry() {
+    let g = tiny();
+    let c = cfg();
+    let input = AlgoInput::Unweighted(&g);
+    let p = AlgoParams {
+        dyn_batches: 3,
+        dyn_ops: 40,
+        ..Default::default()
+    };
+    let batches =
+        ampc_graph::dynamic::generate_batches(&g, p.dyn_batches, p.dyn_ops, p.dyn_mix, p.dyn_seed);
+
+    let direct = ampc_core::dynamic::ampc_dynamic_cc(&g, &batches, &c);
+    let a = check(
+        "dyn-cc",
+        Model::Ampc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::DynamicComponents(direct.labels.clone()),
+        &direct.report,
+    );
+
+    let direct_m = ampc_mpc::dynamic::mpc_recompute_cc(&g, &batches, &c);
+    let m = check(
+        "dyn-cc",
+        Model::Mpc,
+        &input,
+        &c,
+        &p,
+        AlgoOutput::DynamicComponents(direct_m.labels),
+        &direct_m.report,
+    );
+
+    // Maintained == recomputed after *every* batch (the subsystem's
+    // acceptance contract), through the registry path.
+    assert_eq!(
+        a, m,
+        "maintained and recomputed labels disagree through the registry"
+    );
+    // One epoch per batch plus the initial build, both models.
+    assert_eq!(direct.report.num_epochs(), p.dyn_batches + 1);
+    // Maintenance shuffles once (the load); recompute shuffles per batch.
+    assert_eq!(direct.report.num_shuffles(), 1);
+    assert!(direct_m.report.num_shuffles() > p.dyn_batches);
 }
 
 /// Driver knobs reach the kernels through the registry: seeds change
@@ -225,7 +359,8 @@ fn registry_respects_runtime_knobs() {
     let p7 = registry::run_family("mis", Model::Ampc, &input, &base.with_machines(7)).unwrap();
     assert_eq!(a.output, p7.output, "machine count must not change outputs");
 
-    let single = registry::run_family("mis", Model::Ampc, &input, &base.with_batching(false)).unwrap();
+    let single =
+        registry::run_family("mis", Model::Ampc, &input, &base.with_batching(false)).unwrap();
     assert_eq!(a.output, single.output);
     assert_eq!(a.report.kv_comm().queries, single.report.kv_comm().queries);
     assert!(

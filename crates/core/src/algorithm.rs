@@ -18,8 +18,9 @@
 use crate::one_vs_two::CycleAnswer;
 use crate::{connectivity, matching, mis, msf, one_vs_two, validate, walks};
 use ampc_dht::hasher::mix64;
-use ampc_runtime::Job;
+use ampc_graph::dynamic::{generate_batches, BatchMix};
 use ampc_graph::{CsrGraph, NodeId, WeightedCsrGraph, WeightedEdge, NO_NODE};
+use ampc_runtime::Job;
 
 /// Which model backend an implementation simulates.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -144,6 +145,9 @@ pub enum AlgoOutput {
     },
     /// Random walks: one vertex sequence per walker.
     Walks(Vec<Vec<NodeId>>),
+    /// Batch-dynamic connectivity: component labels per epoch
+    /// (`[0]` = initial graph, `[i + 1]` = after update batch `i`).
+    DynamicComponents(Vec<Vec<NodeId>>),
 }
 
 /// Order-sensitive digest fold (shared with the perf suite so tracked
@@ -167,6 +171,7 @@ impl AlgoOutput {
             AlgoOutput::Components(_) => "components",
             AlgoOutput::Cycles { .. } => "cycles",
             AlgoOutput::Walks(_) => "walks",
+            AlgoOutput::DynamicComponents(_) => "dynamic-components",
         }
     }
 
@@ -185,6 +190,7 @@ impl AlgoOutput {
             }
             AlgoOutput::Cycles { num_cycles, .. } => *num_cycles,
             AlgoOutput::Walks(w) => w.len(),
+            AlgoOutput::DynamicComponents(epochs) => epochs.len(),
         }
     }
 
@@ -195,15 +201,22 @@ impl AlgoOutput {
         match self {
             AlgoOutput::Mis(v) => digest_u64s(v.iter().map(|&b| b as u64)),
             AlgoOutput::Matching(p) => digest_u64s(p.iter().map(|&x| x as u64)),
-            AlgoOutput::Forest(e) => digest_u64s(
-                e.iter()
-                    .flat_map(|e| [e.u as u64, e.v as u64, e.w]),
-            ),
+            AlgoOutput::Forest(e) => {
+                digest_u64s(e.iter().flat_map(|e| [e.u as u64, e.v as u64, e.w]))
+            }
             AlgoOutput::Components(l) => digest_u64s(l.iter().map(|&x| x as u64)),
             AlgoOutput::Cycles { num_cycles, .. } => digest_u64s([*num_cycles as u64]),
             AlgoOutput::Walks(w) => digest_u64s(
                 w.iter()
                     .flat_map(|walk| walk.iter().map(|&v| v as u64 + 1).chain([0])),
+            ),
+            // Epoch-separated fold: two runs agree iff the labels of
+            // *every* epoch agree — equality of digests certifies
+            // per-batch byte-identical labels.
+            AlgoOutput::DynamicComponents(epochs) => digest_u64s(
+                epochs
+                    .iter()
+                    .flat_map(|l| l.iter().map(|&v| v as u64 + 1).chain([0])),
             ),
         }
     }
@@ -236,11 +249,7 @@ pub trait AmpcAlgorithm: Sync {
 
 /// Shared validators, so the AMPC and MPC implementations of one family
 /// agree on what "correct" means.
-fn validate_family(
-    family: &str,
-    input: &AlgoInput<'_>,
-    output: &AlgoOutput,
-) -> Result<(), String> {
+fn validate_family(family: &str, input: &AlgoInput<'_>, output: &AlgoOutput) -> Result<(), String> {
     let g = input.structure();
     match output {
         AlgoOutput::Mis(in_mis) => {
@@ -311,6 +320,25 @@ fn validate_family(
                         ));
                     }
                 }
+            }
+            Ok(())
+        }
+        AlgoOutput::DynamicComponents(epochs) => {
+            // The family validator sees the input but not the update
+            // schedule: it checks the shape and the initial epoch. The
+            // trait impls (which know the schedule) replay every batch
+            // through `crate::dynamic::validate_dynamic_labels`.
+            if epochs.is_empty() {
+                return Err(format!("{family}: no label epochs"));
+            }
+            if let Some(bad) = epochs.iter().position(|l| l.len() != g.num_nodes()) {
+                return Err(format!("{family}: epoch {bad} has wrong label length"));
+            }
+            let oracle = ampc_graph::stats::connected_components(g).label;
+            if epochs[0] != oracle {
+                return Err(format!(
+                    "{family}: initial labels differ from the canonical oracle"
+                ));
             }
             Ok(())
         }
@@ -501,6 +529,85 @@ impl AmpcAlgorithm for AmpcWalks {
     }
 }
 
+/// AMPC batch-dynamic connectivity: component labels *maintained*
+/// across a seeded schedule of edge-update batches (one DHT-generation
+/// epoch per batch; see [`crate::dynamic`]). The update schedule is
+/// regenerated deterministically from the input graph and these
+/// parameters, so the AMPC (maintained) and MPC (recompute) backends
+/// consume identical batches by construction.
+#[derive(Clone, Copy, Debug)]
+pub struct AmpcDynamicCc {
+    /// Number of update batches.
+    pub batches: usize,
+    /// Updates per batch.
+    pub ops: usize,
+    /// Insert/delete composition of the schedule.
+    pub mix: BatchMix,
+    /// Schedule seed (decoupled from the algorithm seed).
+    pub schedule_seed: u64,
+}
+
+impl Default for AmpcDynamicCc {
+    fn default() -> Self {
+        AmpcDynamicCc {
+            batches: 4,
+            ops: 64,
+            mix: BatchMix::Churn,
+            schedule_seed: ampc_graph::dynamic::DEFAULT_SCHEDULE_SEED,
+        }
+    }
+}
+
+impl AmpcAlgorithm for AmpcDynamicCc {
+    fn name(&self) -> &'static str {
+        "dyn-cc"
+    }
+    fn model(&self) -> Model {
+        Model::Ampc
+    }
+    fn input_kind(&self) -> InputKind {
+        InputKind::Unweighted
+    }
+    fn run(&self, job: &mut Job, input: &AlgoInput<'_>) -> AlgoOutput {
+        let g = input.structure();
+        let batches = generate_batches(g, self.batches, self.ops, self.mix, self.schedule_seed);
+        AlgoOutput::DynamicComponents(crate::dynamic::ampc_dynamic_cc_in_job(job, g, &batches))
+    }
+    fn validate(&self, input: &AlgoInput<'_>, output: &AlgoOutput) -> Result<(), String> {
+        // `validate_dynamic_output` subsumes the family validator's
+        // shape + epoch-0 checks (it replays every epoch against the
+        // oracle), so the generic pass is not repeated here.
+        validate_dynamic_output(
+            input,
+            output,
+            self.batches,
+            self.ops,
+            self.mix,
+            self.schedule_seed,
+        )
+    }
+}
+
+/// Full per-epoch validation for a dynamic-connectivity output:
+/// regenerates the schedule from the parameters and pins every epoch's
+/// labels to the oracle. Shared by the AMPC and MPC trait impls so both
+/// models validate under the same rule.
+pub fn validate_dynamic_output(
+    input: &AlgoInput<'_>,
+    output: &AlgoOutput,
+    batches: usize,
+    ops: usize,
+    mix: BatchMix,
+    schedule_seed: u64,
+) -> Result<(), String> {
+    let AlgoOutput::DynamicComponents(labels) = output else {
+        return Err("dyn-cc: wrong output kind".into());
+    };
+    let g = input.structure();
+    let schedule = generate_batches(g, batches, ops, mix, schedule_seed);
+    crate::dynamic::validate_dynamic_labels(g, &schedule, labels)
+}
+
 /// Walk-shape check shared by both walks backends (AMPC and the MPC
 /// shuffle-per-hop baseline): `walkers_per_node × n` walks, each of
 /// length `steps + 1`. Kept in one place so the two models always
@@ -538,9 +645,9 @@ pub fn validate_output(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ampc_graph::gen;
     use ampc_runtime::driver::drive;
     use ampc_runtime::AmpcConfig;
-    use ampc_graph::gen;
 
     fn cfg() -> AmpcConfig {
         AmpcConfig::for_tests()
@@ -555,10 +662,7 @@ mod tests {
         let input = AlgoInput::Unweighted(&g);
         let driven = drive(&c, |job| alg.run(job, &input));
         assert_eq!(driven.output, AlgoOutput::Mis(direct.in_mis));
-        assert_eq!(
-            driven.report.num_shuffles(),
-            direct.report.num_shuffles()
-        );
+        assert_eq!(driven.report.num_shuffles(), direct.report.num_shuffles());
         assert_eq!(driven.report.sim_ns(), direct.report.sim_ns());
         alg.validate(&input, &driven.output).unwrap();
     }

@@ -10,9 +10,9 @@
 //! root maps into a final labelling.
 
 use crate::msf::common::{prim_contract_round, ProvEdge};
+use ampc_graph::{NodeId, NO_NODE};
 use ampc_runtime::{AmpcConfig, Job, JobReport};
 use ampc_trees::UnionFind;
-use ampc_graph::{NodeId, NO_NODE};
 
 /// Result of a connectivity computation.
 #[derive(Clone, Debug)]
@@ -155,9 +155,7 @@ fn canonicalize(n: usize, edges: &[(NodeId, NodeId)], label: Vec<NodeId>) -> Vec
             .or_insert(v);
     }
     let _ = edges;
-    (0..n)
-        .map(|v| min_of[&label[v]])
-        .collect()
+    (0..n).map(|v| min_of[&label[v]]).collect()
 }
 
 #[cfg(test)]

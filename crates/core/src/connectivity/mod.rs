@@ -14,8 +14,8 @@ pub use forest_cc::{forest_cc, CcOutcome};
 use crate::msf::common::ProvEdge;
 use crate::priorities::edge_key;
 use ampc_dht::hasher::mix64;
-use ampc_runtime::{AmpcConfig, Job};
 use ampc_graph::{CsrGraph, NodeId};
+use ampc_runtime::{AmpcConfig, Job};
 
 /// Computes connected components: spanning forest via randomly-weighted
 /// MSF, then forest connectivity.
@@ -104,8 +104,8 @@ mod tests {
 
     #[test]
     fn web_analogue_with_many_components() {
-        let g = ampc_graph::datasets::Dataset::ClueWeb
-            .generate(ampc_graph::datasets::Scale::Test, 1);
+        let g =
+            ampc_graph::datasets::Dataset::ClueWeb.generate(ampc_graph::datasets::Scale::Test, 1);
         let out = ampc_connected_components(&g, &cfg());
         assert!(validate::is_correct_components(&g, &out.label));
     }

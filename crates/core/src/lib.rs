@@ -17,6 +17,9 @@
 //!   that yields Theorem 1's O(m + n log² n) query bound.
 //! * [`connectivity`] — connected components from a spanning forest plus
 //!   forest connectivity (Proposition 3.2).
+//! * [`dynamic`] — batch-dynamic connectivity: component labels
+//!   maintained across edge-update batches, one DHT-generation epoch
+//!   per batch, byte-identical to recomputation after every batch.
 //! * [`one_vs_two`] — the O(1)-round 1-vs-2-cycle algorithm (§5.6).
 //! * [`validate`] — result checkers used across the test suites.
 //! * [`algorithm`] — the [`AmpcAlgorithm`] trait that exposes every
@@ -37,6 +40,7 @@
 
 pub mod algorithm;
 pub mod connectivity;
+pub mod dynamic;
 pub mod matching;
 pub mod mis;
 pub mod msf;

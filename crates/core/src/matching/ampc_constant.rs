@@ -23,10 +23,10 @@ use crate::priorities::{edge_key, edge_rank, Rank};
 use ampc_dht::cache::DenseCache;
 use ampc_dht::hasher::FxHashMap;
 use ampc_dht::store::{Dht, GenerationWriter};
+use ampc_graph::{CsrGraph, NodeId, NO_NODE};
 use ampc_runtime::driver::AdaptiveRounds;
 use ampc_runtime::executor::MachineCtx;
 use ampc_runtime::{AmpcConfig, Job, JobReport};
-use ampc_graph::{CsrGraph, NodeId, NO_NODE};
 
 /// Options for the AMPC matching run.
 #[derive(Clone, Copy, Debug)]
@@ -292,9 +292,9 @@ impl<'r> Machine<'r> {
             _ => {}
         }
         let mut queries = 1u64; // the prefetched root list
-        // Lists fetched during this vertex process are kept in machine
-        // RAM and never re-requested (the natural implementation of
-        // §5.4's "iteratively query edges incident to each vertex").
+                                // Lists fetched during this vertex process are kept in machine
+                                // RAM and never re-requested (the natural implementation of
+                                // §5.4's "iteratively query edges incident to each vertex").
         let mut lists: FxHashMap<NodeId, &'a [NodeId]> = FxHashMap::default();
         lists.insert(v, root);
         let nbrs = root;
@@ -332,7 +332,11 @@ impl<'r> Machine<'r> {
             return l;
         }
         *queries += 1;
-        let l = ctx.handle.get(v as u64).map(|l| l.as_slice()).unwrap_or(&[]);
+        let l = ctx
+            .handle
+            .get(v as u64)
+            .map(|l| l.as_slice())
+            .unwrap_or(&[]);
         lists.insert(v, l);
         l
     }
@@ -399,8 +403,12 @@ impl<'r> Machine<'r> {
             // lower-rank incident edge whose status is unknown.
             loop {
                 // Candidate from side a / side b.
-                let ra = f.la.get(f.ia).map(|&u| (edge_rank(self.seed, f.a, u), f.a, u));
-                let rb = f.lb.get(f.ib).map(|&u| (edge_rank(self.seed, f.b, u), f.b, u));
+                let ra =
+                    f.la.get(f.ia)
+                        .map(|&u| (edge_rank(self.seed, f.a, u), f.a, u));
+                let rb =
+                    f.lb.get(f.ib)
+                        .map(|&u| (edge_rank(self.seed, f.b, u), f.b, u));
                 let (rank, x, y, from_a) = match (ra, rb) {
                     (Some(p), Some(q)) => {
                         if p.0 <= q.0 {

@@ -16,9 +16,9 @@
 //! — asserted against [`crate::matching::greedy_matching`] in the tests.
 
 use crate::priorities::edge_rank;
-use ampc_runtime::{AmpcConfig, Job};
 use ampc_graph::ops::induced_subgraph;
 use ampc_graph::{CsrGraph, NodeId, NO_NODE};
+use ampc_runtime::{AmpcConfig, Job};
 
 use super::MatchingOutcome;
 
@@ -67,11 +67,9 @@ pub fn ampc_matching_loglog(g: &CsrGraph, cfg: &AmpcConfig) -> MatchingOutcome {
         // --- M_i = GreedyMM(H_i, π): the random-greedy MIS of the line
         // graph of H_i (the reduction of §4). The sample is sparse, so
         // the line graph is affordable — this is the point of sampling.
-        let matched_local = greedy_mm_via_line_graph_mis(
-            current.num_nodes(),
-            &sample,
-            |u, v| edge_rank(seed, to_original[u as usize], to_original[v as usize]),
-        );
+        let matched_local = greedy_mm_via_line_graph_mis(current.num_nodes(), &sample, |u, v| {
+            edge_rank(seed, to_original[u as usize], to_original[v as usize])
+        });
         job.local(
             &format!("LineGraphMIS{i}"),
             (sample.len() as u64 + 1) * 4,
@@ -88,10 +86,7 @@ pub fn ampc_matching_loglog(g: &CsrGraph, cfg: &AmpcConfig) -> MatchingOutcome {
             keep[v as usize] = false;
         }
         let (next, remap) = induced_subgraph(&current, &keep);
-        job.shuffle_balanced(
-            &format!("Prune{i}"),
-            (current.num_edges() as u64) * 8,
-        );
+        job.shuffle_balanced(&format!("Prune{i}"), (current.num_edges() as u64) * 8);
         let mut next_to_original = vec![0 as NodeId; next.num_nodes()];
         for (old, &new_id) in remap.iter().enumerate() {
             if new_id != NO_NODE {

@@ -13,8 +13,8 @@
 //!   corollary invokes).
 
 use crate::priorities::edge_rank;
-use ampc_runtime::AmpcConfig;
 use ampc_graph::{CsrGraph, NodeId, WeightedCsrGraph, NO_NODE};
+use ampc_runtime::AmpcConfig;
 
 use super::ampc_constant::ampc_matching;
 

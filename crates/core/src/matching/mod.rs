@@ -18,7 +18,10 @@ pub mod ampc_loglog;
 pub mod approx;
 pub mod greedy;
 
-pub use ampc_constant::{ampc_matching, ampc_matching_in_job, ampc_matching_with_options, MatchingOptions, MatchingOutcome};
+pub use ampc_constant::{
+    ampc_matching, ampc_matching_in_job, ampc_matching_with_options, MatchingOptions,
+    MatchingOutcome,
+};
 pub use ampc_loglog::ampc_matching_loglog;
 pub use greedy::greedy_matching;
 

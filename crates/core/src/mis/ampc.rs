@@ -22,10 +22,10 @@ use crate::priorities::node_rank;
 use ampc_dht::cache::DenseCache;
 use ampc_dht::hasher::FxHashMap;
 use ampc_dht::store::{Dht, GenerationWriter};
+use ampc_graph::{CsrGraph, NodeId};
 use ampc_runtime::driver::AdaptiveRounds;
 use ampc_runtime::executor::MachineCtx;
 use ampc_runtime::{AmpcConfig, Job, JobReport};
-use ampc_graph::{CsrGraph, NodeId};
 
 /// Options for the AMPC MIS run (Figure 4's ablation axes).
 #[derive(Clone, Copy, Debug)]
@@ -179,7 +179,10 @@ pub fn ampc_mis_in_job(job: &mut Job, g: &CsrGraph, opts: MisOptions) -> Vec<boo
                     .zip(roots)
                     .map(|(&v, root)| {
                         let root = root.map(|l| l.as_slice()).unwrap_or(&[]);
-                        (v, evaluate(v, root, ctx, &mut cache, resolved_ro, budget, opts.caching))
+                        (
+                            v,
+                            evaluate(v, root, ctx, &mut cache, resolved_ro, budget, opts.caching),
+                        )
                     })
                     .collect()
             },
@@ -267,9 +270,9 @@ fn evaluate<'a>(
     // is exactly the "unoptimized" configuration of Figure 4.
     let mut local: FxHashMap<NodeId, Status> = FxHashMap::default();
     let record = |x: NodeId,
-                      s: Status,
-                      cache: &mut DenseCache<Status>,
-                      local: &mut FxHashMap<NodeId, Status>| {
+                  s: Status,
+                  cache: &mut DenseCache<Status>,
+                  local: &mut FxHashMap<NodeId, Status>| {
         if caching {
             cache.put(x as u64, s);
         } else {
@@ -317,7 +320,11 @@ fn evaluate<'a>(
             if queries_here >= budget {
                 return None; // truncated; retried next round
             }
-            let list = ctx.handle.get(u as u64).map(|l| l.as_slice()).unwrap_or(&[]);
+            let list = ctx
+                .handle
+                .get(u as u64)
+                .map(|l| l.as_slice())
+                .unwrap_or(&[]);
             queries_here += 1;
             stack.push((u, list, 0));
             continue;

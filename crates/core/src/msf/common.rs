@@ -24,8 +24,8 @@ use ampc_dht::cache::DenseCache;
 use ampc_dht::hasher::{FxHashMap, FxHashSet};
 use ampc_dht::measured::Measured;
 use ampc_dht::store::{Dht, GenerationWriter};
-use ampc_runtime::{Job, JobReport};
 use ampc_graph::{NodeId, Weight, WeightedCsrGraph, WeightedEdge, NO_NODE};
+use ampc_runtime::{Job, JobReport};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -319,10 +319,9 @@ pub fn prim_contract_round(
             })
         })
         .collect();
-    let contracted_buckets =
-        job.shuffle_by_key(&format!("Contract{tag}"), relabeled, |e| {
-            crate::priorities::edge_key(e.u, e.v)
-        });
+    let contracted_buckets = job.shuffle_by_key(&format!("Contract{tag}"), relabeled, |e| {
+        crate::priorities::edge_key(e.u, e.v)
+    });
     // Dedup: lightest parallel edge per pair.
     let mut best: FxHashMap<u64, ProvEdge> = FxHashMap::default();
     for bucket in contracted_buckets {
@@ -404,8 +403,8 @@ fn prim_search<'a>(
     // alone identifies the edge.
     let mut heap: BinaryHeap<Reverse<(u64, NodeId)>> = BinaryHeap::new();
     let expand = |x: NodeId,
-                      heap: &mut BinaryHeap<Reverse<(u64, NodeId)>>,
-                      ctx: &mut ampc_runtime::executor::MachineCtx<'a, Adj>| {
+                  heap: &mut BinaryHeap<Reverse<(u64, NodeId)>>,
+                  ctx: &mut ampc_runtime::executor::MachineCtx<'a, Adj>| {
         if let Some(adj) = ctx.handle.get(x as u64) {
             for &(t, w) in adj {
                 heap.push(Reverse((w, t)));
@@ -453,8 +452,8 @@ fn prim_search<'a>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ampc_runtime::AmpcConfig;
     use ampc_graph::gen;
+    use ampc_runtime::AmpcConfig;
 
     #[test]
     fn distinctify_preserves_order_and_restores() {

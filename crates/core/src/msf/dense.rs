@@ -8,9 +8,9 @@
 //! machine" step the paper's implementations use (§5.4, §5.5).
 
 use super::common::{distinctify, prim_contract_round, MsfOutcome, ProvEdge};
+use ampc_graph::WeightedCsrGraph;
 use ampc_runtime::{AmpcConfig, Job};
 use ampc_trees::UnionFind;
-use ampc_graph::WeightedCsrGraph;
 
 /// Computes the MSF with the iterated dense routine.
 pub fn dense_msf(g: &WeightedCsrGraph, cfg: &AmpcConfig) -> MsfOutcome {
@@ -25,10 +25,7 @@ pub fn dense_msf(g: &WeightedCsrGraph, cfg: &AmpcConfig) -> MsfOutcome {
 /// The in-job kernel body: runs the iterated dense MSF inside a
 /// caller-provided [`Job`] (the [`crate::algorithm::AmpcAlgorithm`]
 /// entry point), returning the MSF edges in canonical order.
-pub fn dense_msf_in_job(
-    job: &mut Job,
-    g: &WeightedCsrGraph,
-) -> Vec<ampc_graph::WeightedEdge> {
+pub fn dense_msf_in_job(job: &mut Job, g: &WeightedCsrGraph) -> Vec<ampc_graph::WeightedEdge> {
     let cfg = *job.config();
     let d = distinctify(g);
     let internal = dense_msf_loop(job, d.n, d.edges.clone(), &cfg);

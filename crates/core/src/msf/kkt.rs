@@ -18,9 +18,9 @@ use super::common::{distinctify, MsfOutcome};
 use super::dense::dense_msf_loop;
 use crate::priorities::edge_key;
 use ampc_dht::hasher::mix64;
+use ampc_graph::{GraphBuilder, WeightedCsrGraph, WeightedEdge};
 use ampc_runtime::{AmpcConfig, Job};
 use ampc_trees::flight::{EdgeClass, FlightIndex};
-use ampc_graph::{GraphBuilder, WeightedCsrGraph, WeightedEdge};
 
 const SAMPLE_SALT: u64 = 0x4b4b_5421; // "KKT!"
 
@@ -56,15 +56,11 @@ pub fn kkt_msf(g: &WeightedCsrGraph, cfg: &AmpcConfig) -> MsfOutcome {
         (n.max(2) as u64) * (n.max(2) as f64).log2().ceil() as u64,
         || FlightIndex::new(n, &forest),
     );
-    let light: Vec<WeightedEdge> = job.local(
-        "ClassifyEdges",
-        g.num_edges() as u64 * 4,
-        || {
-            g.edges()
-                .filter(|e| index.classify(e) == EdgeClass::Light)
-                .collect()
-        },
-    );
+    let light: Vec<WeightedEdge> = job.local("ClassifyEdges", g.num_edges() as u64 * 4, || {
+        g.edges()
+            .filter(|e| index.classify(e) == EdgeClass::Light)
+            .collect()
+    });
 
     // --------------------------------------------- MSF of F ∪ E_L
     // (F ⊆ E_L — forest edges are F-light — so E_L alone suffices.)

@@ -21,9 +21,9 @@
 
 use super::common::{distinctify, MsfOutcome};
 use super::dense::{dense_msf, dense_msf_loop};
-use ampc_runtime::{AmpcConfig, Job};
 use ampc_graph::ops::{ternarize, Ternarized};
 use ampc_graph::{WeightedCsrGraph, WeightedEdge};
+use ampc_runtime::{AmpcConfig, Job};
 
 /// The §5.5 production pipeline (sort → KV write → Prim search →
 /// pointer jump → contract ×2 → in-memory finish).
@@ -77,7 +77,11 @@ pub fn ampc_msf_algorithm2(g: &WeightedCsrGraph, cfg: &AmpcConfig) -> MsfOutcome
                 debug_assert!(Ternarized::is_dummy_weight(e.w));
                 return None;
             }
-            Some(WeightedEdge::canonical(a, b, Ternarized::original_weight(e.w)))
+            Some(WeightedEdge::canonical(
+                a,
+                b,
+                Ternarized::original_weight(e.w),
+            ))
         })
         .collect();
     edges.sort_unstable_by_key(|e| e.key());
@@ -115,11 +119,7 @@ mod tests {
             let out = ampc_msf_algorithm2(&g, &c);
             assert_eq!(out.edges, kruskal(&g), "seed {seed}");
             // Ternarize stage must be present for sparse inputs.
-            assert!(out
-                .report
-                .stages
-                .iter()
-                .any(|s| s.name == "Ternarize"));
+            assert!(out.report.stages.iter().any(|s| s.name == "Ternarize"));
         }
     }
 

@@ -19,9 +19,9 @@
 use crate::priorities::node_rank;
 use ampc_dht::hasher::mix64;
 use ampc_dht::store::{Dht, GenerationWriter};
+use ampc_graph::{CsrGraph, NodeId};
 use ampc_runtime::{AmpcConfig, Job, JobReport};
 use ampc_trees::UnionFind;
-use ampc_graph::{CsrGraph, NodeId};
 
 /// The answer to a 1-vs-2-cycle instance.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -98,10 +98,8 @@ pub fn ampc_one_vs_two_in_job(
     // ------------------------------------------------ WriteGraph shuffle
     // (§5.6: "a single shuffle used to write the graph to the key-value
     // store".)
-    let records: Vec<(NodeId, Vec<NodeId>)> = g
-        .nodes()
-        .map(|v| (v, g.neighbors(v).to_vec()))
-        .collect();
+    let records: Vec<(NodeId, Vec<NodeId>)> =
+        g.nodes().map(|v| (v, g.neighbors(v).to_vec())).collect();
     let buckets = job.shuffle_by_key("WriteGraph", records, |r| r.0 as u64);
     let mut dht: Dht<Vec<NodeId>> = Dht::new();
     let writer = GenerationWriter::new();
@@ -235,8 +233,16 @@ mod tests {
             let one = gen::single_cycle(4000, seed);
             let two = gen::two_cycles(2000, seed);
             let c = cfg().with_seed(seed + 7);
-            assert_eq!(ampc_one_vs_two(&one, &c).answer, CycleAnswer::One, "seed {seed}");
-            assert_eq!(ampc_one_vs_two(&two, &c).answer, CycleAnswer::Two, "seed {seed}");
+            assert_eq!(
+                ampc_one_vs_two(&one, &c).answer,
+                CycleAnswer::One,
+                "seed {seed}"
+            );
+            assert_eq!(
+                ampc_one_vs_two(&two, &c).answer,
+                CycleAnswer::Two,
+                "seed {seed}"
+            );
         }
     }
 

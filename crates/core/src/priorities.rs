@@ -73,11 +73,7 @@ mod tests {
     #[test]
     fn ranks_permute_fairly() {
         // The min-rank vertex among 0..1000 should vary with the seed.
-        let min_for = |seed: u64| {
-            (0..1000u32)
-                .min_by_key(|&v| node_rank(seed, v))
-                .unwrap()
-        };
+        let min_for = |seed: u64| (0..1000u32).min_by_key(|&v| node_rank(seed, v)).unwrap();
         let mins: std::collections::HashSet<NodeId> = (0..20).map(min_for).collect();
         assert!(mins.len() > 15, "seeds should move the minimum: {mins:?}");
     }

@@ -7,7 +7,8 @@ use ampc_graph::{CsrGraph, NodeId, WeightedCsrGraph, WeightedEdge};
 /// Is `in_set` an independent set of `g`?
 pub fn is_independent_set(g: &CsrGraph, in_set: &[bool]) -> bool {
     assert_eq!(in_set.len(), g.num_nodes());
-    g.edges().all(|e| !(in_set[e.u as usize] && in_set[e.v as usize]))
+    g.edges()
+        .all(|e| !(in_set[e.u as usize] && in_set[e.v as usize]))
 }
 
 /// Is `in_set` a *maximal* independent set (independent, and every
@@ -16,10 +17,8 @@ pub fn is_maximal_independent_set(g: &CsrGraph, in_set: &[bool]) -> bool {
     if !is_independent_set(g, in_set) {
         return false;
     }
-    g.nodes().all(|v| {
-        in_set[v as usize]
-            || g.neighbors(v).iter().any(|&u| in_set[u as usize])
-    })
+    g.nodes()
+        .all(|v| in_set[v as usize] || g.neighbors(v).iter().any(|&u| in_set[u as usize]))
 }
 
 /// Is `matching` a valid matching of `g` (edges exist and are pairwise
@@ -111,7 +110,10 @@ mod tests {
         // neighbor 0 in set, 2 has neighbor 3 in set — actually maximal!)
         assert!(is_maximal_independent_set(&g, &[true, false, false, true]));
         // {0} alone is not maximal: vertex 2 has no member neighbor.
-        assert!(!is_maximal_independent_set(&g, &[true, false, false, false]));
+        assert!(!is_maximal_independent_set(
+            &g,
+            &[true, false, false, false]
+        ));
     }
 
     #[test]

@@ -15,8 +15,8 @@ use crate::priorities::node_rank;
 use ampc_dht::cache::DenseCache;
 use ampc_dht::hasher::mix64;
 use ampc_dht::store::{Dht, GenerationWriter};
-use ampc_runtime::{AmpcConfig, Job, JobReport};
 use ampc_graph::{CsrGraph, NodeId};
+use ampc_runtime::{AmpcConfig, Job, JobReport};
 
 /// Result of a batch of random walks.
 #[derive(Clone, Debug)]
@@ -58,10 +58,8 @@ pub fn ampc_random_walks_in_job(
     let n = g.num_nodes();
 
     // WriteGraph shuffle + KV-write, like every AMPC algorithm here.
-    let records: Vec<(NodeId, Vec<NodeId>)> = g
-        .nodes()
-        .map(|v| (v, g.neighbors(v).to_vec()))
-        .collect();
+    let records: Vec<(NodeId, Vec<NodeId>)> =
+        g.nodes().map(|v| (v, g.neighbors(v).to_vec())).collect();
     let buckets = job.shuffle_by_key("WriteGraph", records, |r| r.0 as u64);
     let mut dht: Dht<Vec<NodeId>> = Dht::new();
     let writer = GenerationWriter::new();
@@ -90,57 +88,50 @@ pub fn ampc_random_walks_in_job(
         .collect();
     let seed = cfg.seed;
     let caching = cfg.caching;
-    let walks = job.kv_round(
-        "Walk",
-        dht.current(),
-        None,
-        starts,
-        |ctx, items| {
-            if caching {
-                ctx.handle.mount_cache(DenseCache::unbounded(n));
-            }
-            let mut cur: Vec<NodeId> = items.iter().map(|&(_, v)| v).collect();
-            let mut paths: Vec<Vec<NodeId>> = cur
-                .iter()
-                .map(|&c| {
-                    let mut p = Vec::with_capacity(steps + 1);
-                    p.push(c);
-                    p
-                })
-                .collect();
-            // Lockstep key buffer, reused across hops: one batched
-            // lookup per adaptive step, no per-hop allocation. The
-            // visitor form serves adjacency *references* (cache or
-            // generation), so a cache miss costs exactly one clone —
-            // the cache insert — and the hop loop clones nothing.
-            let mut keys: Vec<u64> = Vec::with_capacity(cur.len());
-            for s in 0..steps {
-                keys.clear();
-                keys.extend(cur.iter().map(|&c| c as u64));
-                let mut moved = 0u64;
-                let cur = &mut cur;
-                let paths = &mut paths;
-                ctx.handle.get_many_through_with(&keys, |i, nbrs| {
-                    let nbrs = nbrs.expect("vertex record");
-                    if nbrs.is_empty() {
-                        paths[i].push(cur[i]);
-                        return;
-                    }
-                    moved += 1;
-                    let (w, _) = items[i];
-                    let r = mix64(
-                        seed ^ w
-                            .wrapping_mul(0x9E37_79B9)
-                            .wrapping_add(cur[i] as u64) ^ ((s as u64) << 32),
-                    );
-                    cur[i] = nbrs[(r % nbrs.len() as u64) as usize];
+    let walks = job.kv_round("Walk", dht.current(), None, starts, |ctx, items| {
+        if caching {
+            ctx.handle.mount_cache(DenseCache::unbounded(n));
+        }
+        let mut cur: Vec<NodeId> = items.iter().map(|&(_, v)| v).collect();
+        let mut paths: Vec<Vec<NodeId>> = cur
+            .iter()
+            .map(|&c| {
+                let mut p = Vec::with_capacity(steps + 1);
+                p.push(c);
+                p
+            })
+            .collect();
+        // Lockstep key buffer, reused across hops: one batched
+        // lookup per adaptive step, no per-hop allocation. The
+        // visitor form serves adjacency *references* (cache or
+        // generation), so a cache miss costs exactly one clone —
+        // the cache insert — and the hop loop clones nothing.
+        let mut keys: Vec<u64> = Vec::with_capacity(cur.len());
+        for s in 0..steps {
+            keys.clear();
+            keys.extend(cur.iter().map(|&c| c as u64));
+            let mut moved = 0u64;
+            let cur = &mut cur;
+            let paths = &mut paths;
+            ctx.handle.get_many_through_with(&keys, |i, nbrs| {
+                let nbrs = nbrs.expect("vertex record");
+                if nbrs.is_empty() {
                     paths[i].push(cur[i]);
-                });
-                ctx.add_ops(moved);
-            }
-            paths
-        },
-    );
+                    return;
+                }
+                moved += 1;
+                let (w, _) = items[i];
+                let r = mix64(
+                    seed ^ w.wrapping_mul(0x9E37_79B9).wrapping_add(cur[i] as u64)
+                        ^ ((s as u64) << 32),
+                );
+                cur[i] = nbrs[(r % nbrs.len() as u64) as usize];
+                paths[i].push(cur[i]);
+            });
+            ctx.add_ops(moved);
+        }
+        paths
+    });
 
     walks
 }

@@ -74,11 +74,11 @@ impl Default for CostConfig {
     fn default() -> Self {
         CostConfig {
             network: Network::Rdma,
-            rdma_latency_ns: 5_000,           // 5 µs
-            tcp_latency_ns: 60_000,           // 60 µs
+            rdma_latency_ns: 5_000,             // 5 µs
+            tcp_latency_ns: 60_000,             // 60 µs
             shuffle_bandwidth_bps: 250_000_000, // 250 MB/s durable storage
-            round_overhead_ns: 15_000_000_000, // 15 s per shuffle stage
-            stage_overhead_ns: 1_000_000_000, // 1 s per map stage
+            round_overhead_ns: 15_000_000_000,  // 15 s per shuffle stage
+            stage_overhead_ns: 1_000_000_000,   // 1 s per map stage
             multithreading: true,
             threads_per_machine: 64,
             base_parallelism: 8,

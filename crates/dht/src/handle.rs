@@ -645,8 +645,7 @@ mod tests {
 
     impl Clone for CloneCounter {
         fn clone(&self) -> Self {
-            self.1
-                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            self.1.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
             CloneCounter(self.0, std::sync::Arc::clone(&self.1))
         }
     }
@@ -757,8 +756,7 @@ mod tests {
     /// the handle refuses actually stops at the budget boundary.
     #[test]
     fn truncated_search_hits_enforced_budget() {
-        let g: Generation<u64> =
-            Generation::from_iter((0..100u64).map(|k| (k, k + 1)));
+        let g: Generation<u64> = Generation::from_iter((0..100u64).map(|k| (k, k + 1)));
         let budget = 7u64;
         let mut h: MachineHandle<u64> = MachineHandle::new(&g, None).with_budget(budget);
         let mut cur = 0u64;

@@ -33,7 +33,9 @@ macro_rules! impl_measured_primitive {
     };
 }
 
-impl_measured_primitive!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool);
+impl_measured_primitive!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, f32, f64, bool
+);
 
 impl Measured for () {
     const FIXED_SIZE: Option<usize> = Some(0);

@@ -150,7 +150,9 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
     pub fn with_shards(shards: usize) -> Self {
         assert!(shards >= 1);
         GenerationWriter {
-            shards: (0..shards).map(|_| Mutex::new(FxHashMap::default())).collect(),
+            shards: (0..shards)
+                .map(|_| Mutex::new(FxHashMap::default()))
+                .collect(),
             strict: true,
         }
     }
@@ -448,9 +450,11 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
                     .collect()
             })
         };
-        merged.into_iter().fold((0, 0, 0), |(l, b, k), (sl, sb, sk)| {
-            (l + sl, b + sb, k.max(sk))
-        })
+        merged
+            .into_iter()
+            .fold((0, 0, 0), |(l, b, k), (sl, sb, sk)| {
+                (l + sl, b + sb, k.max(sk))
+            })
     }
 }
 
@@ -627,7 +631,10 @@ impl<V: Measured + Clone> Generation<V> {
                 occupied
                     .iter()
                     .enumerate()
-                    .flat_map(move |(w, &bits)| BitIter { bits, base: w as u64 * 64 })
+                    .flat_map(move |(w, &bits)| BitIter {
+                        bits,
+                        base: w as u64 * 64,
+                    })
                     .map(move |k| (k, slots[k as usize].as_ref().expect("bitmap/slot agree"))),
             ),
             Repr::Open { slots, .. } => Box::new(
@@ -635,11 +642,9 @@ impl<V: Measured + Clone> Generation<V> {
                     .iter()
                     .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v))),
             ),
-            Repr::Sharded { shards } => Box::new(
-                shards
-                    .iter()
-                    .flat_map(|s| s.iter().map(|(&k, v)| (k, v))),
-            ),
+            Repr::Sharded { shards } => {
+                Box::new(shards.iter().flat_map(|s| s.iter().map(|(&k, v)| (k, v))))
+            }
         };
         it
     }
@@ -978,9 +983,8 @@ mod tests {
             w.seal_with_threads(seal_threads)
         }
         let a = run(false, 1);
-        let pairs = |g: &Generation<u64>| -> Vec<(u64, u64)> {
-            g.iter().map(|(k, v)| (k, *v)).collect()
-        };
+        let pairs =
+            |g: &Generation<u64>| -> Vec<(u64, u64)> { g.iter().map(|(k, v)| (k, *v)).collect() };
         assert_eq!(a.len(), 8 * 200 + 200);
         for (reverse, threads) in [(true, 1), (false, 8), (true, 8)] {
             let b = run(reverse, threads);
@@ -991,7 +995,11 @@ mod tests {
             );
             // Identical layout + identical iteration contents ⇒ the
             // sealed representations are byte-identical.
-            assert_eq!(pairs(&a), pairs(&b), "(reverse={reverse}, threads={threads})");
+            assert_eq!(
+                pairs(&a),
+                pairs(&b),
+                "(reverse={reverse}, threads={threads})"
+            );
         }
     }
 

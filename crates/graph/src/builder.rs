@@ -185,10 +185,7 @@ impl GraphBuilder {
                 weights[lo + i] = w;
             }
         }
-        (
-            CsrGraph::from_parts(offsets, targets, !directed),
-            weights,
-        )
+        (CsrGraph::from_parts(offsets, targets, !directed), weights)
     }
 }
 
@@ -256,9 +253,7 @@ mod tests {
 
     #[test]
     fn extend_edges_works() {
-        let g = GraphBuilder::new(3)
-            .extend_edges([(0, 1), (1, 2)])
-            .build();
+        let g = GraphBuilder::new(3).extend_edges([(0, 1), (1, 2)]).build();
         assert_eq!(g.num_edges(), 2);
     }
 }

@@ -47,7 +47,10 @@ impl CsrGraph {
             "all targets must be < n"
         );
         let num_edges = if symmetric {
-            debug_assert!(targets.len().is_multiple_of(2), "symmetric graph has even arc count");
+            debug_assert!(
+                targets.len().is_multiple_of(2),
+                "symmetric graph has even arc count"
+            );
             targets.len() / 2
         } else {
             targets.len()

@@ -1,0 +1,549 @@
+//! Batch-dynamic update streams: deterministic, seeded sequences of
+//! edge insertions/deletions applied in batches.
+//!
+//! The static sources ([`crate::GraphSource`]) describe one-shot
+//! inputs; this module describes *workloads that change*: a base graph
+//! plus a schedule of update batches, which the batch-dynamic kernels
+//! (`ampc-core`'s maintained connectivity, `ampc-mpc`'s
+//! recompute-from-scratch baseline) consume batch by batch. Everything
+//! here is deterministic given the spec: the same
+//! [`DynamicSource`] string, scale and seeds always produce the same
+//! initial graph and the same update batches, which is what lets the
+//! cross-model equivalence tests pin maintained labels byte-identical
+//! to recomputation after every batch.
+//!
+//! # Grammar
+//!
+//! ```text
+//! dyn:<base-source>:batches=B:ops=K[:mix=churn|insert|delete][:seed=S]
+//! ```
+//!
+//! `<base-source>` is any static [`GraphSource`] (it may itself contain
+//! `:`); trailing `key=value` segments are the schedule options.
+//! Examples: `dyn:rmat:10,4000:batches=8:ops=256`,
+//! `dyn:er:300,420:batches=3:ops=48:mix=delete:seed=7`.
+
+use crate::datasets::Scale;
+use crate::{CsrGraph, GraphBuilder, GraphSource, NodeId};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+/// Whether an update inserts or deletes an edge.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum UpdateKind {
+    /// Add the edge (no-op if already present).
+    Insert,
+    /// Remove the edge (no-op if absent).
+    Delete,
+}
+
+/// One edge update. Endpoints are stored canonically (`u < v`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct EdgeUpdate {
+    /// Insert or delete.
+    pub kind: UpdateKind,
+    /// Smaller endpoint.
+    pub u: NodeId,
+    /// Larger endpoint.
+    pub v: NodeId,
+}
+
+/// One batch of updates, applied in order.
+pub type UpdateBatch = Vec<EdgeUpdate>;
+
+/// The insert/delete composition of a generated schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchMix {
+    /// Roughly half inserts, half deletes (the default).
+    Churn,
+    /// Insertions only (the graph grows).
+    InsertOnly,
+    /// Deletions only (the graph shrinks toward empty).
+    DeleteOnly,
+}
+
+impl BatchMix {
+    /// The grammar token (`churn` / `insert` / `delete`).
+    pub fn token(&self) -> &'static str {
+        match self {
+            BatchMix::Churn => "churn",
+            BatchMix::InsertOnly => "insert",
+            BatchMix::DeleteOnly => "delete",
+        }
+    }
+
+    /// Parses a grammar token.
+    pub fn parse(s: &str) -> Result<BatchMix, String> {
+        match s.to_ascii_lowercase().as_str() {
+            "churn" => Ok(BatchMix::Churn),
+            "insert" | "inserts" => Ok(BatchMix::InsertOnly),
+            "delete" | "deletes" => Ok(BatchMix::DeleteOnly),
+            other => Err(format!("mix: expected churn|insert|delete, got {other:?}")),
+        }
+    }
+}
+
+/// Default schedule seed (decoupled from the algorithm seed so runtime
+/// configuration never changes the workload).
+pub const DEFAULT_SCHEDULE_SEED: u64 = 0xD15C;
+
+/// A parsed dynamic source: a static base graph plus an update-batch
+/// schedule (see the module docs for the grammar).
+#[derive(Clone, Debug, PartialEq)]
+pub struct DynamicSource {
+    /// The initial graph.
+    pub base: GraphSource,
+    /// Number of update batches.
+    pub batches: usize,
+    /// Updates per batch.
+    pub ops: usize,
+    /// Insert/delete composition.
+    pub mix: BatchMix,
+    /// Schedule seed.
+    pub seed: u64,
+}
+
+/// A materialized dynamic workload.
+#[derive(Clone, Debug)]
+pub struct DynamicInstance {
+    /// The graph before any update.
+    pub initial: CsrGraph,
+    /// The update batches, in application order.
+    pub batches: Vec<UpdateBatch>,
+}
+
+impl DynamicSource {
+    /// Parses a `dyn:` source string (see the module docs).
+    pub fn parse(s: &str) -> Result<DynamicSource, String> {
+        let s = s.trim();
+        let rest = match s.split_once(':') {
+            Some((head, rest)) if head.eq_ignore_ascii_case("dyn") => rest,
+            _ => {
+                return Err(format!(
+                    "dynamic source must start with \"dyn:\", got {s:?}"
+                ))
+            }
+        };
+        // Trailing `key=value` segments are schedule options; everything
+        // before them (rejoined on ':') is the base source.
+        let segments: Vec<&str> = rest.split(':').collect();
+        let is_option = |seg: &str| {
+            ["batches=", "ops=", "mix=", "seed="]
+                .iter()
+                .any(|k| seg.len() > k.len() && seg.starts_with(k))
+        };
+        let mut split_at = segments.len();
+        while split_at > 0 && is_option(segments[split_at - 1]) {
+            split_at -= 1;
+        }
+        let base_str = segments[..split_at].join(":");
+        if base_str.is_empty() {
+            return Err("dyn: missing base graph source".into());
+        }
+        if base_str
+            .split_once(':')
+            .is_some_and(|(h, _)| h.eq_ignore_ascii_case("dyn"))
+        {
+            return Err("dyn: the base source may not itself be dynamic".into());
+        }
+        let base = GraphSource::parse(&base_str)?;
+        let mut src = DynamicSource {
+            base,
+            batches: 4,
+            ops: 64,
+            mix: BatchMix::Churn,
+            seed: DEFAULT_SCHEDULE_SEED,
+        };
+        let mut seen: Vec<&str> = Vec::new();
+        for seg in &segments[split_at..] {
+            let (key, value) = seg.split_once('=').expect("is_option checked");
+            if seen.contains(&key) {
+                return Err(format!("dyn: duplicate option {key:?}"));
+            }
+            seen.push(key);
+            match key {
+                "batches" => {
+                    src.batches = value
+                        .parse()
+                        .map_err(|_| format!("dyn: bad batches {value:?}"))?;
+                }
+                "ops" => {
+                    src.ops = value
+                        .parse()
+                        .map_err(|_| format!("dyn: bad ops {value:?}"))?;
+                }
+                "mix" => src.mix = BatchMix::parse(value)?,
+                "seed" => {
+                    src.seed = value
+                        .parse()
+                        .map_err(|_| format!("dyn: bad seed {value:?}"))?;
+                }
+                _ => unreachable!("is_option admits known keys only"),
+            }
+        }
+        if src.batches == 0 {
+            return Err("dyn: batches must be >= 1".into());
+        }
+        if src.ops == 0 {
+            return Err("dyn: ops must be >= 1".into());
+        }
+        Ok(src)
+    }
+
+    /// Canonical description; [`DynamicSource::parse`] round-trips it.
+    pub fn describe(&self) -> String {
+        let mut out = format!(
+            "dyn:{}:batches={}:ops={}",
+            self.base.describe(),
+            self.batches,
+            self.ops
+        );
+        if self.mix != BatchMix::Churn {
+            out.push_str(&format!(":mix={}", self.mix.token()));
+        }
+        if self.seed != DEFAULT_SCHEDULE_SEED {
+            out.push_str(&format!(":seed={}", self.seed));
+        }
+        out
+    }
+
+    /// Materializes the workload: loads the base graph at `scale` with
+    /// `graph_seed`, then generates the update schedule from the spec's
+    /// own seed.
+    pub fn generate(&self, scale: Scale, graph_seed: u64) -> Result<DynamicInstance, String> {
+        let initial = self.base.load(scale, graph_seed)?;
+        let batches = generate_batches(&initial, self.batches, self.ops, self.mix, self.seed);
+        Ok(DynamicInstance { initial, batches })
+    }
+}
+
+impl std::str::FromStr for DynamicSource {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DynamicSource::parse(s)
+    }
+}
+
+/// A mutable edge set over a fixed vertex domain `0..n`: the reference
+/// state machine for batch application. Used by the schedule generator,
+/// the recompute-from-scratch baseline and the equivalence tests, so
+/// all of them agree on what a batch *means* (inserts of present edges
+/// and deletes of absent edges are no-ops; updates within a batch apply
+/// in order).
+#[derive(Clone, Debug)]
+pub struct EdgeSet {
+    n: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    index: HashMap<(NodeId, NodeId), usize>,
+}
+
+impl EdgeSet {
+    /// The edge set of an existing graph.
+    pub fn from_graph(g: &CsrGraph) -> Self {
+        let mut s = EdgeSet {
+            n: g.num_nodes(),
+            edges: Vec::with_capacity(g.num_edges()),
+            index: HashMap::with_capacity(g.num_edges()),
+        };
+        for e in g.edges() {
+            s.insert(e.u, e.v);
+        }
+        s
+    }
+
+    /// Vertex count of the domain.
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Current number of edges.
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when no edge is present.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    fn canon(u: NodeId, v: NodeId) -> (NodeId, NodeId) {
+        if u <= v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Whether the edge is present.
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.index.contains_key(&Self::canon(u, v))
+    }
+
+    /// Inserts the edge; returns whether it was absent. Self-loops are
+    /// rejected (`false`).
+    pub fn insert(&mut self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let key = Self::canon(u, v);
+        if self.index.contains_key(&key) {
+            return false;
+        }
+        self.index.insert(key, self.edges.len());
+        self.edges.push(key);
+        true
+    }
+
+    /// Removes the edge; returns whether it was present.
+    pub fn remove(&mut self, u: NodeId, v: NodeId) -> bool {
+        let key = Self::canon(u, v);
+        match self.index.remove(&key) {
+            None => false,
+            Some(i) => {
+                self.edges.swap_remove(i);
+                if let Some(moved) = self.edges.get(i) {
+                    self.index.insert(*moved, i);
+                }
+                true
+            }
+        }
+    }
+
+    /// Applies one batch, in order.
+    pub fn apply(&mut self, batch: &[EdgeUpdate]) {
+        for up in batch {
+            match up.kind {
+                UpdateKind::Insert => {
+                    self.insert(up.u, up.v);
+                }
+                UpdateKind::Delete => {
+                    self.remove(up.u, up.v);
+                }
+            }
+        }
+    }
+
+    /// The current edge list (canonical endpoints, insertion order).
+    pub fn edges(&self) -> &[(NodeId, NodeId)] {
+        &self.edges
+    }
+
+    /// Materializes the current state as a [`CsrGraph`] (sorted
+    /// adjacency — a pure function of the edge *set*, independent of
+    /// the update history that produced it).
+    pub fn snapshot(&self) -> CsrGraph {
+        let mut b = GraphBuilder::with_capacity(self.n, self.edges.len());
+        for &(u, v) in &self.edges {
+            b.push_edge(u, v, 0);
+        }
+        b.build()
+    }
+}
+
+/// Splitmix-style scramble for per-batch RNG streams.
+fn scramble(seed: u64, batch: usize) -> u64 {
+    let mut z = seed ^ (batch as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Generates a deterministic seeded update schedule against `initial`:
+/// `batches` batches of `ops` updates each. Inserts always target
+/// currently-absent pairs and deletes currently-present edges (with the
+/// obvious fallbacks when the graph is full or empty), so every
+/// generated update is *effective* at generation time — batches replay
+/// to the same state on any consumer that applies them in order.
+pub fn generate_batches(
+    initial: &CsrGraph,
+    batches: usize,
+    ops: usize,
+    mix: BatchMix,
+    seed: u64,
+) -> Vec<UpdateBatch> {
+    let n = initial.num_nodes();
+    let mut state = EdgeSet::from_graph(initial);
+    let mut out = Vec::with_capacity(batches);
+    for b in 0..batches {
+        let mut rng = SmallRng::seed_from_u64(scramble(seed, b));
+        let mut batch = Vec::with_capacity(ops);
+        if n < 2 {
+            out.push(batch);
+            continue;
+        }
+        for _ in 0..ops {
+            let want_insert = match mix {
+                BatchMix::InsertOnly => true,
+                BatchMix::DeleteOnly => false,
+                BatchMix::Churn => rng.gen_range(0..2u32) == 0,
+            };
+            let up = if want_insert {
+                sample_insert(&mut rng, &mut state, n)
+                    .or_else(|| sample_delete(&mut rng, &mut state))
+            } else {
+                sample_delete(&mut rng, &mut state)
+                    .or_else(|| sample_insert(&mut rng, &mut state, n))
+            };
+            if let Some(up) = up {
+                batch.push(up);
+            }
+        }
+        out.push(batch);
+    }
+    out
+}
+
+/// Tries to sample (and apply) an insertion of an absent pair.
+fn sample_insert(rng: &mut SmallRng, state: &mut EdgeSet, n: usize) -> Option<EdgeUpdate> {
+    for _ in 0..64 {
+        let u = rng.gen_range(0..n as NodeId);
+        let v = rng.gen_range(0..n as NodeId);
+        if u != v && state.insert(u, v) {
+            let (u, v) = EdgeSet::canon(u, v);
+            return Some(EdgeUpdate {
+                kind: UpdateKind::Insert,
+                u,
+                v,
+            });
+        }
+    }
+    None
+}
+
+/// Tries to sample (and apply) a deletion of a present edge.
+fn sample_delete(rng: &mut SmallRng, state: &mut EdgeSet) -> Option<EdgeUpdate> {
+    if state.is_empty() {
+        return None;
+    }
+    let (u, v) = state.edges[rng.gen_range(0..state.len())];
+    state.remove(u, v);
+    Some(EdgeUpdate {
+        kind: UpdateKind::Delete,
+        u,
+        v,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+
+    #[test]
+    fn parses_full_spec() {
+        let s = DynamicSource::parse("dyn:rmat:10,4000,web:batches=8:ops=256:mix=insert:seed=9")
+            .unwrap();
+        assert_eq!(s.batches, 8);
+        assert_eq!(s.ops, 256);
+        assert_eq!(s.mix, BatchMix::InsertOnly);
+        assert_eq!(s.seed, 9);
+        assert_eq!(
+            s.base,
+            GraphSource::parse("rmat:10,4000,web").unwrap(),
+            "base source keeps its own colons"
+        );
+    }
+
+    #[test]
+    fn parse_defaults_and_round_trip() {
+        for spec in [
+            "dyn:er:100,250:batches=3:ops=16",
+            "dyn:cycle:500:batches=1:ops=1:mix=delete",
+            "dyn:two-cycles:64:batches=2:ops=8:seed=77",
+            "dyn:rmat:8,1500:batches=5:ops=32:mix=insert:seed=3",
+        ] {
+            let parsed = DynamicSource::parse(spec).unwrap();
+            assert_eq!(
+                DynamicSource::parse(&parsed.describe()).unwrap(),
+                parsed,
+                "{spec}"
+            );
+        }
+        let d = DynamicSource::parse("dyn:er:10,5").unwrap();
+        assert_eq!((d.batches, d.ops), (4, 64));
+        assert_eq!(d.mix, BatchMix::Churn);
+        assert_eq!(d.seed, DEFAULT_SCHEDULE_SEED);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        for bad in [
+            "er:10,5",                         // no dyn: prefix
+            "dyn:",                            // no base
+            "dyn:batches=2:ops=4",             // options but no base
+            "dyn:wat:batches=2:ops=4",         // unknown base
+            "dyn:er:10,5:batches=0:ops=4",     // zero batches
+            "dyn:er:10,5:batches=2:ops=0",     // zero ops
+            "dyn:er:10,5:batches=x:ops=4",     // bad number
+            "dyn:er:10,5:mix=sideways",        // bad mix
+            "dyn:er:10,5:seed=ten",            // bad seed
+            "dyn:er:10,5:ops=4:ops=5",         // duplicate option
+            "dyn:dyn:er:10,5:batches=2:ops=4", // nested dyn
+        ] {
+            assert!(DynamicSource::parse(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn schedule_is_deterministic_and_effective() {
+        let g = gen::erdos_renyi(60, 120, 3);
+        let a = generate_batches(&g, 5, 40, BatchMix::Churn, 7);
+        let b = generate_batches(&g, 5, 40, BatchMix::Churn, 7);
+        assert_eq!(a, b);
+        assert_ne!(a, generate_batches(&g, 5, 40, BatchMix::Churn, 8));
+
+        // Replaying the schedule: every op flips presence (generation
+        // only emits effective ops).
+        let mut state = EdgeSet::from_graph(&g);
+        for batch in &a {
+            for up in batch {
+                match up.kind {
+                    UpdateKind::Insert => assert!(state.insert(up.u, up.v), "{up:?}"),
+                    UpdateKind::Delete => assert!(state.remove(up.u, up.v), "{up:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mixes_shape_the_edge_count() {
+        let g = gen::erdos_renyi(80, 100, 1);
+        let mut grow = EdgeSet::from_graph(&g);
+        for batch in generate_batches(&g, 3, 50, BatchMix::InsertOnly, 2) {
+            grow.apply(&batch);
+        }
+        assert_eq!(grow.len(), g.num_edges() + 150);
+
+        let mut shrink = EdgeSet::from_graph(&g);
+        for batch in generate_batches(&g, 3, 50, BatchMix::DeleteOnly, 2) {
+            shrink.apply(&batch);
+        }
+        assert_eq!(shrink.len(), 0, "100 edges, 150 deletes: drains fully");
+    }
+
+    #[test]
+    fn edge_set_snapshot_matches_builder_semantics() {
+        let g = gen::erdos_renyi(40, 90, 5);
+        let state = EdgeSet::from_graph(&g);
+        assert_eq!(state.snapshot(), g);
+
+        let mut s = EdgeSet::from_graph(&CsrGraph::empty(4));
+        assert!(s.insert(3, 1));
+        assert!(!s.insert(1, 3), "idempotent");
+        assert!(!s.insert(2, 2), "self-loop rejected");
+        assert!(s.contains(1, 3));
+        assert!(s.remove(1, 3));
+        assert!(!s.remove(1, 3));
+        assert_eq!(s.snapshot(), CsrGraph::empty(4));
+    }
+
+    #[test]
+    fn generate_loads_base_at_scale() {
+        let src = DynamicSource::parse("dyn:er:50,80:batches=2:ops=10").unwrap();
+        let inst = src.generate(Scale::Test, 11).unwrap();
+        assert_eq!(inst.initial.num_nodes(), 50);
+        assert_eq!(inst.batches.len(), 2);
+        assert!(inst.batches.iter().all(|b| b.len() <= 10));
+    }
+}

@@ -60,7 +60,10 @@ impl Edge {
     /// Flips the orientation.
     #[inline]
     pub fn reversed(&self) -> Edge {
-        Edge { u: self.v, v: self.u }
+        Edge {
+            u: self.v,
+            v: self.u,
+        }
     }
 }
 

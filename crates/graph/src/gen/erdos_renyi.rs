@@ -11,7 +11,10 @@ use rand::{Rng, SeedableRng};
 /// pairs are removed by the builder, so for `m` close to `n²/2` the final
 /// count can be lower than requested.
 pub fn erdos_renyi(n: usize, m: usize, seed: u64) -> CsrGraph {
-    assert!(n >= 2 || m == 0, "need at least two vertices to place edges");
+    assert!(
+        n >= 2 || m == 0,
+        "need at least two vertices to place edges"
+    );
     let mut rng = SmallRng::seed_from_u64(seed);
     let mut builder = GraphBuilder::with_capacity(n, m);
     for _ in 0..m {

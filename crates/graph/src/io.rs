@@ -111,7 +111,12 @@ pub fn read_edge_list_file(path: impl AsRef<Path>) -> Result<CsrGraph, IoError> 
 /// Writes a graph as an edge list (each undirected edge once).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# ampc edge list: {} nodes {} edges", g.num_nodes(), g.num_edges())?;
+    writeln!(
+        w,
+        "# ampc edge list: {} nodes {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    )?;
     for e in g.edges() {
         writeln!(w, "{} {}", e.u, e.v)?;
     }
@@ -121,7 +126,12 @@ pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> io::Result<()> {
 /// Writes a weighted graph as a `u v w` edge list.
 pub fn write_weighted_edge_list<W: Write>(g: &WeightedCsrGraph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# ampc edge list: {} nodes {} edges", g.num_nodes(), g.num_edges())?;
+    writeln!(
+        w,
+        "# ampc edge list: {} nodes {} edges",
+        g.num_nodes(),
+        g.num_edges()
+    )?;
     for e in g.edges() {
         writeln!(w, "{} {} {}", e.u, e.v, e.w)?;
     }

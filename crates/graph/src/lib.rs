@@ -18,7 +18,12 @@
 //! * plain-text edge-list I/O ([`io`]);
 //! * the [`source::GraphSource`] grammar: one parseable string format
 //!   (`rmat:…`, `er:…`, named datasets, `file:…`, …) from which every
-//!   harness entry point loads its input.
+//!   harness entry point loads its input;
+//! * batch-dynamic update streams ([`dynamic`]): the
+//!   `dyn:<base>:batches=B:ops=K` grammar, deterministic seeded
+//!   insert/delete batch generators, and the [`dynamic::EdgeSet`]
+//!   reference state machine the batch-dynamic kernels validate
+//!   against.
 //!
 //! The representation convention throughout the workspace: **undirected
 //! graphs are stored symmetrized** (every edge `{u, v}` appears in both
@@ -32,6 +37,7 @@
 pub mod builder;
 pub mod csr;
 pub mod datasets;
+pub mod dynamic;
 pub mod edge;
 pub mod gen;
 pub mod io;
@@ -41,9 +47,10 @@ pub mod stats;
 pub mod weighted;
 
 pub use builder::GraphBuilder;
-pub use source::GraphSource;
 pub use csr::CsrGraph;
+pub use dynamic::DynamicSource;
 pub use edge::{Edge, WeightedEdge};
+pub use source::GraphSource;
 pub use weighted::WeightedCsrGraph;
 
 /// Dense node identifier. Nodes of an `n`-vertex graph are `0..n`.

@@ -40,10 +40,7 @@ pub struct ContractedWeighted {
     pub representative: Vec<NodeId>,
 }
 
-fn compact_classes(
-    labels: &[NodeId],
-    keep: impl Fn(NodeId) -> bool,
-) -> (Vec<NodeId>, Vec<NodeId>) {
+fn compact_classes(labels: &[NodeId], keep: impl Fn(NodeId) -> bool) -> (Vec<NodeId>, Vec<NodeId>) {
     // labels[v] = root/label of v's class (any consistent labelling).
     let n = labels.len();
     let mut class_of = vec![crate::NO_NODE; n];

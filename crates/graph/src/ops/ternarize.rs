@@ -51,7 +51,10 @@ impl Ternarized {
     /// Panics if `w` is the dummy weight.
     #[inline]
     pub fn original_weight(w: Weight) -> Weight {
-        assert!(!Self::is_dummy_weight(w), "dummy edges have no original weight");
+        assert!(
+            !Self::is_dummy_weight(w),
+            "dummy edges have no original weight"
+        );
         w - Self::WEIGHT_SHIFT
     }
 }

@@ -103,7 +103,9 @@ impl GraphSource {
         };
         let need_args = |what: &str| -> Result<(), String> {
             if args.is_empty() {
-                Err(format!("{what}: missing arguments (see the graph-source grammar)"))
+                Err(format!(
+                    "{what}: missing arguments (see the graph-source grammar)"
+                ))
             } else {
                 Ok(())
             }
@@ -216,9 +218,17 @@ impl GraphSource {
     /// A canonical human-readable description (used in run records).
     pub fn describe(&self) -> String {
         match self {
+            // `Dataset::name` is the paper-table label; the cycle-pair
+            // dataset's (`2x{k}`) is not itself parseable, so it
+            // describes in grammar form to keep parse∘describe = id.
+            GraphSource::Dataset(Dataset::TwoCycles(k)) => format!("two-cycles:{k}"),
             GraphSource::Dataset(d) => d.name(),
             GraphSource::Rmat { log_n, m, params } => {
-                let fam = if *params == RmatParams::WEB { "web" } else { "social" };
+                let fam = if *params == RmatParams::WEB {
+                    "web"
+                } else {
+                    "social"
+                };
                 format!("rmat:{log_n},{m},{fam}")
             }
             GraphSource::ErdosRenyi { n, m } => format!("er:{n},{m}"),
@@ -249,8 +259,9 @@ impl GraphSource {
             GraphSource::Complete(n) => gen::complete(*n),
             GraphSource::Grid(r, c) => gen::grid(*r, *c),
             GraphSource::Tree(n) => gen::random_tree(*n, seed),
-            GraphSource::File(path) => io::read_edge_list_file(path)
-                .map_err(|e| format!("file:{path}: {e:?}"))?,
+            GraphSource::File(path) => {
+                io::read_edge_list_file(path).map_err(|e| format!("file:{path}: {e:?}"))?
+            }
         })
     }
 
@@ -301,18 +312,44 @@ mod tests {
             GraphSource::parse("er:100, 250").unwrap(),
             GraphSource::ErdosRenyi { n: 100, m: 250 }
         );
-        assert_eq!(GraphSource::parse("cycle:500").unwrap(), GraphSource::Cycle(500));
-        assert_eq!(GraphSource::parse("grid:3x7").unwrap(), GraphSource::Grid(3, 7));
+        assert_eq!(
+            GraphSource::parse("cycle:500").unwrap(),
+            GraphSource::Cycle(500)
+        );
+        assert_eq!(
+            GraphSource::parse("grid:3x7").unwrap(),
+            GraphSource::Grid(3, 7)
+        );
     }
 
     #[test]
     fn rejects_malformed() {
-        assert!(GraphSource::parse("wat").is_err());
-        assert!(GraphSource::parse("rmat:abc,5").is_err());
-        assert!(GraphSource::parse("er:5").is_err());
-        assert!(GraphSource::parse("grid:5").is_err());
-        assert!(GraphSource::parse("cycle:").is_err());
-        assert!(GraphSource::parse("rmat:10,100,mesh").is_err());
+        for bad in [
+            "wat",
+            "rmat:abc,5",
+            "rmat:10",
+            "rmat:10,100,mesh",
+            "rmat:10,100,social,extra",
+            "er:5",
+            "er:1,2,3",
+            "chung-lu:5",
+            "chung-lu:5,9,fast",
+            "grid:5",
+            "grid:axb",
+            "grid:3x4x5",
+            "cycle:",
+            "cycle:-4",
+            "two-cycles:x",
+            "file:",
+            "",
+            ":",
+            "pair:1,2",
+        ] {
+            assert!(
+                GraphSource::parse(bad).is_err(),
+                "{bad:?} should be rejected"
+            );
+        }
     }
 
     #[test]
@@ -327,7 +364,11 @@ mod tests {
             "path:9",
         ] {
             let parsed = GraphSource::parse(s).unwrap();
-            assert_eq!(GraphSource::parse(&parsed.describe()).unwrap(), parsed, "{s}");
+            assert_eq!(
+                GraphSource::parse(&parsed.describe()).unwrap(),
+                parsed,
+                "{s}"
+            );
         }
     }
 

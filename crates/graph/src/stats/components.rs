@@ -108,10 +108,7 @@ mod tests {
 
     #[test]
     fn two_components() {
-        let g = GraphBuilder::new(5)
-            .add_edge(0, 1)
-            .add_edge(2, 3)
-            .build();
+        let g = GraphBuilder::new(5).add_edge(0, 1).add_edge(2, 3).build();
         let cc = connected_components(&g);
         assert_eq!(cc.num_components, 3); // {0,1}, {2,3}, {4}
         assert_eq!(cc.largest_size, 2);

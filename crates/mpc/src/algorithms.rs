@@ -197,12 +197,75 @@ impl AmpcAlgorithm for MpcWalks {
     }
 }
 
+/// Recompute-from-scratch batch-dynamic connectivity (see
+/// [`crate::dynamic`]): the schedule parameters mirror
+/// [`ampc_core::algorithm::AmpcDynamicCc`] exactly, so both models
+/// regenerate identical update batches from the same input graph.
+#[derive(Clone, Copy, Debug)]
+pub struct MpcDynamicCc {
+    /// Number of update batches.
+    pub batches: usize,
+    /// Updates per batch.
+    pub ops: usize,
+    /// Insert/delete composition of the schedule.
+    pub mix: ampc_graph::dynamic::BatchMix,
+    /// Schedule seed.
+    pub schedule_seed: u64,
+}
+
+impl Default for MpcDynamicCc {
+    fn default() -> Self {
+        let d = ampc_core::algorithm::AmpcDynamicCc::default();
+        MpcDynamicCc {
+            batches: d.batches,
+            ops: d.ops,
+            mix: d.mix,
+            schedule_seed: d.schedule_seed,
+        }
+    }
+}
+
+impl AmpcAlgorithm for MpcDynamicCc {
+    fn name(&self) -> &'static str {
+        "dyn-cc"
+    }
+    fn model(&self) -> Model {
+        Model::Mpc
+    }
+    fn input_kind(&self) -> InputKind {
+        InputKind::Unweighted
+    }
+    fn run(&self, job: &mut Job, input: &AlgoInput<'_>) -> AlgoOutput {
+        let g = input.structure();
+        let batches = ampc_graph::dynamic::generate_batches(
+            g,
+            self.batches,
+            self.ops,
+            self.mix,
+            self.schedule_seed,
+        );
+        AlgoOutput::DynamicComponents(crate::dynamic::mpc_recompute_cc_in_job(job, g, &batches))
+    }
+    fn validate(&self, input: &AlgoInput<'_>, output: &AlgoOutput) -> Result<(), String> {
+        // Subsumes the generic family pass: every epoch (including the
+        // initial one) is replayed against the oracle.
+        ampc_core::algorithm::validate_dynamic_output(
+            input,
+            output,
+            self.batches,
+            self.ops,
+            self.mix,
+            self.schedule_seed,
+        )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ampc_graph::gen;
     use ampc_runtime::driver::drive;
     use ampc_runtime::AmpcConfig;
-    use ampc_graph::gen;
 
     #[test]
     fn mpc_trait_run_matches_direct_call() {
@@ -216,6 +279,25 @@ mod tests {
         assert_eq!(driven.report.num_shuffles(), direct.report.num_shuffles());
         assert_eq!(driven.report.sim_ns(), direct.report.sim_ns());
         MpcMis.validate(&input, &driven.output).unwrap();
+    }
+
+    #[test]
+    fn dynamic_trait_impls_agree_and_validate() {
+        let g = gen::erdos_renyi(80, 110, 4);
+        let cfg = AmpcConfig::for_tests();
+        let input = AlgoInput::Unweighted(&g);
+        let ours = drive(&cfg, |job| MpcDynamicCc::default().run(job, &input));
+        let theirs = drive(&cfg, |job| {
+            ampc_core::algorithm::AmpcDynamicCc::default().run(job, &input)
+        });
+        assert_eq!(
+            ours.output, theirs.output,
+            "per-epoch labels byte-identical"
+        );
+        assert_eq!(ours.output.digest(), theirs.output.digest());
+        MpcDynamicCc::default()
+            .validate(&input, &ours.output)
+            .unwrap();
     }
 
     #[test]

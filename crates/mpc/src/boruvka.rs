@@ -13,9 +13,9 @@
 use ampc_core::msf::common::{distinctify, MsfOutcome, ProvEdge};
 use ampc_dht::hasher::{mix64, FxHashMap};
 use ampc_dht::measured::Measured;
+use ampc_graph::{NodeId, WeightedCsrGraph, NO_NODE};
 use ampc_runtime::{AmpcConfig, Job};
 use ampc_trees::UnionFind;
-use ampc_graph::{NodeId, WeightedCsrGraph, NO_NODE};
 
 /// Runs Borůvka MSF. Produces the same (unique) forest as the AMPC
 /// pipeline and Kruskal.

@@ -19,6 +19,9 @@
 //!   shuffle, needing 1000+ shuffles on real inputs.
 //! * [`walks`] — shuffle-per-hop random walks, the §5.7 separation
 //!   baseline (identical walks to the AMPC kernel under equal seeds).
+//! * [`dynamic`] — recompute-from-scratch batch-dynamic connectivity:
+//!   the full static pipeline rerun after every update batch, the
+//!   baseline the maintained AMPC kernel is pinned byte-identical to.
 //! * [`algorithms`] — every baseline exposed through the
 //!   [`ampc_core::algorithm::AmpcAlgorithm`] trait, so the driver,
 //!   registry and `ampc` CLI compose the two models uniformly.
@@ -33,6 +36,7 @@
 
 pub mod algorithms;
 pub mod boruvka;
+pub mod dynamic;
 pub mod local_contraction;
 pub mod mis_rootset;
 pub mod mm_rootset;

@@ -10,11 +10,11 @@
 
 use ampc_core::connectivity::CcOutcome;
 use ampc_dht::hasher::mix64;
+use ampc_graph::ops::contract;
+use ampc_graph::{CsrGraph, NodeId, NO_NODE};
 use ampc_runtime::{AmpcConfig, Job};
 use ampc_trees::pointer_jump::find_roots;
 use ampc_trees::UnionFind;
-use ampc_graph::ops::contract;
-use ampc_graph::{CsrGraph, NodeId, NO_NODE};
 
 /// Connected components via iterated local min-hash contractions.
 pub fn mpc_connected_components(g: &CsrGraph, cfg: &AmpcConfig) -> CcOutcome {
@@ -65,8 +65,7 @@ pub fn mpc_connected_components(g: &CsrGraph, cfg: &AmpcConfig) -> CcOutcome {
             .map(|(v, &p)| (v as NodeId, p))
             .collect();
         job.shuffle_by_key(&format!("Propose{iter}"), proposals, |p| p.1 as u64);
-        let edge_records: Vec<(NodeId, NodeId)> =
-            current.edges().map(|e| (e.u, e.v)).collect();
+        let edge_records: Vec<(NodeId, NodeId)> = current.edges().map(|e| (e.u, e.v)).collect();
         job.shuffle_by_key(&format!("Relabel{iter}"), edge_records, |e| e.0 as u64);
 
         let contracted = contract(&current, &roots, true);
@@ -160,7 +159,10 @@ pub fn mpc_connected_components(g: &CsrGraph, cfg: &AmpcConfig) -> CcOutcome {
 }
 
 /// Answers 1-vs-2-cycle with the connectivity baseline.
-pub fn mpc_one_vs_two(g: &CsrGraph, cfg: &AmpcConfig) -> (ampc_core::one_vs_two::CycleAnswer, ampc_runtime::JobReport) {
+pub fn mpc_one_vs_two(
+    g: &CsrGraph,
+    cfg: &AmpcConfig,
+) -> (ampc_core::one_vs_two::CycleAnswer, ampc_runtime::JobReport) {
     let out = mpc_connected_components(g, cfg);
     let distinct: std::collections::HashSet<NodeId> = out.label.iter().copied().collect();
     let answer = if distinct.len() == 1 {
@@ -189,7 +191,10 @@ mod tests {
         for seed in 0..5 {
             let g = gen::erdos_renyi(200, 260, seed);
             let out = mpc_connected_components(&g, &cfg().with_seed(seed));
-            assert!(validate::is_correct_components(&g, &out.label), "seed {seed}");
+            assert!(
+                validate::is_correct_components(&g, &out.label),
+                "seed {seed}"
+            );
         }
     }
 
@@ -227,8 +232,8 @@ mod tests {
 
     #[test]
     fn skewed_graph_with_many_components() {
-        let g = ampc_graph::datasets::Dataset::ClueWeb
-            .generate(ampc_graph::datasets::Scale::Test, 3);
+        let g =
+            ampc_graph::datasets::Dataset::ClueWeb.generate(ampc_graph::datasets::Scale::Test, 3);
         let out = mpc_connected_components(&g, &cfg());
         assert!(validate::is_correct_components(&g, &out.label));
     }

@@ -13,9 +13,9 @@
 use ampc_core::mis::MisOutcome;
 use ampc_core::priorities::node_rank;
 use ampc_dht::measured::Measured;
-use ampc_runtime::{AmpcConfig, Job};
 use ampc_graph::ops::induced_subgraph;
 use ampc_graph::{CsrGraph, NodeId, NO_NODE};
+use ampc_runtime::{AmpcConfig, Job};
 
 /// Record shuffled in the mark/remove joins: a vertex and its adjacency.
 struct NodeRecord(NodeId, Vec<NodeId>);

@@ -10,9 +10,9 @@
 
 use ampc_core::matching::MatchingOutcome;
 use ampc_core::priorities::edge_rank;
-use ampc_runtime::{AmpcConfig, Job};
 use ampc_graph::ops::induced_subgraph;
 use ampc_graph::{CsrGraph, NodeId, NO_NODE};
+use ampc_runtime::{AmpcConfig, Job};
 
 /// Runs the rootset MPC matching. Identical output to
 /// [`ampc_core::matching::ampc_matching`] under the same seed.
@@ -29,8 +29,7 @@ pub fn mpc_matching(g: &CsrGraph, cfg: &AmpcConfig) -> MatchingOutcome {
     while current.num_edges() > cfg.in_memory_threshold {
         phase += 1;
         assert!(phase <= 200, "rootset MM failed to converge");
-        let rank =
-            |u: NodeId, v: NodeId| edge_rank(seed, to_orig[u as usize], to_orig[v as usize]);
+        let rank = |u: NodeId, v: NodeId| edge_rank(seed, to_orig[u as usize], to_orig[v as usize]);
 
         // Local-minima edges: lower rank than all adjacent edges. A map
         // stage (each vertex knows its incident edges' ranks locally).
@@ -71,13 +70,8 @@ pub fn mpc_matching(g: &CsrGraph, cfg: &AmpcConfig) -> MatchingOutcome {
         }
 
         // Shuffle 1: mark matched endpoints against the edge set.
-        let mark_records: Vec<(NodeId, NodeId)> = current
-            .edges()
-            .map(|e| (e.u, e.v))
-            .collect();
-        job.shuffle_by_key(&format!("MarkMatched{phase}"), mark_records, |r| {
-            r.0 as u64
-        });
+        let mark_records: Vec<(NodeId, NodeId)> = current.edges().map(|e| (e.u, e.v)).collect();
+        job.shuffle_by_key(&format!("MarkMatched{phase}"), mark_records, |r| r.0 as u64);
 
         // Shuffle 2: remove matched vertices and incident edges.
         let deleted: Vec<(NodeId, NodeId)> = current
@@ -100,12 +94,9 @@ pub fn mpc_matching(g: &CsrGraph, cfg: &AmpcConfig) -> MatchingOutcome {
     }
 
     // In-memory finish: greedy over the residual edges by global rank.
-    let residual: Vec<(NodeId, NodeId)> = job.local(
-        "InMemoryMM",
-        (current.num_edges() as u64 + 1) * 8,
-        || {
-            let mut edges: Vec<(NodeId, NodeId)> =
-                current.edges().map(|e| (e.u, e.v)).collect();
+    let residual: Vec<(NodeId, NodeId)> =
+        job.local("InMemoryMM", (current.num_edges() as u64 + 1) * 8, || {
+            let mut edges: Vec<(NodeId, NodeId)> = current.edges().map(|e| (e.u, e.v)).collect();
             edges.sort_unstable_by_key(|&(u, v)| {
                 edge_rank(seed, to_orig[u as usize], to_orig[v as usize])
             });
@@ -119,8 +110,7 @@ pub fn mpc_matching(g: &CsrGraph, cfg: &AmpcConfig) -> MatchingOutcome {
                 }
             }
             out
-        },
-    );
+        });
     for (u, v) in residual {
         let (ou, ov) = (to_orig[u as usize], to_orig[v as usize]);
         partner[ou as usize] = ov;
@@ -152,7 +142,11 @@ mod tests {
             let g = gen::erdos_renyi(140, 460, seed);
             let c = cfg().with_seed(seed * 5 + 3);
             let mpc = mpc_matching(&g, &c);
-            assert_eq!(mpc.partner, greedy_matching(&g, c.seed), "greedy, seed {seed}");
+            assert_eq!(
+                mpc.partner,
+                greedy_matching(&g, c.seed),
+                "greedy, seed {seed}"
+            );
             let ampc = ampc_matching(&g, &c);
             assert_eq!(mpc.partner, ampc.partner, "ampc, seed {seed}");
         }

@@ -22,8 +22,8 @@
 
 use ampc_core::priorities::node_rank;
 use ampc_dht::hasher::FxHashMap;
-use ampc_runtime::AmpcConfig;
 use ampc_graph::{CsrGraph, NodeId};
+use ampc_runtime::AmpcConfig;
 
 /// Shuffle counts for the MPC simulation of the AMPC MIS.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]

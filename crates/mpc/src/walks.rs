@@ -16,8 +16,8 @@
 use ampc_core::walks::WalkOutcome;
 use ampc_dht::hasher::mix64;
 use ampc_dht::store::Generation;
-use ampc_runtime::{AmpcConfig, Job};
 use ampc_graph::{CsrGraph, NodeId};
+use ampc_runtime::{AmpcConfig, Job};
 
 /// Runs `walkers_per_node × n` random walks of `steps` hops with one
 /// shuffle per hop. Identical walks to
@@ -50,9 +50,7 @@ pub fn mpc_random_walks_in_job(
 
     // Walker `w * n + v` is group `w` starting at vertex `v` — the same
     // identity (group, position) the AMPC kernel feeds its hop draw.
-    let mut cur: Vec<NodeId> = (0..walkers_per_node)
-        .flat_map(|_| 0..n as NodeId)
-        .collect();
+    let mut cur: Vec<NodeId> = (0..walkers_per_node).flat_map(|_| 0..n as NodeId).collect();
     let mut paths: Vec<Vec<NodeId>> = cur
         .iter()
         .map(|&c| {

@@ -214,6 +214,9 @@ impl DriverOptions {
 pub struct RunSummary {
     /// Machine count the job ran with.
     pub num_machines: usize,
+    /// Epoch boundaries marked by the job (batch-dynamic kernels mark
+    /// one per update batch; 0 for one-shot kernels).
+    pub epochs: usize,
     /// Shuffle stages (the paper's costly rounds, Table 3).
     pub shuffles: usize,
     /// KV rounds.
@@ -258,6 +261,7 @@ impl RunSummary {
         let kv = report.kv_comm();
         RunSummary {
             num_machines: report.num_machines,
+            epochs: report.num_epochs(),
             shuffles: report.num_shuffles(),
             kv_rounds: report.num_kv_rounds(),
             local_stages: report
@@ -299,6 +303,7 @@ impl RunSummary {
         format!(
             "{pad}{{\n\
              {pad}  \"num_machines\": {},\n\
+             {pad}  \"epochs\": {},\n\
              {pad}  \"shuffles\": {},\n\
              {pad}  \"kv_rounds\": {},\n\
              {pad}  \"local_stages\": {},\n\
@@ -314,6 +319,7 @@ impl RunSummary {
              {pad}  \"stages\": [\n{}\n{pad}  ]\n\
              {pad}}}",
             self.num_machines,
+            self.epochs,
             self.shuffles,
             self.kv_rounds,
             self.local_stages,

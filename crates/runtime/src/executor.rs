@@ -249,13 +249,20 @@ mod tests {
         let read: Generation<u64> = Generation::from_iter((0..100u64).map(|k| (k, k * 10)));
         let chunks = partition::chunk((0..100u64).collect(), 4);
         for policy in policies() {
-            let outcome =
-                run_machines(&read, None, &chunks, u64::MAX, true, policy, |ctx, items| {
+            let outcome = run_machines(
+                &read,
+                None,
+                &chunks,
+                u64::MAX,
+                true,
+                policy,
+                |ctx, items| {
                     items
                         .iter()
                         .map(|&k| *ctx.handle.get(k).unwrap())
                         .collect::<Vec<_>>()
-                });
+                },
+            );
             let expect: Vec<u64> = (0..100u64).map(|k| k * 10).collect();
             assert_eq!(outcome.outputs, expect, "{policy:?}");
         }
@@ -266,14 +273,21 @@ mod tests {
         let read: Generation<u64> = Generation::from_iter((0..40u64).map(|k| (k, k)));
         let chunks = partition::chunk((0..40u64).collect(), 4);
         for policy in policies() {
-            let outcome =
-                run_machines(&read, None, &chunks, u64::MAX, true, policy, |ctx, items| {
+            let outcome = run_machines(
+                &read,
+                None,
+                &chunks,
+                u64::MAX,
+                true,
+                policy,
+                |ctx, items| {
                     for &k in items {
                         ctx.handle.get(k);
                         ctx.add_ops(3);
                     }
                     Vec::<()>::new()
-                });
+                },
+            );
             assert_eq!(outcome.per_machine.len(), 4);
             for m in &outcome.per_machine {
                 assert_eq!(m.comm.queries, 10, "{policy:?}");
@@ -288,12 +302,20 @@ mod tests {
             let read: Generation<u64> = Generation::empty();
             let writer = GenerationWriter::new();
             let chunks = partition::chunk((0..20u64).collect(), 3);
-            run_machines(&read, Some(&writer), &chunks, u64::MAX, true, policy, |ctx, items| {
-                for &k in items {
-                    ctx.handle.put(k, k + 1);
-                }
-                Vec::<()>::new()
-            });
+            run_machines(
+                &read,
+                Some(&writer),
+                &chunks,
+                u64::MAX,
+                true,
+                policy,
+                |ctx, items| {
+                    for &k in items {
+                        ctx.handle.put(k, k + 1);
+                    }
+                    Vec::<()>::new()
+                },
+            );
             let sealed = writer.seal();
             assert_eq!(sealed.len(), 20, "{policy:?}");
             assert_eq!(sealed.get(7), Some(&8), "{policy:?}");
@@ -310,15 +332,23 @@ mod tests {
             // Every machine writes the shared keys with equal values
             // (the StatusWrite pattern) plus private keys.
             let chunks: Vec<Vec<u64>> = (0..8u64).map(|m| vec![m]).collect();
-            run_machines(&read, Some(&writer), &chunks, u64::MAX, true, policy, |ctx, items| {
-                for &m in items {
-                    for i in 0..50u64 {
-                        ctx.handle.put(m * 100 + i, i * 3);
-                        ctx.handle.put(10_000 + i, i);
+            run_machines(
+                &read,
+                Some(&writer),
+                &chunks,
+                u64::MAX,
+                true,
+                policy,
+                |ctx, items| {
+                    for &m in items {
+                        for i in 0..50u64 {
+                            ctx.handle.put(m * 100 + i, i * 3);
+                            ctx.handle.put(10_000 + i, i);
+                        }
                     }
-                }
-                Vec::<()>::new()
-            });
+                    Vec::<()>::new()
+                },
+            );
             writer.seal_with_threads(1)
         };
         let pooled = run(ExecPolicy::pooled(4));
@@ -362,8 +392,24 @@ mod tests {
                 .map(|v| *v.unwrap())
                 .collect::<Vec<u64>>()
         };
-        let on = run_machines(&read, None, &chunks, u64::MAX, true, ExecPolicy::inline(), body);
-        let off = run_machines(&read, None, &chunks, u64::MAX, false, ExecPolicy::inline(), body);
+        let on = run_machines(
+            &read,
+            None,
+            &chunks,
+            u64::MAX,
+            true,
+            ExecPolicy::inline(),
+            body,
+        );
+        let off = run_machines(
+            &read,
+            None,
+            &chunks,
+            u64::MAX,
+            false,
+            ExecPolicy::inline(),
+            body,
+        );
         assert_eq!(on.outputs, off.outputs);
         for (a, b) in on.per_machine.iter().zip(&off.per_machine) {
             assert_eq!(a.comm.queries, b.comm.queries);

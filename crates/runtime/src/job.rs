@@ -69,13 +69,25 @@ impl Job {
         i
     }
 
+    /// Marks an epoch boundary: all stages appended until the next mark
+    /// belong to this epoch. The batch-dynamic kernels call this once
+    /// per update batch (one sealed DHT generation per epoch), so the
+    /// report can attribute rounds and communication per batch.
+    pub fn epoch(&mut self, name: &str) {
+        self.report.epochs.push(crate::report::EpochMark {
+            name: name.to_string(),
+            first_stage: self.report.stages.len(),
+        });
+    }
+
     /// Meters a shuffle stage with explicit byte loads: `total_bytes`
     /// across all machines, of which the most loaded machine handles
     /// `max_machine_bytes`. Simulated time = round overhead + the
     /// bottleneck machine's transfer time.
     pub fn shuffle_metered(&mut self, name: &str, total_bytes: u64, max_machine_bytes: u64) {
         let _ = self.next_stage_index();
-        let sim = self.cfg.cost.round_overhead_ns + self.cfg.cost.shuffle_time_ns(max_machine_bytes);
+        let sim =
+            self.cfg.cost.round_overhead_ns + self.cfg.cost.shuffle_time_ns(max_machine_bytes);
         self.report.push(StageReport {
             name: name.to_string(),
             kind: StageKind::Shuffle,
@@ -210,8 +222,8 @@ impl Job {
         if let Some(f) = self.fault {
             if f.fires_at(stage) && !chunks.is_empty() {
                 let victim = f.machine % chunks.len();
-                let wasted = (self.machine_time_ns(&outcome.per_machine[victim]) as f64
-                    * f.progress) as u64;
+                let wasted =
+                    (self.machine_time_ns(&outcome.per_machine[victim]) as f64 * f.progress) as u64;
                 let (replayed, stats) = executor::run_one_machine(
                     victim,
                     read,
@@ -222,7 +234,9 @@ impl Job {
                     &body,
                 );
                 // Splice the replayed outputs over the victim's originals.
-                let start: usize = (0..victim).map(|i| chunk_output_len(&outcome, i, chunks)).sum();
+                let start: usize = (0..victim)
+                    .map(|i| chunk_output_len(&outcome, i, chunks))
+                    .sum();
                 let len = chunk_output_len(&outcome, victim, chunks);
                 outcome.outputs.splice(start..start + len, replayed);
                 extra_sim = wasted + self.machine_time_ns(&stats);
@@ -349,7 +363,10 @@ mod tests {
         let items: Vec<(u64, u64)> = (0..100).map(|_| (7u64, 0u64)).collect();
         let buckets = job.shuffle_by_key("skewed", items, |t| t.0);
         let r = job.report();
-        assert_eq!(r.stages[0].shuffle_bytes_max_machine, r.stages[0].shuffle_bytes);
+        assert_eq!(
+            r.stages[0].shuffle_bytes_max_machine,
+            r.stages[0].shuffle_bytes
+        );
         assert_eq!(buckets.iter().filter(|b| !b.is_empty()).count(), 1);
     }
 
@@ -357,9 +374,10 @@ mod tests {
     fn kv_round_merges_stats() {
         let mut job = test_job();
         let read: Generation<u64> = Generation::from_iter((0..16u64).map(|k| (k, k)));
-        let out: Vec<u64> = job.kv_round("read", &read, None, (0..16u64).collect(), |ctx, items| {
-            items.iter().map(|&k| *ctx.handle.get(k).unwrap()).collect()
-        });
+        let out: Vec<u64> =
+            job.kv_round("read", &read, None, (0..16u64).collect(), |ctx, items| {
+                items.iter().map(|&k| *ctx.handle.get(k).unwrap()).collect()
+            });
         assert_eq!(out.len(), 16);
         let r = job.report();
         assert_eq!(r.stages[0].comm.queries, 16);
@@ -438,7 +456,12 @@ mod tests {
         let (on, off) = (rep_on.kv_comm(), rep_off.kv_comm());
         assert_eq!(on.queries, off.queries);
         assert_eq!(on.bytes_read, off.bytes_read);
-        assert!(on.batches < off.batches, "{} vs {}", on.batches, off.batches);
+        assert!(
+            on.batches < off.batches,
+            "{} vs {}",
+            on.batches,
+            off.batches
+        );
         assert_eq!(off.batches, off.queries);
         assert!(rep_on.sim_ns() < rep_off.sim_ns());
     }
@@ -447,13 +470,8 @@ mod tests {
     fn budgeted_round_enforces_truncation() {
         let read: Generation<u64> = Generation::from_iter((0..64u64).map(|k| (k, k + 1)));
         let mut job = test_job();
-        let out: Vec<u64> = job.kv_round_budgeted(
-            "truncated",
-            &read,
-            None,
-            vec![0u64; 4],
-            3,
-            |ctx, items| {
+        let out: Vec<u64> =
+            job.kv_round_budgeted("truncated", &read, None, vec![0u64; 4], 3, |ctx, items| {
                 items
                     .iter()
                     .map(|&start| {
@@ -464,8 +482,7 @@ mod tests {
                         cur
                     })
                     .collect()
-            },
-        );
+            });
         // 4 machines × 1 item each, each cut off after 3 hops.
         assert_eq!(out, vec![3, 3, 3, 3]);
         assert_eq!(job.report().stages[0].comm.queries, 4 * 3);

@@ -69,7 +69,10 @@ mod tests {
         for part in &parts {
             // within a part, check every key appears wholly here
             for &k in part {
-                assert_eq!(machine_of(k, 4, 0), parts.iter().position(|p| p.contains(&k)).unwrap());
+                assert_eq!(
+                    machine_of(k, 4, 0),
+                    parts.iter().position(|p| p.contains(&k)).unwrap()
+                );
             }
         }
         assert_eq!(parts.iter().map(Vec::len).sum::<usize>(), 100);

@@ -144,7 +144,11 @@ impl WorkerPool {
     /// never correctness — excess machines simply queue.
     pub fn global(requested: usize) -> &'static WorkerPool {
         GLOBAL.get_or_init(|| {
-            WorkerPool::new(requested.max(ampc_dht::store::ampc_threads()).saturating_sub(1))
+            WorkerPool::new(
+                requested
+                    .max(ampc_dht::store::ampc_threads())
+                    .saturating_sub(1),
+            )
         })
     }
 
@@ -178,8 +182,7 @@ impl WorkerPool {
                 // Tasks cannot outlive the wait below, so the borrows
                 // never dangle — the same contract `std::thread::scope`
                 // enforces with its implicit join.
-                let run: Box<dyn FnOnce() + Send + 'static> =
-                    unsafe { std::mem::transmute(task) };
+                let run: Box<dyn FnOnce() + Send + 'static> = unsafe { std::mem::transmute(task) };
                 q.push_back(run);
             }
         }
@@ -248,9 +251,7 @@ mod tests {
             let mut out = [0usize; 8];
             let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = out
                 .iter_mut()
-                .map(|slot| {
-                    Box::new(move || *slot = round + 1) as Box<dyn FnOnce() + Send + '_>
-                })
+                .map(|slot| Box::new(move || *slot = round + 1) as Box<dyn FnOnce() + Send + '_>)
                 .collect();
             pool.run_batch(tasks, 2);
             assert!(out.iter().all(|&v| v == round + 1), "round {round}");
@@ -276,7 +277,11 @@ mod tests {
             pool.run_batch(tasks, 2);
         }));
         assert!(result.is_err(), "panic must propagate to the submitter");
-        assert_eq!(completed.load(Ordering::Relaxed), 5, "other items still ran");
+        assert_eq!(
+            completed.load(Ordering::Relaxed),
+            5,
+            "other items still ran"
+        );
     }
 
     #[test]

@@ -50,11 +50,25 @@ pub struct StageReport {
     pub wall_ns: u64,
 }
 
+/// An epoch boundary: a named position in the stage sequence. The
+/// batch-dynamic kernels mark one epoch per update batch (each epoch
+/// seals exactly one DHT generation), so reports can attribute rounds
+/// and communication to batches.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EpochMark {
+    /// Epoch name (e.g. `"DynEpoch-b3"`).
+    pub name: String,
+    /// Index (into [`JobReport::stages`]) of the epoch's first stage.
+    pub first_stage: usize,
+}
+
 /// The full record of a job execution.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct JobReport {
     /// Stages in execution order.
     pub stages: Vec<StageReport>,
+    /// Epoch boundaries, in execution order (empty for one-shot jobs).
+    pub epochs: Vec<EpochMark>,
     /// Machine count the job ran with.
     pub num_machines: usize,
     /// Times a machine was killed and replayed by fault injection.
@@ -66,9 +80,25 @@ impl JobReport {
     pub fn new(p: usize) -> Self {
         JobReport {
             stages: Vec::new(),
+            epochs: Vec::new(),
             num_machines: p,
             replays: 0,
         }
+    }
+
+    /// Number of epoch boundaries marked (0 for one-shot jobs).
+    pub fn num_epochs(&self) -> usize {
+        self.epochs.len()
+    }
+
+    /// The stage range `[first, end)` belonging to epoch `i`.
+    pub fn epoch_stage_range(&self, i: usize) -> std::ops::Range<usize> {
+        let first = self.epochs[i].first_stage;
+        let end = self
+            .epochs
+            .get(i + 1)
+            .map_or(self.stages.len(), |m| m.first_stage);
+        first..end
     }
 
     /// Number of shuffles — the paper's primary round-cost metric
@@ -151,6 +181,11 @@ impl JobReport {
     /// algorithm delegates to a sub-algorithm and wants one flat
     /// report).
     pub fn absorb(&mut self, other: JobReport) {
+        let offset = self.stages.len();
+        self.epochs.extend(other.epochs.into_iter().map(|mut m| {
+            m.first_stage += offset;
+            m
+        }));
         self.stages.extend(other.stages);
         self.replays += other.replays;
     }
@@ -239,6 +274,28 @@ mod tests {
         a.absorb(b);
         assert_eq!(a.stages.len(), 2);
         assert_eq!(a.replays, 3);
+    }
+
+    #[test]
+    fn absorb_offsets_epoch_marks() {
+        let mut a = JobReport::new(2);
+        a.push(stage("x", StageKind::Local, 5));
+        let mut b = JobReport::new(2);
+        b.epochs.push(EpochMark {
+            name: "e1".into(),
+            first_stage: 0,
+        });
+        b.push(stage("y", StageKind::Local, 7));
+        b.epochs.push(EpochMark {
+            name: "e2".into(),
+            first_stage: 1,
+        });
+        b.push(stage("z", StageKind::Local, 7));
+        a.absorb(b);
+        assert_eq!(a.num_epochs(), 2);
+        assert_eq!(a.epochs[0].first_stage, 1);
+        assert_eq!(a.epoch_stage_range(0), 1..2);
+        assert_eq!(a.epoch_stage_range(1), 2..3);
     }
 
     #[test]

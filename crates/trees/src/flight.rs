@@ -74,7 +74,7 @@ impl FlightIndex {
     /// Classifies one edge.
     pub fn classify(&self, e: &WeightedEdge) -> EdgeClass {
         match self.path_max(e.u, e.v) {
-            None => EdgeClass::Light,          // w_F = ∞
+            None => EdgeClass::Light, // w_F = ∞
             Some(m) if e.w <= m => EdgeClass::Light,
             Some(_) => EdgeClass::Heavy,
         }
@@ -140,7 +140,10 @@ mod tests {
         // forest: single edge 0-1; graph edge 2-3 crosses components.
         let forest = [WeightedEdge::new(0, 1, 5)];
         let idx = FlightIndex::new(4, &forest);
-        assert_eq!(idx.classify(&WeightedEdge::new(2, 3, 100)), EdgeClass::Light);
+        assert_eq!(
+            idx.classify(&WeightedEdge::new(2, 3, 100)),
+            EdgeClass::Light
+        );
     }
 
     #[test]

@@ -109,7 +109,9 @@ impl Hld {
             let h = self.head[v as usize];
             // Segment: edges stored at pos[h] ..= pos[v] (pos[h] holds
             // h's own parent edge, which the jump traverses).
-            let w = self.rmq.query_value(self.pos[h as usize], self.pos[v as usize]);
+            let w = self
+                .rmq
+                .query_value(self.pos[h as usize], self.pos[v as usize]);
             best = best.max(w);
             any = true;
             v = self.parent[h as usize];
@@ -178,12 +180,7 @@ mod tests {
     }
 
     /// Brute force: max edge weight on the unique u-w path.
-    fn naive_max(
-        forest: &RootedForest,
-        pw: &[Weight],
-        u: NodeId,
-        w: NodeId,
-    ) -> Option<Weight> {
+    fn naive_max(forest: &RootedForest, pw: &[Weight], u: NodeId, w: NodeId) -> Option<Weight> {
         // climb both to the same level, then together.
         let (mut a, mut b) = (u, w);
         let mut best: Option<Weight> = None;
@@ -251,8 +248,10 @@ mod tests {
         // Lemma B.1: O(log n) heavy segments from any vertex to the root.
         let n = 1 << 12;
         let tree = gen::random_tree(n, 11);
-        let edges: Vec<WeightedEdge> =
-            tree.edges().map(|e| WeightedEdge::new(e.u, e.v, 1)).collect();
+        let edges: Vec<WeightedEdge> = tree
+            .edges()
+            .map(|e| WeightedEdge::new(e.u, e.v, 1))
+            .collect();
         let (forest, pw) = setup(n, &edges);
         let hld = Hld::new(&forest, &pw);
         let bound = 2 * (n as f64).log2() as usize + 2;

@@ -52,10 +52,7 @@ pub fn find_roots(parent: &[NodeId]) -> (Vec<NodeId>, JumpStats) {
                 break (v, 0);
             }
             chain.push(v);
-            assert!(
-                chain.len() <= n,
-                "cycle detected in parent array (via {s})"
-            );
+            assert!(chain.len() <= n, "cycle detected in parent array (via {s})");
             v = p;
         };
         root[v as usize] = r;

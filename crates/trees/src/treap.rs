@@ -169,7 +169,11 @@ mod tests {
     fn heap_property_holds() {
         let tree = gen::random_tree(200, 3);
         // random_tree has unbounded degree; restrict to a path instead.
-        let tree = if tree.max_degree() > 3 { gen::path(200) } else { tree };
+        let tree = if tree.max_degree() > 3 {
+            gen::path(200)
+        } else {
+            tree
+        };
         let pri = random_priorities(200, 4);
         let t = ternary_treap(&tree, &pri);
         for v in 0..200u32 {

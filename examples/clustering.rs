@@ -26,7 +26,10 @@ fn make_points(n: usize, clusters: usize, seed: u64) -> Vec<(f64, f64)> {
     (0..n)
         .map(|i| {
             let (cx, cy) = centers[i % clusters];
-            (cx + rng.gen_range(-20.0..20.0), cy + rng.gen_range(-20.0..20.0))
+            (
+                cx + rng.gen_range(-20.0..20.0),
+                cy + rng.gen_range(-20.0..20.0),
+            )
         })
         .collect()
 }

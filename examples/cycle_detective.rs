@@ -15,7 +15,10 @@ use ampc_mpc::local_contraction::mpc_one_vs_two;
 
 fn main() {
     let cfg = AmpcConfig::default();
-    println!("{:>9} {:>6} | {:>22} | {:>22} | {:>8}", "k", "truth", "AMPC (shuffles, time)", "MPC (shuffles, time)", "speedup");
+    println!(
+        "{:>9} {:>6} | {:>22} | {:>22} | {:>8}",
+        "k", "truth", "AMPC (shuffles, time)", "MPC (shuffles, time)", "speedup"
+    );
 
     for &k in &[100_000usize, 500_000, 2_000_000] {
         for variant in [CyclePair::One, CyclePair::Two] {

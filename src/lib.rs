@@ -35,12 +35,8 @@ pub use ampc_trees as trees;
 /// ```
 pub mod prelude {
     pub use ampc_core::algorithm::{AlgoInput, AlgoOutput, AmpcAlgorithm, Model};
-    pub use ampc_core::{
-        connectivity, matching, mis, msf, one_vs_two, walks,
-    };
+    pub use ampc_core::{connectivity, dynamic, matching, mis, msf, one_vs_two, walks};
     pub use ampc_dht::cost::{CostConfig, Network};
-    pub use ampc_graph::{
-        datasets::Dataset, CsrGraph, NodeId, WeightedCsrGraph,
-    };
+    pub use ampc_graph::{datasets::Dataset, CsrGraph, NodeId, WeightedCsrGraph};
     pub use ampc_runtime::config::AmpcConfig;
 }

@@ -9,7 +9,11 @@ use ampc_dht::cost::Network;
 use ampc_graph::gen;
 
 fn cfg() -> AmpcConfig {
-    AmpcConfig { num_machines: 5, in_memory_threshold: 300, ..AmpcConfig::default() }
+    AmpcConfig {
+        num_machines: 5,
+        in_memory_threshold: 300,
+        ..AmpcConfig::default()
+    }
 }
 
 #[test]
@@ -18,10 +22,10 @@ fn kv_bytes_scale_roughly_linearly_with_edges() {
     let small = gen::rmat(10, 10_000, gen::RmatParams::SOCIAL, 1);
     let large = gen::rmat(13, 80_000, gen::RmatParams::SOCIAL, 1);
     let c = cfg();
-    let b_small = ampc_mis(&small, &c).report.kv_comm().kv_bytes() as f64
-        / small.num_edges() as f64;
-    let b_large = ampc_mis(&large, &c).report.kv_comm().kv_bytes() as f64
-        / large.num_edges() as f64;
+    let b_small =
+        ampc_mis(&small, &c).report.kv_comm().kv_bytes() as f64 / small.num_edges() as f64;
+    let b_large =
+        ampc_mis(&large, &c).report.kv_comm().kv_bytes() as f64 / large.num_edges() as f64;
     let ratio = b_large / b_small;
     assert!(
         (0.3..3.0).contains(&ratio),
@@ -104,7 +108,15 @@ fn msf_pipeline_reports_all_expected_stages() {
     let mut c = cfg();
     c.in_memory_threshold = 100;
     let out = ampc_msf(&w, &c);
-    for prefix in ["SortGraph", "KV-Write", "PrimSearch", "Combine", "PointerJump", "Contract", "Rebuild"] {
+    for prefix in [
+        "SortGraph",
+        "KV-Write",
+        "PrimSearch",
+        "Combine",
+        "PointerJump",
+        "Contract",
+        "Rebuild",
+    ] {
         assert!(
             out.report.stages.iter().any(|s| s.name.starts_with(prefix)),
             "missing stage {prefix}"

@@ -43,14 +43,24 @@ fn matching_identical_across_all_implementations_and_datasets() {
         let g = d.generate(Scale::Test, 3);
         let c = cfg();
         let oracle = greedy_matching(&g, c.seed);
-        assert_eq!(ampc_matching(&g, &c).partner, oracle, "AMPC O(1) on {}", d.name());
+        assert_eq!(
+            ampc_matching(&g, &c).partner,
+            oracle,
+            "AMPC O(1) on {}",
+            d.name()
+        );
         assert_eq!(
             ampc_matching_loglog(&g, &c).partner,
             oracle,
             "AMPC loglog on {}",
             d.name()
         );
-        assert_eq!(ampc_mpc::mpc_matching(&g, &c).partner, oracle, "MPC on {}", d.name());
+        assert_eq!(
+            ampc_mpc::mpc_matching(&g, &c).partner,
+            oracle,
+            "MPC on {}",
+            d.name()
+        );
     }
 }
 
@@ -68,7 +78,12 @@ fn msf_identical_across_all_implementations_and_datasets() {
             d.name()
         );
         assert_eq!(kkt_msf(&g, &c).edges, oracle, "KKT on {}", d.name());
-        assert_eq!(ampc_mpc::mpc_msf(&g, &c).edges, oracle, "Boruvka on {}", d.name());
+        assert_eq!(
+            ampc_mpc::mpc_msf(&g, &c).edges,
+            oracle,
+            "Boruvka on {}",
+            d.name()
+        );
     }
 }
 

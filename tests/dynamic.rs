@@ -1,0 +1,133 @@
+//! Integration suite for the batch-dynamic connectivity subsystem.
+//!
+//! The acceptance contract (ISSUE 5): after **every** update batch, the
+//! maintained AMPC labels are byte-identical to the MPC
+//! recompute-from-scratch baseline, across multiple batch schedules and
+//! under **both** sealed storage layouts (flat and `AMPC_STORE=sharded`),
+//! with one DHT-generation epoch per batch.
+
+use ampc::prelude::*;
+use ampc_core::dynamic::{ampc_dynamic_cc, validate_dynamic_labels};
+use ampc_graph::dynamic::{generate_batches, BatchMix, DynamicSource, UpdateBatch};
+use ampc_graph::gen;
+use ampc_mpc::dynamic::mpc_recompute_cc;
+
+fn cfg(seed: u64) -> AmpcConfig {
+    AmpcConfig {
+        num_machines: 6,
+        in_memory_threshold: 100,
+        seed,
+        ..AmpcConfig::default()
+    }
+}
+
+/// The schedules the contract is pinned on: different mixes, batch
+/// counts, batch sizes and seeds.
+fn schedules(g: &CsrGraph) -> Vec<(String, Vec<UpdateBatch>)> {
+    vec![
+        (
+            "churn 6x50".into(),
+            generate_batches(g, 6, 50, BatchMix::Churn, 11),
+        ),
+        (
+            "insert-heavy 3x120".into(),
+            generate_batches(g, 3, 120, BatchMix::InsertOnly, 22),
+        ),
+        (
+            "delete-to-empty 4x200".into(),
+            generate_batches(g, 4, 200, BatchMix::DeleteOnly, 33),
+        ),
+    ]
+}
+
+#[test]
+fn maintained_equals_recompute_on_every_batch_and_schedule() {
+    let g = gen::rmat(8, 900, gen::RmatParams::SOCIAL, 5);
+    let c = cfg(0xD11A);
+    for (name, batches) in schedules(&g) {
+        let maintained = ampc_dynamic_cc(&g, &batches, &c);
+        let recomputed = mpc_recompute_cc(&g, &batches, &c);
+        assert_eq!(
+            maintained.labels.len(),
+            batches.len() + 1,
+            "{name}: one labelling per epoch"
+        );
+        for (epoch, (a, b)) in maintained.labels.iter().zip(&recomputed.labels).enumerate() {
+            assert_eq!(a, b, "{name}: epoch {epoch} labels differ");
+        }
+        validate_dynamic_labels(&g, &batches, &maintained.labels)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+    }
+}
+
+/// Both storage layouts, in one test so the process-global layout
+/// override is never racing another layout-sensitive assertion: the
+/// maintained kernel must produce identical labels *and* identical
+/// round structure / communication under the flat and sharded sealed
+/// layouts, on every schedule.
+#[test]
+fn both_storage_layouts_agree_per_batch() {
+    let g = gen::erdos_renyi(250, 380, 7);
+    let c = cfg(0xD11B);
+    for (name, batches) in schedules(&g) {
+        ampc_dht::store::force_store_layout(Some(false));
+        let flat = ampc_dynamic_cc(&g, &batches, &c);
+        ampc_dht::store::force_store_layout(Some(true));
+        let sharded = ampc_dynamic_cc(&g, &batches, &c);
+        ampc_dht::store::force_store_layout(None);
+        assert_eq!(
+            flat.labels, sharded.labels,
+            "{name}: labels differ across layouts"
+        );
+        assert_eq!(
+            flat.report.kv_comm(),
+            sharded.report.kv_comm(),
+            "{name}: CommStats differ across layouts"
+        );
+        assert_eq!(
+            flat.report.num_kv_rounds(),
+            sharded.report.num_kv_rounds(),
+            "{name}"
+        );
+        assert_eq!(
+            flat.report.num_epochs(),
+            sharded.report.num_epochs(),
+            "{name}"
+        );
+        // And the sharded-layout labels still match the recompute
+        // baseline (run under the default flat layout).
+        let recomputed = mpc_recompute_cc(&g, &batches, &c);
+        assert_eq!(
+            sharded.labels, recomputed.labels,
+            "{name}: sharded vs recompute"
+        );
+    }
+}
+
+#[test]
+fn epochs_seal_one_generation_each_and_are_config_independent() {
+    let g = gen::erdos_renyi(150, 260, 3);
+    let batches = generate_batches(&g, 5, 60, BatchMix::Churn, 44);
+    let a = ampc_dynamic_cc(&g, &batches, &cfg(1));
+    // One classify round per batch, one publish per epoch: kv rounds =
+    // (batches * 2) + 1 initial publish.
+    assert_eq!(a.report.num_epochs(), 6);
+    assert_eq!(a.report.num_kv_rounds(), batches.len() * 2 + 1);
+
+    // Labels are a function of the graph + schedule, not of the runtime
+    // configuration (machine count, batching, algorithm seed).
+    let b = ampc_dynamic_cc(&g, &batches, &cfg(2).with_machines(17).with_batching(false));
+    assert_eq!(a.labels, b.labels);
+}
+
+#[test]
+fn dynamic_source_end_to_end() {
+    let spec = DynamicSource::parse("dyn:er:180,260:batches=4:ops=64:seed=5").unwrap();
+    let inst = spec
+        .generate(ampc_graph::datasets::Scale::Test, 20)
+        .unwrap();
+    let maintained = ampc_dynamic_cc(&inst.initial, &inst.batches, &cfg(9));
+    let recomputed = mpc_recompute_cc(&inst.initial, &inst.batches, &cfg(9));
+    assert_eq!(maintained.labels, recomputed.labels);
+    validate_dynamic_labels(&inst.initial, &inst.batches, &maintained.labels).unwrap();
+}

@@ -10,11 +10,15 @@ use ampc::prelude::*;
 use ampc_core::matching::ampc_matching;
 use ampc_core::mis::ampc_mis;
 use ampc_core::msf::ampc_msf;
-use ampc_runtime::fault::FaultPlan;
 use ampc_graph::gen;
+use ampc_runtime::fault::FaultPlan;
 
 fn cfg() -> AmpcConfig {
-    AmpcConfig { num_machines: 5, in_memory_threshold: 200, ..AmpcConfig::default() }
+    AmpcConfig {
+        num_machines: 5,
+        in_memory_threshold: 200,
+        ..AmpcConfig::default()
+    }
 }
 
 #[test]

@@ -8,14 +8,19 @@ use ampc_core::mis::{ampc_mis, greedy_mis};
 use ampc_core::msf::in_memory::kruskal;
 use ampc_core::msf::{ampc_msf, ampc_msf_algorithm2};
 use ampc_core::validate;
-use ampc_runtime::AmpcConfig;
 use ampc_graph::ops::{line_graph, ternarize};
 use ampc_graph::stats::connected_components;
 use ampc_graph::{gen, GraphBuilder, NodeId};
+use ampc_runtime::AmpcConfig;
 use proptest::prelude::*;
 
 fn cfg(seed: u64) -> AmpcConfig {
-    AmpcConfig { num_machines: 4, in_memory_threshold: 64, seed, ..AmpcConfig::default() }
+    AmpcConfig {
+        num_machines: 4,
+        in_memory_threshold: 64,
+        seed,
+        ..AmpcConfig::default()
+    }
 }
 
 /// Strategy: an arbitrary undirected graph as (n, edge pairs).
@@ -191,5 +196,124 @@ proptest! {
         // within 2x of optimal; sanity-check against the matching size.
         let m = pairs_from_partners(&greedy_matching(&g, seed)).len();
         prop_assert_eq!(cover.len(), 2 * m);
+    }
+}
+
+// ------------------------------------------------------------------
+// Graph-source grammar properties: parse → describe → parse is the
+// identity, on arbitrary static sources and arbitrary `dyn:` specs.
+// ------------------------------------------------------------------
+
+use ampc_graph::datasets::Dataset;
+use ampc_graph::dynamic::{generate_batches, BatchMix, DynamicSource};
+use ampc_graph::gen::RmatParams;
+use ampc_graph::GraphSource;
+
+/// Strategy: an arbitrary parseable [`GraphSource`] value.
+fn arb_source() -> impl Strategy<Value = GraphSource> {
+    (0usize..12, 1usize..500, 1usize..5000, 0usize..6).prop_map(|(kind, a, b, c)| match kind {
+        0 => GraphSource::Dataset(
+            [
+                Dataset::Orkut,
+                Dataset::Twitter,
+                Dataset::Friendster,
+                Dataset::ClueWeb,
+                Dataset::Hyperlink,
+            ][c % 5],
+        ),
+        1 => GraphSource::Dataset(Dataset::TwoCycles(a)),
+        2 => GraphSource::Rmat {
+            log_n: (a % 20) as u32 + 1,
+            m: b,
+            params: if c % 2 == 0 {
+                RmatParams::SOCIAL
+            } else {
+                RmatParams::WEB
+            },
+        },
+        3 => GraphSource::ErdosRenyi { n: a, m: b },
+        4 => GraphSource::ChungLu {
+            n: a,
+            m: b,
+            gamma: c as f64 / 2.0 + 1.5,
+        },
+        5 => GraphSource::Cycle(a + 3),
+        6 => GraphSource::CyclePair(a + 3),
+        7 => GraphSource::Path(a),
+        8 => GraphSource::Star(a),
+        9 => GraphSource::Complete(a % 64 + 1),
+        10 => GraphSource::Grid(a % 50 + 1, b % 50 + 1),
+        _ => GraphSource::Tree(a),
+    })
+}
+
+/// Strategy: an arbitrary parseable `dyn:` spec over any static base.
+fn arb_dynamic_source() -> impl Strategy<Value = DynamicSource> {
+    (
+        arb_source(),
+        1usize..12,
+        (1usize..300, 0usize..3, 0u64..u64::MAX),
+    )
+        .prop_map(|(base, batches, (ops, mix, seed))| DynamicSource {
+            base,
+            batches,
+            ops,
+            mix: [BatchMix::Churn, BatchMix::InsertOnly, BatchMix::DeleteOnly][mix],
+            seed,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn graph_source_round_trips(src in arb_source()) {
+        let text = src.describe();
+        let reparsed = GraphSource::parse(&text)
+            .unwrap_or_else(|e| panic!("{text:?} does not reparse: {e}"));
+        prop_assert_eq!(reparsed, src, "{}", text);
+    }
+
+    #[test]
+    fn dynamic_source_round_trips(src in arb_dynamic_source()) {
+        let text = src.describe();
+        let reparsed = DynamicSource::parse(&text)
+            .unwrap_or_else(|e| panic!("{text:?} does not reparse: {e}"));
+        prop_assert_eq!(reparsed, src, "{}", text);
+    }
+
+    #[test]
+    fn dynamic_schedules_replay_deterministically(
+        (n, pairs) in arb_graph(80, 160),
+        batches in 1usize..5,
+        ops in 1usize..40,
+        seed in 0u64..1000,
+    ) {
+        let g = build(n, &pairs);
+        let a = generate_batches(&g, batches, ops, BatchMix::Churn, seed);
+        prop_assert_eq!(&a, &generate_batches(&g, batches, ops, BatchMix::Churn, seed));
+        // Every generated op is effective when replayed in order.
+        let mut state = ampc_graph::dynamic::EdgeSet::from_graph(&g);
+        for batch in &a {
+            for up in batch {
+                let flipped = match up.kind {
+                    ampc_graph::dynamic::UpdateKind::Insert => state.insert(up.u, up.v),
+                    ampc_graph::dynamic::UpdateKind::Delete => state.remove(up.u, up.v),
+                };
+                prop_assert!(flipped, "{:?} was a no-op", up);
+            }
+        }
+    }
+
+    #[test]
+    fn dynamic_maintained_equals_recompute(
+        (n, pairs) in arb_graph(60, 120),
+        seed in 0u64..500,
+    ) {
+        let g = build(n, &pairs);
+        let batches = generate_batches(&g, 3, 20, BatchMix::Churn, seed);
+        let a = ampc_core::dynamic::ampc_dynamic_cc(&g, &batches, &cfg(seed));
+        let m = ampc_mpc::dynamic::mpc_recompute_cc(&g, &batches, &cfg(seed));
+        prop_assert_eq!(a.labels, m.labels, "maintained vs recompute, seed {}", seed);
     }
 }

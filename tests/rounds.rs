@@ -14,7 +14,11 @@ use ampc_core::one_vs_two::ampc_one_vs_two;
 use ampc_graph::datasets::Scale;
 
 fn cfg() -> AmpcConfig {
-    AmpcConfig { num_machines: 6, in_memory_threshold: 300, ..AmpcConfig::default() }
+    AmpcConfig {
+        num_machines: 6,
+        in_memory_threshold: 300,
+        ..AmpcConfig::default()
+    }
 }
 
 #[test]
@@ -60,9 +64,17 @@ fn mpc_baselines_pay_logarithmically_many_shuffles() {
     let c = cfg();
     let mis = ampc_mpc::mpc_mis(&g, &c);
     let mm = ampc_mpc::mpc_matching(&g, &c);
-    assert!(mis.report.num_shuffles() >= 4, "MIS: {}", mis.report.num_shuffles());
+    assert!(
+        mis.report.num_shuffles() >= 4,
+        "MIS: {}",
+        mis.report.num_shuffles()
+    );
     assert_eq!(mis.report.num_shuffles() % 2, 0);
-    assert!(mm.report.num_shuffles() >= 4, "MM: {}", mm.report.num_shuffles());
+    assert!(
+        mm.report.num_shuffles() >= 4,
+        "MM: {}",
+        mm.report.num_shuffles()
+    );
 
     let w = Dataset::Twitter.generate_weighted(Scale::Test, 1);
     let msf = ampc_mpc::mpc_msf(&w, &c);
@@ -103,7 +115,11 @@ fn truncated_theory_variants_use_constant_rounds() {
         },
     );
     // O(1/ε) IsInMIS rounds: generous constant bound.
-    assert!(mis.report.num_kv_rounds() <= 10, "{}", mis.report.num_kv_rounds());
+    assert!(
+        mis.report.num_kv_rounds() <= 10,
+        "{}",
+        mis.report.num_kv_rounds()
+    );
     let mm = ampc_matching_with_options(
         &g,
         &c,
@@ -112,5 +128,9 @@ fn truncated_theory_variants_use_constant_rounds() {
             truncated: true,
         },
     );
-    assert!(mm.report.num_kv_rounds() <= 10, "{}", mm.report.num_kv_rounds());
+    assert!(
+        mm.report.num_kv_rounds() <= 10,
+        "{}",
+        mm.report.num_kv_rounds()
+    );
 }

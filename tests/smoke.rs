@@ -12,7 +12,12 @@ use ampc_core::validate;
 use ampc_graph::gen;
 
 fn cfg() -> AmpcConfig {
-    AmpcConfig { num_machines: 4, in_memory_threshold: 100, seed: 0x500C, ..AmpcConfig::default() }
+    AmpcConfig {
+        num_machines: 4,
+        in_memory_threshold: 100,
+        seed: 0x500C,
+        ..AmpcConfig::default()
+    }
 }
 
 fn tiny() -> CsrGraph {
@@ -35,7 +40,10 @@ fn smoke_matching() {
     let c = cfg();
     let a = matching::ampc_matching(&g, &c);
     let m = ampc_mpc::mpc_matching(&g, &c);
-    assert_eq!(a.partner, m.partner, "AMPC and MPC disagree on the matching");
+    assert_eq!(
+        a.partner, m.partner,
+        "AMPC and MPC disagree on the matching"
+    );
     assert!(validate::is_maximal_matching(&g, &a.pairs()));
 }
 
@@ -54,7 +62,10 @@ fn smoke_connectivity() {
     let c = cfg();
     let a = connectivity::ampc_connected_components(&g, &c);
     let m = ampc_mpc::mpc_connected_components(&g, &c);
-    assert_eq!(a.label, m.label, "AMPC and MPC disagree on component labels");
+    assert_eq!(
+        a.label, m.label,
+        "AMPC and MPC disagree on component labels"
+    );
     assert!(validate::is_correct_components(&g, &a.label));
 }
 
@@ -82,4 +93,22 @@ fn smoke_walks() {
     // The §5.7 separation: AMPC pays one shuffle, MPC one per hop.
     assert_eq!(a.report.num_shuffles(), 1);
     assert_eq!(m.report.num_shuffles(), 6);
+}
+
+#[test]
+fn smoke_dynamic_connectivity() {
+    let g = tiny();
+    let c = cfg();
+    let batches =
+        ampc_graph::dynamic::generate_batches(&g, 3, 40, ampc_graph::dynamic::BatchMix::Churn, 11);
+    let a = dynamic::ampc_dynamic_cc(&g, &batches, &c);
+    let m = ampc_mpc::dynamic::mpc_recompute_cc(&g, &batches, &c);
+    // The subsystem's contract: maintained labels byte-identical to
+    // recompute-from-scratch after every batch.
+    assert_eq!(
+        a.labels, m.labels,
+        "maintained and recomputed labels disagree"
+    );
+    dynamic::validate_dynamic_labels(&g, &batches, &a.labels).unwrap();
+    assert_eq!(a.report.num_epochs(), 4, "DynInit + one epoch per batch");
 }

@@ -38,7 +38,11 @@ fn flat_get_matches_sharded_on_adversarial_keys() {
         .map(|k| k.wrapping_mul(0x6C07_96D9_47A1_9E63))
         .collect();
     let dense: Vec<u64> = (0..2_000u64).collect();
-    for (name, keys) in [("colliding", colliding), ("sparse", sparse), ("dense", dense)] {
+    for (name, keys) in [
+        ("colliding", colliding),
+        ("sparse", sparse),
+        ("dense", dense),
+    ] {
         let build = || {
             let w: GenerationWriter<Vec<u32>> = GenerationWriter::new();
             for &k in &keys {

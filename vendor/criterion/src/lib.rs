@@ -44,7 +44,10 @@ pub struct Criterion {
 impl Criterion {
     /// Start a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
-        BenchmarkGroup { name: name.to_string(), sample_size: 10 }
+        BenchmarkGroup {
+            name: name.to_string(),
+            sample_size: 10,
+        }
     }
 
     /// Run a stand-alone benchmark.
@@ -78,9 +81,16 @@ impl BenchmarkGroup {
 }
 
 fn run_one<F: FnMut(&mut Bencher)>(group: &str, name: &str, sample_size: usize, mut f: F) {
-    let mut b = Bencher { iters: sample_size as u64, last_mean_ns: 0.0 };
+    let mut b = Bencher {
+        iters: sample_size as u64,
+        last_mean_ns: 0.0,
+    };
     f(&mut b);
-    let label = if group.is_empty() { name.to_string() } else { format!("{group}/{name}") };
+    let label = if group.is_empty() {
+        name.to_string()
+    } else {
+        format!("{group}/{name}")
+    };
     if b.last_mean_ns >= 1.0e6 {
         println!("bench {label:<40} {:>12.3} ms/iter", b.last_mean_ns / 1.0e6);
     } else {
