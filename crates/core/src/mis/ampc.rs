@@ -322,6 +322,9 @@ fn evaluate<'a>(
             }
             let list = ctx
                 .handle
+                // ampc-lint: allow(no-unbatched-get) -- adaptive truncated search
+                // (Algorithm 1): which adjacency list is fetched next depends on the
+                // contents of the previous one; capped by `queries_here >= budget`.
                 .get(u as u64)
                 .map(|l| l.as_slice())
                 .unwrap_or(&[]);

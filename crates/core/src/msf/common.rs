@@ -288,6 +288,10 @@ pub fn prim_contract_round(
                             ctx.handle.note_cache_hit();
                             break r;
                         }
+                        // ampc-lint: allow(no-unbatched-get) -- adaptive pointer-chase: each
+                        // parent lookup depends on the value of the previous hop, so there is
+                        // no independent batch to issue; this is the model's defining adaptive
+                        // query (paper §4), budgeted per round by the handle.
                         let p = *ctx.handle.get(x as u64).expect("parent entry");
                         if p == x {
                             break x;

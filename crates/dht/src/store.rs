@@ -58,26 +58,12 @@ const PARALLEL_SEAL_MIN: usize = 1 << 16;
 /// gives 100%.
 const DENSE_MAX_WASTE: usize = 2;
 
-/// Reads the `AMPC_THREADS` environment knob (cached after the first
-/// read): the worker count used by parallel seals here and by the
-/// runtime's persistent executor pool. Unset or malformed values fall
-/// back to the machine's available parallelism; a value of `1` disables
-/// worker threads entirely (everything runs inline).
-pub fn ampc_threads() -> usize {
-    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
-    *CACHED.get_or_init(|| {
-        let fallback = || std::thread::available_parallelism().map_or(1, |p| p.get());
-        match std::env::var("AMPC_THREADS") {
-            Ok(v) => v
-                .trim()
-                .parse::<usize>()
-                .ok()
-                .filter(|&t| t >= 1)
-                .unwrap_or_else(fallback),
-            Err(_) => fallback(),
-        }
-    })
-}
+/// The `AMPC_THREADS` environment knob (cached after the first read):
+/// the worker count used by parallel seals here and by the runtime's
+/// persistent executor pool. The read itself lives in the
+/// [`ampc_knobs`] registry; this re-export keeps the historical entry
+/// point callers already use.
+pub use ampc_knobs::ampc_threads;
 
 /// Sealed-layout mode: resolved once from `AMPC_STORE`, overridable at
 /// runtime by [`force_store_layout`] (an atomic, so the hot write path
@@ -95,8 +81,7 @@ fn sharded_store_requested() -> bool {
         MODE_FLAT => false,
         MODE_SHARDED => true,
         _ => {
-            let sharded =
-                matches!(std::env::var("AMPC_STORE"), Ok(v) if v.eq_ignore_ascii_case("sharded"));
+            let sharded = ampc_knobs::ampc_store_sharded();
             let mode = if sharded { MODE_SHARDED } else { MODE_FLAT };
             STORE_MODE.store(mode, Ordering::Relaxed);
             sharded

@@ -60,12 +60,14 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Parses from the `AMPC_SCALE` environment variable
-    /// (`test` / `mid` / `bench`), defaulting to [`Scale::Mid`].
+    /// Parses from the `AMPC_SCALE` environment knob
+    /// (`test` / `mid` / `bench`), defaulting to [`Scale::Mid`]. The
+    /// environment read goes through the [`ampc_knobs`] registry so the
+    /// knob stays discoverable alongside every other `AMPC_*` variable.
     pub fn from_env() -> Scale {
-        match std::env::var("AMPC_SCALE").as_deref() {
-            Ok("test") => Scale::Test,
-            Ok("bench") => Scale::Bench,
+        match ampc_knobs::ampc_scale() {
+            "test" => Scale::Test,
+            "bench" => Scale::Bench,
             _ => Scale::Mid,
         }
     }

@@ -1,0 +1,170 @@
+//! The `AMPC_*` environment-knob registry.
+//!
+//! Every runtime read of the process environment in this workspace goes
+//! through this crate — the `env-knob-registry` conformance rule
+//! (`ampc-lint` R6, DESIGN.md §9) rejects `std::env::var` anywhere
+//! else. Centralizing the reads buys three things:
+//!
+//! * **discoverability** — [`all`] enumerates every knob with its
+//!   accepted values and default, so docs, `--help` text and the CI
+//!   smoke matrix can never silently drift from the code;
+//! * **one parse** — each knob has exactly one parser, so `AMPC_BATCH=off`
+//!   cannot mean "off" to one crate and "malformed, use default" to
+//!   another;
+//! * **determinism auditing** — the environment is ambient mutable
+//!   state; keeping all reads in one dependency-free leaf crate makes
+//!   the audit surface for schedule-independent outputs (DESIGN.md §3)
+//!   a single file.
+//!
+//! The crate is a dependency-free leaf so that every other workspace
+//! crate (`graph` and `dht` included, which sit below `runtime` in the
+//! dependency order) can use it. `ampc_runtime::config` re-exports it
+//! as `knobs` for the runtime-facing entry point.
+
+#![deny(missing_docs)]
+#![deny(unsafe_code)]
+
+/// A registered environment knob: its name, what it accepts, and what
+/// happens when it is unset or malformed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct KnobSpec {
+    /// The environment variable name (`AMPC_*`).
+    pub name: &'static str,
+    /// Accepted values, human-readable.
+    pub accepts: &'static str,
+    /// Behavior when unset or malformed.
+    pub default: &'static str,
+    /// What the knob controls.
+    pub doc: &'static str,
+}
+
+/// Every knob the workspace reads, in alphabetical order. Tests pin
+/// this table against the accessor set below so the registry cannot
+/// rot.
+pub const KNOBS: &[KnobSpec] = &[
+    KnobSpec {
+        name: "AMPC_BATCH",
+        accepts: "on | off | 0 | false (case-insensitive)",
+        default: "on",
+        doc: "The §5.3 batching optimization: machines issue independent \
+              lookups as one accounted get_many/put_many batch. \
+              `off`/`0`/`false` selects the single-key baseline \
+              (identical outputs, one round trip per key).",
+    },
+    KnobSpec {
+        name: "AMPC_SCALE",
+        accepts: "test | mid | bench",
+        default: "mid",
+        doc: "How large a dataset analogue the harnesses generate \
+              (DESIGN.md §5). Purely an input-size knob.",
+    },
+    KnobSpec {
+        name: "AMPC_STORE",
+        accepts: "flat | sharded",
+        default: "flat",
+        doc: "Sealed-generation storage layout (DESIGN.md §5.4): the \
+              flat dense/open-addressed layout, or the pre-flat \
+              shard-of-hashmaps baseline kept for perf A/B runs. \
+              Observationally identical outputs either way.",
+    },
+    KnobSpec {
+        name: "AMPC_THREADS",
+        accepts: "a positive integer",
+        default: "the machine's available parallelism",
+        doc: "Executor concurrency: how many machine bodies may run at \
+              once (1 = fully inline). A wall-clock knob only — \
+              outputs, round counts and CommStats are identical for \
+              every value.",
+    },
+];
+
+/// The registry table.
+pub fn all() -> &'static [KnobSpec] {
+    KNOBS
+}
+
+/// Raw (unparsed) read of a registered knob. Panics in debug builds if
+/// `name` is not in [`KNOBS`] — unregistered reads are exactly what the
+/// registry exists to prevent.
+pub fn raw(name: &str) -> Option<String> {
+    debug_assert!(
+        KNOBS.iter().any(|k| k.name == name),
+        "read of unregistered environment knob {name:?}; add it to ampc_knobs::KNOBS"
+    );
+    std::env::var(name).ok()
+}
+
+/// `AMPC_BATCH`: true unless the value says `off`/`0`/`false`
+/// (case-insensitive). Read per call (cheap, and lets tests flip it
+/// between jobs); the resolved value is captured into `AmpcConfig` at
+/// construction, so a running job never re-reads the environment.
+pub fn ampc_batch() -> bool {
+    match raw("AMPC_BATCH") {
+        Some(v) => !matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"),
+        None => true,
+    }
+}
+
+/// `AMPC_SCALE`: normalized to `"test"`, `"mid"` or `"bench"`
+/// (defaulting to `"mid"`). Callers map the token onto their own enum
+/// so this crate stays dependency-free.
+pub fn ampc_scale() -> &'static str {
+    match raw("AMPC_SCALE").as_deref() {
+        Some("test") => "test",
+        Some("bench") => "bench",
+        _ => "mid",
+    }
+}
+
+/// `AMPC_STORE`: true when the pre-flat sharded sealed layout is
+/// requested. The store module caches the resolved mode in an atomic
+/// (and offers a runtime override); this is only the environment half.
+pub fn ampc_store_sharded() -> bool {
+    matches!(raw("AMPC_STORE"), Some(v) if v.eq_ignore_ascii_case("sharded"))
+}
+
+/// `AMPC_THREADS`: the worker count used by parallel seals and the
+/// runtime's persistent executor pool, cached after the first read (the
+/// pool is process-global, so later changes could not take effect
+/// anyway). Unset or malformed values fall back to the machine's
+/// available parallelism; `1` disables worker threads entirely.
+pub fn ampc_threads() -> usize {
+    static CACHED: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *CACHED.get_or_init(|| {
+        let fallback = || std::thread::available_parallelism().map_or(1, |p| p.get());
+        match raw("AMPC_THREADS") {
+            Some(v) => v
+                .trim()
+                .parse::<usize>()
+                .ok()
+                .filter(|&t| t >= 1)
+                .unwrap_or_else(fallback),
+            None => fallback(),
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_prefixed() {
+        for pair in KNOBS.windows(2) {
+            assert!(pair[0].name < pair[1].name, "KNOBS must stay sorted");
+        }
+        for k in KNOBS {
+            assert!(k.name.starts_with("AMPC_"), "{} lacks the prefix", k.name);
+            assert!(!k.doc.is_empty() && !k.accepts.is_empty());
+        }
+    }
+
+    #[test]
+    fn defaults_are_sane_when_unset() {
+        // CI may set these; only assert the unset-or-valid contract.
+        assert!(ampc_threads() >= 1);
+        assert!(matches!(ampc_scale(), "test" | "mid" | "bench"));
+        let _ = ampc_batch();
+        let _ = ampc_store_sharded();
+    }
+}

@@ -1,0 +1,805 @@
+//! The conformance rules and the per-file rule engine.
+//!
+//! Each rule protects one invariant the workspace's correctness story
+//! depends on (DESIGN.md §9 documents them side by side with the
+//! dynamic tests that cover the same ground):
+//!
+//! | rule | invariant |
+//! |------|-----------|
+//! | `no-unbatched-get` (R1) | kernels issue DHT lookups as accounted batches (§5.3) |
+//! | `no-unordered-iteration` (R2) | deterministic paths never observe randomized map order (§3) |
+//! | `no-wall-clock-or-ambient-rng` (R3) | outputs are pure functions of input + seed (§3) |
+//! | `no-raw-spawn` (R4) | all parallelism flows through the persistent pool (§5.4) |
+//! | `safety-comments` (R5) | every `unsafe` carries its proof obligation |
+//! | `env-knob-registry` (R6) | all `AMPC_*` knobs live in `ampc-knobs` |
+//! | `design-doc-refs` (R7) | design-doc section references resolve |
+//!
+//! The engine is lexical (token shapes over [`crate::lexer`] output),
+//! which keeps it dependency-free and fast but means R1/R2 are
+//! *heuristics*: they can miss an aliased receiver and they can flag a
+//! use that is actually ordered. False positives are handled by the
+//! suppression grammar — `// ampc-lint: allow(<rule>) -- <why>` on the
+//! flagged line or the line directly above, justification mandatory.
+
+use crate::lexer::{lex, Tok, TokKind};
+use std::collections::BTreeSet;
+
+/// A rule's identity and one-line summary (`--list-rules`, docs tests).
+#[derive(Clone, Copy, Debug)]
+pub struct RuleSpec {
+    /// Kebab-case rule name, as used in suppression markers.
+    pub name: &'static str,
+    /// One-line summary of the invariant the rule protects.
+    pub summary: &'static str,
+}
+
+/// R1 name.
+pub const R1: &str = "no-unbatched-get";
+/// R2 name.
+pub const R2: &str = "no-unordered-iteration";
+/// R3 name.
+pub const R3: &str = "no-wall-clock-or-ambient-rng";
+/// R4 name.
+pub const R4: &str = "no-raw-spawn";
+/// R5 name.
+pub const R5: &str = "safety-comments";
+/// R6 name.
+pub const R6: &str = "env-knob-registry";
+/// R7 name.
+pub const R7: &str = "design-doc-refs";
+/// The meta-rule for malformed suppression markers (not suppressible).
+pub const BAD_SUPPRESSION: &str = "bad-suppression";
+
+/// Every enforceable rule, in R-number order.
+pub const RULES: &[RuleSpec] = &[
+    RuleSpec {
+        name: R1,
+        summary: "per-key MachineHandle::get/try_get inside a loop in a core kernel; \
+                  batch independent lookups with get_many/get_many_through",
+    },
+    RuleSpec {
+        name: R2,
+        summary: "iteration over std HashMap/HashSet in a deterministic-path crate; \
+                  sort first, use a BTree collection, or justify",
+    },
+    RuleSpec {
+        name: R3,
+        summary: "Instant::now/SystemTime/thread_rng outside crates/bench; outputs \
+                  must be pure functions of input + seed",
+    },
+    RuleSpec {
+        name: R4,
+        summary: "raw std::thread spawn outside runtime/src/pool.rs; use the \
+                  persistent WorkerPool",
+    },
+    RuleSpec {
+        name: R5,
+        summary: "an unsafe block/fn/impl without a `// SAFETY:` comment on it or \
+                  within the three lines above",
+    },
+    RuleSpec {
+        name: R6,
+        summary: "std::env::var outside the ampc-knobs registry; every AMPC_* knob \
+                  must be discoverable in one place",
+    },
+    RuleSpec {
+        name: R7,
+        summary: "a `DESIGN.md §N` reference in a comment that resolves to no \
+                  section of DESIGN.md",
+    },
+];
+
+/// One reported violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule name (kebab-case; see [`RULES`]).
+    pub rule: &'static str,
+    /// Workspace-relative path, forward slashes.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Per-file lint result.
+#[derive(Clone, Debug, Default)]
+pub struct FileReport {
+    /// Violations that survived suppression, in source order.
+    pub violations: Vec<Violation>,
+    /// Count of violations silenced by a (well-formed) allow marker.
+    pub suppressed: usize,
+}
+
+/// The rule engine. Holds the cross-file context rules need — today
+/// that is only the set of DESIGN.md section numbers for R7.
+pub struct Linter {
+    /// Section numbers (`"5.3"`, `"9"`, …) that exist in DESIGN.md.
+    pub sections: BTreeSet<String>,
+}
+
+/// A parsed suppression marker: it silences matching violations on its
+/// own line and on the first code line after the contiguous comment
+/// block it sits in (the `#[allow]`-attribute placement intuition).
+struct Marker {
+    rule: String,
+    line: u32,
+    /// First code line following the marker's comment block, if it
+    /// directly abuts one (no blank lines in between).
+    target: Option<u32>,
+}
+
+/// Lexical scopes each token sits in, from one brace/paren-matching
+/// pre-pass.
+struct Scopes {
+    /// Token is inside a `for`/`while`/`loop` body or an iterator-
+    /// adapter closure (`.map(..)`, `.for_each(..)`, …).
+    in_loop: Vec<bool>,
+    /// Token is inside a `#[cfg(test)]` module or `#[test]` function.
+    in_test: Vec<bool>,
+}
+
+/// Iterator adapters whose argument runs once per element: a callback
+/// body inside them is "inside a loop" for R1.
+const ITER_ADAPTERS: &[&str] = &[
+    "map",
+    "for_each",
+    "filter",
+    "filter_map",
+    "flat_map",
+    "fold",
+    "scan",
+    "inspect",
+    "retain",
+    "try_for_each",
+];
+
+/// Map-iteration methods R2 flags.
+const MAP_ITER_METHODS: &[&str] = &[
+    "iter",
+    "iter_mut",
+    "keys",
+    "values",
+    "values_mut",
+    "drain",
+    "into_iter",
+    "into_keys",
+    "into_values",
+];
+
+/// Identifiers that mark an iteration as order-insensitive (the result
+/// cannot depend on visit order) or explicitly ordered, exempting it
+/// from R2 when they appear in the same statement.
+const ORDER_SAFE_SINKS: &[&str] = &[
+    "BTreeMap",
+    "BTreeSet",
+    "BinaryHeap",
+    "min",
+    "max",
+    "min_by",
+    "min_by_key",
+    "max_by",
+    "max_by_key",
+    "sum",
+    "product",
+    "count",
+    "len",
+    "all",
+    "any",
+    "contains",
+    "is_empty",
+];
+
+impl Linter {
+    /// A linter whose R7 section set is `sections`.
+    pub fn with_sections(sections: BTreeSet<String>) -> Linter {
+        Linter { sections }
+    }
+
+    /// Lints one file's source. `rel_path` (workspace-relative, forward
+    /// slashes) decides which rules apply where.
+    pub fn check_source(&self, rel_path: &str, src: &str) -> FileReport {
+        let toks = lex(src);
+        let scopes = compute_scopes(&toks);
+        let mut report = FileReport::default();
+        let mut markers = Vec::new();
+        collect_markers(&toks, rel_path, &mut markers, &mut report.violations);
+
+        let mut raw = Vec::new();
+        if rel_path.starts_with("crates/core/src") {
+            rule_unbatched_get(&toks, &scopes, rel_path, &mut raw);
+        }
+        if is_deterministic_path(rel_path) {
+            rule_unordered_iteration(&toks, &scopes, rel_path, &mut raw);
+        }
+        if !rel_path.starts_with("crates/bench") {
+            rule_wall_clock_rng(&toks, rel_path, &mut raw);
+        }
+        if rel_path != "crates/runtime/src/pool.rs" {
+            rule_raw_spawn(&toks, rel_path, &mut raw);
+        }
+        rule_safety_comments(&toks, rel_path, &mut raw);
+        if !rel_path.starts_with("crates/knobs/src") {
+            rule_env_knob_registry(&toks, rel_path, &mut raw);
+        }
+        rule_design_doc_refs(&toks, rel_path, &self.sections, &mut raw);
+
+        // Apply suppressions: a marker silences matching violations on
+        // its own line and on the code line its comment block abuts.
+        for v in raw {
+            let suppressed = markers
+                .iter()
+                .any(|m| m.rule == v.rule && (m.line == v.line || m.target == Some(v.line)));
+            if suppressed {
+                report.suppressed += 1;
+            } else {
+                report.violations.push(v);
+            }
+        }
+        report
+            .violations
+            .sort_by_key(|v| (v.line, v.col, v.rule.to_string()));
+        report.violations.dedup();
+        report
+    }
+}
+
+/// The crates whose code must be schedule- and process-independent
+/// (R2's scope): everything that runs between input and output digest.
+fn is_deterministic_path(rel: &str) -> bool {
+    [
+        "crates/core/src",
+        "crates/dht/src",
+        "crates/runtime/src",
+        "crates/mpc/src",
+        "crates/trees/src",
+    ]
+    .iter()
+    .any(|p| rel.starts_with(p))
+}
+
+/// One pass of brace/paren matching that classifies every token as
+/// inside/outside loop bodies and test-only code.
+fn compute_scopes(toks: &[Tok]) -> Scopes {
+    let mut in_loop = vec![false; toks.len()];
+    let mut in_test = vec![false; toks.len()];
+    // Each open brace pushes (is_loop, is_test); parens push loop-ness
+    // only (for iterator-adapter callbacks).
+    let mut braces: Vec<(bool, bool)> = Vec::new();
+    let mut parens: Vec<bool> = Vec::new();
+    let mut loop_depth = 0usize;
+    let mut test_depth = 0usize;
+    let mut pending_loop: Option<usize> = None; // paren depth at keyword
+    let mut pending_test: Option<usize> = None;
+
+    for (i, t) in toks.iter().enumerate() {
+        in_loop[i] = loop_depth > 0;
+        in_test[i] = test_depth > 0;
+        match &t.kind {
+            TokKind::Ident => match t.text.as_str() {
+                "for" if is_loop_for(toks, i) => pending_loop = Some(parens.len()),
+                "while" | "loop" => pending_loop = Some(parens.len()),
+                _ => {}
+            },
+            TokKind::Punct('#') if is_test_attr(toks, i) => {
+                pending_test = Some(parens.len());
+            }
+            TokKind::Punct('(') => {
+                let adapter = i >= 2
+                    && toks[i - 1].kind == TokKind::Ident
+                    && ITER_ADAPTERS.contains(&toks[i - 1].text.as_str())
+                    && toks[i - 2].is_punct('.');
+                if adapter {
+                    loop_depth += 1;
+                }
+                parens.push(adapter);
+            }
+            TokKind::Punct(')') => {
+                let closed_adapter = parens.pop() == Some(true);
+                if closed_adapter {
+                    loop_depth -= 1;
+                }
+            }
+            TokKind::Punct('{') => {
+                let is_loop = pending_loop.take().map(|d| d == parens.len()) == Some(true);
+                let is_test = pending_test.take().map(|d| d == parens.len()) == Some(true);
+                if is_loop {
+                    loop_depth += 1;
+                }
+                if is_test {
+                    test_depth += 1;
+                }
+                braces.push((is_loop, is_test));
+            }
+            TokKind::Punct('}') => {
+                if let Some((was_loop, was_test)) = braces.pop() {
+                    if was_loop {
+                        loop_depth -= 1;
+                    }
+                    if was_test {
+                        test_depth -= 1;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    Scopes { in_loop, in_test }
+}
+
+/// Distinguishes loop-`for` from `impl Trait for Type` and HRTB
+/// `for<'a>`: the latter two are preceded by a type position (ident,
+/// `>`, `)`, `]`) or followed by `<`.
+fn is_loop_for(toks: &[Tok], i: usize) -> bool {
+    if next_code(toks, i).is_some_and(|j| toks[j].is_punct('<')) {
+        return false;
+    }
+    match prev_code(toks, i) {
+        Some(j) => {
+            !(toks[j].kind == TokKind::Ident
+                || toks[j].is_punct('>')
+                || toks[j].is_punct(')')
+                || toks[j].is_punct(']'))
+        }
+        None => true,
+    }
+}
+
+/// `#[cfg(test)]` or `#[test]` starting at the `#` token `i`.
+fn is_test_attr(toks: &[Tok], i: usize) -> bool {
+    let rest: Vec<&Tok> = toks[i..].iter().take(8).collect();
+    let shape = |pats: &[&str]| -> bool {
+        rest.len() >= pats.len()
+            && pats.iter().enumerate().all(|(k, p)| match *p {
+                "#" => rest[k].is_punct('#'),
+                "[" => rest[k].is_punct('['),
+                "]" => rest[k].is_punct(']'),
+                "(" => rest[k].is_punct('('),
+                ")" => rest[k].is_punct(')'),
+                id => rest[k].is_ident(id),
+            })
+    };
+    shape(&["#", "[", "test", "]"]) || shape(&["#", "[", "cfg", "(", "test", ")", "]"])
+}
+
+fn next_code(toks: &[Tok], i: usize) -> Option<usize> {
+    toks[i + 1..]
+        .iter()
+        .position(|t| t.kind != TokKind::Comment)
+        .map(|off| i + 1 + off)
+}
+
+fn prev_code(toks: &[Tok], i: usize) -> Option<usize> {
+    toks[..i].iter().rposition(|t| t.kind != TokKind::Comment)
+}
+
+/// Parses `// ampc-lint: allow(<rule>) -- <justification>` markers and
+/// reports malformed ones (missing justification, unknown rule name) as
+/// `bad-suppression` violations — which are themselves unsuppressible.
+fn collect_markers(toks: &[Tok], rel: &str, markers: &mut Vec<Marker>, out: &mut Vec<Violation>) {
+    // Line occupancy maps for computing each marker's target line.
+    let mut comment_lines: BTreeSet<u32> = BTreeSet::new();
+    let mut code_lines: BTreeSet<u32> = BTreeSet::new();
+    for t in toks {
+        if t.kind == TokKind::Comment {
+            let span = t.text.matches('\n').count() as u32;
+            for l in t.line..=t.line + span {
+                comment_lines.insert(l);
+            }
+        } else {
+            code_lines.insert(t.line);
+        }
+    }
+    let target_of = |marker_line: u32| -> Option<u32> {
+        let mut l = marker_line + 1;
+        while comment_lines.contains(&l) && !code_lines.contains(&l) {
+            l += 1;
+        }
+        code_lines.contains(&l).then_some(l)
+    };
+    for t in toks {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        // The marker must *start* the comment (after the `//`/`//!`
+        // slashes): prose that merely quotes the grammar is not a
+        // marker.
+        let head = t.text.trim_start_matches(['/', '*', '!']).trim_start();
+        let Some(rest) = head.strip_prefix("ampc-lint:") else {
+            continue;
+        };
+        let rest = rest.trim_start();
+        let bad = |msg: String, out: &mut Vec<Violation>| {
+            out.push(Violation {
+                rule: BAD_SUPPRESSION,
+                file: rel.to_string(),
+                line: t.line,
+                col: t.col,
+                message: msg,
+            });
+        };
+        let Some(inner) = rest.strip_prefix("allow(").and_then(|r| r.split_once(')')) else {
+            bad(
+                "malformed marker: expected `ampc-lint: allow(<rule>) -- <justification>`"
+                    .to_string(),
+                out,
+            );
+            continue;
+        };
+        let (rule, tail) = inner;
+        let rule = rule.trim();
+        if !RULES.iter().any(|r| r.name == rule) {
+            bad(format!("unknown rule {rule:?} in suppression marker"), out);
+            continue;
+        }
+        let justification = tail.trim_start().strip_prefix("--").map(str::trim);
+        match justification {
+            Some(j) if !j.is_empty() => {
+                let name = RULES.iter().find(|r| r.name == rule).unwrap().name;
+                markers.push(Marker {
+                    rule: name.to_string(),
+                    line: t.line,
+                    target: target_of(t.line),
+                });
+            }
+            _ => bad(
+                format!("suppression of `{rule}` lacks a justification (`-- <why>`)"),
+                out,
+            ),
+        }
+    }
+}
+
+/// R1: `handle.get(` / `handle.try_get(` lexically inside a loop (or an
+/// iterator-adapter callback) in a core kernel. Dependent, adaptive
+/// probe chains — the lookups that *define* AMPC — are expected to
+/// carry an allow marker explaining why the next key depends on the
+/// previous value.
+fn rule_unbatched_get(toks: &[Tok], scopes: &Scopes, rel: &str, out: &mut Vec<Violation>) {
+    for i in 0..toks.len().saturating_sub(3) {
+        if toks[i].is_ident("handle")
+            && toks[i + 1].is_punct('.')
+            && (toks[i + 2].is_ident("get") || toks[i + 2].is_ident("try_get"))
+            && toks[i + 3].is_punct('(')
+            && scopes.in_loop[i]
+        {
+            out.push(Violation {
+                rule: R1,
+                file: rel.to_string(),
+                line: toks[i + 2].line,
+                col: toks[i + 2].col,
+                message: format!(
+                    "per-key `handle.{}()` inside a loop: independent lookups must be \
+                     batched with `get_many`/`get_many_through` (one accounted round \
+                     trip); if the chain is adaptive (each key depends on the previous \
+                     value), say so in an allow marker",
+                    toks[i + 2].text
+                ),
+            });
+        }
+    }
+}
+
+/// R2: iteration over a std `HashMap`/`HashSet` in a deterministic-path
+/// crate. Two passes: bind names whose declared type or constructor is
+/// a std hash collection, then flag iteration sites over those names
+/// unless the same statement ends in an order-insensitive sink or a
+/// `sort*` call follows within three lines. `FxHashMap`/`FxHashSet`
+/// (fixed seed, canonicalized by every consumer) are exempt by name;
+/// test-only code is exempt by scope.
+fn rule_unordered_iteration(toks: &[Tok], scopes: &Scopes, rel: &str, out: &mut Vec<Violation>) {
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    for i in 0..toks.len() {
+        if !(toks[i].is_ident("HashMap") || toks[i].is_ident("HashSet")) {
+            continue;
+        }
+        // `name: [&mut] [std::collections::] HashMap<..>`
+        let mut j = i;
+        while let Some(p) = prev_code(toks, j) {
+            let t = &toks[p];
+            let path_seg = t.kind == TokKind::Ident && (t.text == "std" || t.text == "collections");
+            let glue =
+                t.is_punct(':') || t.is_punct('&') || t.is_ident("mut") || t.is_punct('\'');
+            if path_seg || glue {
+                j = p;
+            } else {
+                break;
+            }
+        }
+        if j < i {
+            if let Some(p) = prev_code(toks, j) {
+                // Reached the token before the `... :` chain; `j` holds
+                // the outermost `:`; the name sits right before it.
+                if toks[j].is_punct(':') && toks[p].kind == TokKind::Ident {
+                    bound.insert(toks[p].text.clone());
+                }
+            }
+        }
+        // `let [mut] name = HashMap::new()/with_capacity/default()`
+        if let (Some(a), Some(b)) = (next_code(toks, i), prev_code(toks, i)) {
+            let ctor = toks[a].is_punct(':')
+                && toks.get(a + 1).is_some_and(|t| t.is_punct(':'))
+                && toks.get(a + 2).is_some_and(|t| {
+                    t.is_ident("new") || t.is_ident("with_capacity") || t.is_ident("default")
+                });
+            if ctor && toks[b].is_punct('=') {
+                if let Some(n) = prev_code(toks, b) {
+                    if toks[n].kind == TokKind::Ident && toks[n].text != "mut" {
+                        bound.insert(toks[n].text.clone());
+                    } else if toks[n].is_ident("mut") {
+                        if let Some(n2) = prev_code(toks, n) {
+                            if toks[n2].kind == TokKind::Ident {
+                                bound.insert(toks[n2].text.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    if bound.is_empty() {
+        return;
+    }
+
+    let flag = |i: usize, what: &str, out: &mut Vec<Violation>| {
+        out.push(Violation {
+            rule: R2,
+            file: rel.to_string(),
+            line: toks[i].line,
+            col: toks[i].col,
+            message: format!(
+                "iteration over std hash collection `{what}`: visit order is \
+                 randomized per process, which diverges outputs across runs and \
+                 machines; collect-and-sort, use a BTree collection, or justify \
+                 with an allow marker"
+            ),
+        });
+    };
+
+    for i in 0..toks.len() {
+        if scopes.in_test[i] {
+            continue;
+        }
+        // `name.iter()` / `.keys()` / `.drain()` / …
+        if toks[i].kind == TokKind::Ident
+            && bound.contains(&toks[i].text)
+            && toks.get(i + 1).is_some_and(|t| t.is_punct('.'))
+            && toks
+                .get(i + 2)
+                .is_some_and(|t| MAP_ITER_METHODS.contains(&t.text.as_str()))
+            && toks.get(i + 3).is_some_and(|t| t.is_punct('('))
+            && !statement_is_order_safe(toks, i)
+        {
+            flag(i, &toks[i].text, out);
+        }
+        // `for pat in [&mut] name …`
+        if toks[i].is_ident("for") && is_loop_for(toks, i) {
+            let mut j = i + 1;
+            let mut hit: Option<usize> = None;
+            let mut safe = false;
+            while j < toks.len() && !toks[j].is_punct('{') {
+                if toks[j].kind == TokKind::Ident {
+                    if bound.contains(&toks[j].text) {
+                        hit.get_or_insert(j);
+                    }
+                    if ORDER_SAFE_SINKS.contains(&toks[j].text.as_str()) {
+                        safe = true;
+                    }
+                }
+                j += 1;
+            }
+            if let (Some(h), false) = (hit, safe) {
+                flag(h, &toks[h].text, out);
+            }
+        }
+    }
+}
+
+/// True when the statement containing token `i` drains into an
+/// order-insensitive sink (`len`, `min`, a BTree collect, …) or a
+/// `sort*` call appears within the next three lines — the "sorted
+/// first" escape hatch R2 grants.
+fn statement_is_order_safe(toks: &[Tok], i: usize) -> bool {
+    let line = toks[i].line;
+    let mut in_statement = true;
+    for t in &toks[i..] {
+        if t.line > line + 3 {
+            break;
+        }
+        if t.is_punct(';') {
+            in_statement = false;
+        }
+        if t.kind == TokKind::Ident {
+            if t.text.starts_with("sort") {
+                return true;
+            }
+            if in_statement && ORDER_SAFE_SINKS.contains(&t.text.as_str()) {
+                return true;
+            }
+        }
+    }
+    false
+}
+
+/// R3: `Instant::now`, `SystemTime`, `thread_rng` outside
+/// `crates/bench`. Wall-clock may only ever be a reported measurement
+/// (annotate those sites); ambient RNG is banned outright — all
+/// algorithm randomness flows from `AmpcConfig::seed`.
+fn rule_wall_clock_rng(toks: &[Tok], rel: &str, out: &mut Vec<Violation>) {
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if t.kind != TokKind::Ident {
+            continue;
+        }
+        let flagged = match t.text.as_str() {
+            "Instant" => {
+                toks.get(i + 1).is_some_and(|a| a.is_punct(':'))
+                    && toks.get(i + 2).is_some_and(|a| a.is_punct(':'))
+                    && toks.get(i + 3).is_some_and(|a| a.is_ident("now"))
+            }
+            "SystemTime" | "thread_rng" => true,
+            _ => false,
+        };
+        if flagged {
+            out.push(Violation {
+                rule: R3,
+                file: rel.to_string(),
+                line: t.line,
+                col: t.col,
+                message: format!(
+                    "`{}` outside crates/bench: outputs must be pure functions of \
+                     input + seed (DESIGN.md §3); wall-clock is only legitimate as \
+                     a reported measurement, never as algorithm input",
+                    t.text
+                ),
+            });
+        }
+    }
+}
+
+/// R4: `thread::spawn` / `thread::Builder` anywhere but the persistent
+/// pool. One spawn path means one place to enforce naming, panic
+/// propagation and the `AMPC_THREADS` cap.
+fn rule_raw_spawn(toks: &[Tok], rel: &str, out: &mut Vec<Violation>) {
+    for i in 0..toks.len().saturating_sub(3) {
+        if toks[i].is_ident("thread")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && (toks[i + 3].is_ident("spawn") || toks[i + 3].is_ident("Builder"))
+        {
+            out.push(Violation {
+                rule: R4,
+                file: rel.to_string(),
+                line: toks[i + 3].line,
+                col: toks[i + 3].col,
+                message: "raw std::thread spawn: all worker parallelism must flow \
+                          through runtime's persistent WorkerPool (runtime/src/pool.rs) \
+                          so AMPC_THREADS=1 really means inline"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R5: every `unsafe` keyword must carry a `// SAFETY:` comment — on
+/// the same line, or anywhere in the contiguous comment block that
+/// directly precedes it (no code or blank lines in between).
+fn rule_safety_comments(toks: &[Tok], rel: &str, out: &mut Vec<Violation>) {
+    // line -> (has a comment, that comment mentions SAFETY:). Block
+    // comments mark every line they span.
+    let mut comment_lines: std::collections::BTreeMap<u32, bool> =
+        std::collections::BTreeMap::new();
+    let mut code_lines: BTreeSet<u32> = BTreeSet::new();
+    for t in toks {
+        if t.kind == TokKind::Comment {
+            let span = t.text.matches('\n').count() as u32;
+            let has = t.text.contains("SAFETY:");
+            for l in t.line..=t.line + span {
+                *comment_lines.entry(l).or_insert(false) |= has;
+            }
+        } else {
+            code_lines.insert(t.line);
+        }
+    }
+    for t in toks {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let mut documented = comment_lines.get(&t.line) == Some(&true);
+        let mut l = t.line.saturating_sub(1);
+        while !documented && l >= 1 {
+            match comment_lines.get(&l) {
+                Some(has) if !code_lines.contains(&l) => {
+                    documented = *has;
+                    if *has {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+            l -= 1;
+        }
+        if !documented {
+            out.push(Violation {
+                rule: R5,
+                file: rel.to_string(),
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` without a `// SAFETY:` comment stating the proof \
+                          obligation (same line, or the comment block directly above)"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R6: `env::var`/`env::var_os` outside the `ampc-knobs` registry.
+fn rule_env_knob_registry(toks: &[Tok], rel: &str, out: &mut Vec<Violation>) {
+    for i in 0..toks.len().saturating_sub(3) {
+        if toks[i].is_ident("env")
+            && toks[i + 1].is_punct(':')
+            && toks[i + 2].is_punct(':')
+            && (toks[i + 3].is_ident("var") || toks[i + 3].is_ident("var_os"))
+        {
+            out.push(Violation {
+                rule: R6,
+                file: rel.to_string(),
+                line: toks[i + 3].line,
+                col: toks[i + 3].col,
+                message: "direct environment read: route the knob through the \
+                          ampc-knobs registry (crates/knobs) so every AMPC_* \
+                          variable stays discoverable in one place"
+                    .to_string(),
+            });
+        }
+    }
+}
+
+/// R7: every design-doc section reference in a comment (the literal
+/// text `DESIGN.md` followed by a section sign and number) must name a
+/// real section of DESIGN.md.
+fn rule_design_doc_refs(
+    toks: &[Tok],
+    rel: &str,
+    sections: &BTreeSet<String>,
+    out: &mut Vec<Violation>,
+) {
+    const NEEDLE: &str = "DESIGN.md §";
+    for t in toks {
+        if t.kind != TokKind::Comment {
+            continue;
+        }
+        let mut rest = t.text.as_str();
+        let mut consumed = 0usize;
+        while let Some(at) = rest.find(NEEDLE) {
+            let after = &rest[at + NEEDLE.len()..];
+            let num: String = after
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.')
+                .collect();
+            let num = num.trim_end_matches('.').to_string();
+            let line = t.line
+                + t.text[..consumed + at]
+                    .chars()
+                    .filter(|&c| c == '\n')
+                    .count() as u32;
+            if num.is_empty() || !sections.contains(&num) {
+                out.push(Violation {
+                    rule: R7,
+                    file: rel.to_string(),
+                    line,
+                    col: t.col,
+                    message: if num.is_empty() {
+                        "dangling `DESIGN.md §` reference with no section number".to_string()
+                    } else {
+                        format!("`DESIGN.md §{num}` does not resolve to any section of DESIGN.md")
+                    },
+                });
+            }
+            consumed += at + NEEDLE.len();
+            rest = after;
+        }
+    }
+}

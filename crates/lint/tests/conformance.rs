@@ -1,0 +1,177 @@
+//! The rule-engine fixture suite: one must-flag and one must-pass
+//! snippet per rule R1–R7, plus the suppression-grammar fixtures. Each
+//! fixture is scanned under a synthetic workspace-relative path because
+//! rule scope is path-based (DESIGN.md §9).
+
+use ampc_lint::rules::{Linter, BAD_SUPPRESSION, R1, R2, R3, R4, R5, R6, R7};
+use std::collections::BTreeSet;
+
+fn linter() -> Linter {
+    let sections: BTreeSet<String> = ["1", "3", "5.3", "5.4", "9"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    Linter::with_sections(sections)
+}
+
+/// Rule names that fired, in order, plus the suppressed count.
+fn run(rel: &str, src: &str) -> (Vec<&'static str>, usize) {
+    let report = linter().check_source(rel, src);
+    (
+        report.violations.iter().map(|v| v.rule).collect(),
+        report.suppressed,
+    )
+}
+
+const CORE: &str = "crates/core/src/fixture.rs";
+
+#[test]
+fn r1_flags_per_key_gets_in_loops() {
+    let (rules, _) = run(CORE, include_str!("fixtures/r1_flag.rs"));
+    assert_eq!(rules, vec![R1, R1], "loop body and .map() callback");
+}
+
+#[test]
+fn r1_passes_batched_and_straightline_gets() {
+    let (rules, n) = run(CORE, include_str!("fixtures/r1_pass.rs"));
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+    assert_eq!(n, 0);
+}
+
+#[test]
+fn r2_flags_unordered_iteration() {
+    let (rules, _) = run(CORE, include_str!("fixtures/r2_flag.rs"));
+    assert!(
+        rules.iter().filter(|r| **r == R2).count() >= 2,
+        "for-loop and .keys() chains must both flag: {rules:?}"
+    );
+}
+
+#[test]
+fn r2_passes_sorted_sinks_fx_and_tests() {
+    let (rules, _) = run(CORE, include_str!("fixtures/r2_pass.rs"));
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+}
+
+#[test]
+fn r2_is_scoped_to_deterministic_crates() {
+    let src = include_str!("fixtures/r2_flag.rs");
+    let (rules, _) = run("crates/bench/src/fixture.rs", src);
+    assert!(!rules.contains(&R2), "bench is outside R2 scope");
+}
+
+#[test]
+fn r3_flags_wall_clock_and_ambient_rng() {
+    let (rules, _) = run(CORE, include_str!("fixtures/r3_flag.rs"));
+    assert_eq!(
+        rules,
+        vec![R3, R3, R3],
+        "Instant::now, thread_rng, SystemTime"
+    );
+}
+
+#[test]
+fn r3_passes_in_bench() {
+    let (rules, _) = run(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/r3_pass.rs"),
+    );
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+}
+
+#[test]
+fn r4_flags_raw_spawns() {
+    let (rules, _) = run(CORE, include_str!("fixtures/r4_flag.rs"));
+    assert_eq!(rules, vec![R4, R4], "spawn and Builder");
+}
+
+#[test]
+fn r4_passes_in_the_pool() {
+    let (rules, _) = run(
+        "crates/runtime/src/pool.rs",
+        include_str!("fixtures/r4_pass.rs"),
+    );
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+}
+
+#[test]
+fn r5_flags_undocumented_unsafe() {
+    let (rules, _) = run(CORE, include_str!("fixtures/r5_flag.rs"));
+    assert_eq!(rules, vec![R5]);
+}
+
+#[test]
+fn r5_passes_block_above_and_same_line() {
+    let (rules, _) = run(CORE, include_str!("fixtures/r5_pass.rs"));
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+}
+
+#[test]
+fn r6_flags_direct_env_reads() {
+    let (rules, _) = run(CORE, include_str!("fixtures/r6_flag.rs"));
+    assert_eq!(rules, vec![R6, R6], "var and var_os");
+}
+
+#[test]
+fn r6_passes_inside_the_registry() {
+    let (rules, _) = run(
+        "crates/knobs/src/lib.rs",
+        include_str!("fixtures/r6_pass.rs"),
+    );
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+}
+
+#[test]
+fn r7_flags_unresolved_and_dangling_refs() {
+    let (rules, _) = run(CORE, include_str!("fixtures/r7_flag.rs"));
+    assert_eq!(rules, vec![R7, R7, R7], "§42, bare §, bare § again");
+}
+
+#[test]
+fn r7_passes_resolving_refs() {
+    let (rules, _) = run(CORE, include_str!("fixtures/r7_pass.rs"));
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+}
+
+#[test]
+fn justified_markers_suppress_and_are_counted() {
+    let (rules, suppressed) = run(CORE, include_str!("fixtures/suppressed_pass.rs"));
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+    assert_eq!(suppressed, 3, "block-above, same-line get, same-line now");
+}
+
+#[test]
+fn malformed_markers_flag_and_do_not_suppress() {
+    let (rules, suppressed) = run(CORE, include_str!("fixtures/bad_suppression_flag.rs"));
+    assert_eq!(suppressed, 0);
+    assert_eq!(
+        rules.iter().filter(|r| **r == BAD_SUPPRESSION).count(),
+        2,
+        "missing justification + unknown rule: {rules:?}"
+    );
+    assert!(
+        rules.contains(&R3),
+        "unjustified marker must not silence R3"
+    );
+    assert!(
+        rules.contains(&R4),
+        "unknown-rule marker must not silence R4"
+    );
+}
+
+#[test]
+fn string_and_comment_content_never_flags() {
+    let src = r##"
+        //! Prose about thread_rng, env::var and handle.get in a loop is fine,
+        //! and so is quoting the grammar: `// ampc-lint: allow(no-raw-spawn) -- x`.
+        pub fn quoted() -> &'static str {
+            "Instant::now() SystemTime thread_rng std::thread::spawn env::var"
+        }
+    "##;
+    let (rules, suppressed) = run(CORE, src);
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+    assert_eq!(
+        suppressed, 0,
+        "quoted grammar must not register as a marker"
+    );
+}

@@ -1,0 +1,16 @@
+// Fixture for the bad-suppression meta-rule: a marker without a
+// justification, and one naming an unknown rule. Both must flag, and
+// neither silences the violation it decorates.
+use std::time::Instant;
+
+pub fn unjustified(f: impl FnOnce()) -> u128 {
+    // ampc-lint: allow(no-wall-clock-or-ambient-rng)
+    let t = Instant::now();
+    f();
+    t.elapsed().as_nanos()
+}
+
+pub fn unknown_rule() {
+    // ampc-lint: allow(no-such-rule) -- confidently wrong.
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,11 @@
+// Positive fixture for R1 (no-unbatched-get): a per-key handle.get
+// inside a loop, and one inside an iterator-adapter callback. Scanned
+// as if it lived in crates/core/src.
+pub fn chase(ctx: &mut Ctx, keys: &[u64]) -> u64 {
+    let mut acc = 0;
+    for &k in keys {
+        acc += *ctx.handle.get(k).unwrap();
+    }
+    let more: Vec<u64> = keys.iter().map(|&k| *ctx.handle.try_get(k).unwrap()).collect();
+    acc + more.len() as u64
+}

@@ -1,0 +1,13 @@
+// Positive fixture for R2 (no-unordered-iteration): iterating a std
+// HashMap in two unordered ways. Scanned as if in crates/core/src.
+use std::collections::HashMap;
+
+pub fn leak_order(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut out = Vec::new();
+    for (k, v) in m.iter() {
+        out.push(*k + *v);
+    }
+    let built: HashMap<u64, u64> = HashMap::new();
+    built.keys().for_each(|k| out.push(*k));
+    out
+}

@@ -1,0 +1,35 @@
+// Negative fixture for R2: every observation of a std hash collection
+// is order-insensitive or sorted before use, Fx maps are exempt by
+// fixed-seed design, and test-only iteration is out of scope.
+use std::collections::HashMap;
+
+pub fn sorted_first(m: &HashMap<u64, u64>) -> Vec<u64> {
+    let mut keys: Vec<u64> = m.keys().copied().collect();
+    keys.sort_unstable();
+    keys
+}
+
+pub fn order_insensitive(m: &HashMap<u64, u64>) -> usize {
+    m.len()
+}
+
+pub fn max_key(m: &HashMap<u64, u64>) -> Option<u64> {
+    m.keys().copied().max()
+}
+
+pub fn fixed_seed(fx: &FxHashMap<u64, u64>) -> Vec<u64> {
+    fx.keys().copied().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn iteration_in_tests_is_out_of_scope() {
+        let m: HashMap<u64, u64> = HashMap::new();
+        for (k, v) in m.iter() {
+            assert!(k >= v);
+        }
+    }
+}

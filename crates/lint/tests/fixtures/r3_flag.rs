@@ -1,0 +1,10 @@
+// Positive fixture for R3 (no-wall-clock-or-ambient-rng): wall-clock
+// and ambient RNG in algorithm code. Scanned as if in crates/core/src.
+use std::time::Instant;
+
+pub fn timed_choice(xs: &[u64]) -> u64 {
+    let t = Instant::now();
+    let mut rng = thread_rng();
+    let _ = SystemTime::now();
+    xs[(t.elapsed().as_nanos() as usize + rng.next() as usize) % xs.len()]
+}

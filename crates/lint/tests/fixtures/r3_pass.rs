@@ -1,0 +1,10 @@
+// Negative fixture for R3: the same wall-clock use is legitimate in
+// crates/bench (this fixture is scanned as if it lived there) — timing
+// measurements are the bench harness's whole job.
+use std::time::Instant;
+
+pub fn measure(f: impl FnOnce()) -> u128 {
+    let t = Instant::now();
+    f();
+    t.elapsed().as_nanos()
+}

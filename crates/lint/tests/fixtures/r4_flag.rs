@@ -1,0 +1,10 @@
+// Positive fixture for R4 (no-raw-spawn): raw std::thread spawns
+// outside runtime/src/pool.rs.
+pub fn fan_out(n: usize) {
+    let handles: Vec<_> = (0..n).map(|_| std::thread::spawn(|| {})).collect();
+    let named = std::thread::Builder::new().name("rogue".into());
+    for h in handles {
+        h.join().unwrap();
+    }
+    drop(named);
+}

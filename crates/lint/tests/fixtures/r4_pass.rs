@@ -1,0 +1,9 @@
+// Negative fixture for R4: identical spawn code is allowed when the
+// file IS the pool (scanned as crates/runtime/src/pool.rs), which owns
+// all worker threads.
+pub fn spawn_worker() {
+    std::thread::Builder::new()
+        .name("ampc-worker".into())
+        .spawn(|| {})
+        .unwrap();
+}

@@ -1,0 +1,6 @@
+// Positive fixture for R5 (safety-comments): unsafe without a SAFETY
+// comment. The comment below talks about something else entirely.
+pub fn undocumented(p: *const u64) -> u64 {
+    // Reads the value behind the pointer.
+    unsafe { *p }
+}

@@ -1,0 +1,12 @@
+// Negative fixture for R5: both accepted placements — a (multi-line)
+// comment block directly above, and a same-line trailing comment.
+pub fn documented(p: *const u64) -> u64 {
+    // SAFETY: the caller guarantees `p` points to a live, aligned u64
+    // for the duration of this call; no concurrent writers exist
+    // because the sealed generation is immutable.
+    unsafe { *p }
+}
+
+pub fn inline(p: *const u64) -> u64 {
+    unsafe { *p } // SAFETY: caller contract as above.
+}

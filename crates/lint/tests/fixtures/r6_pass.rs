@@ -1,0 +1,10 @@
+// Negative fixture for R6: the same read is legal inside the registry
+// (this fixture is scanned as if it were crates/knobs/src/lib.rs), and
+// knob consumers elsewhere go through the registry's accessors.
+pub fn registry_read() -> Option<String> {
+    std::env::var("AMPC_SCALE").ok()
+}
+
+pub fn consumer() -> usize {
+    ampc_knobs::ampc_threads()
+}

@@ -1,0 +1,6 @@
+//! Positive fixture for R7 (design-doc-refs): references to sections
+//! that do not exist. The §3 determinism story is real; DESIGN.md §42
+//! is not, and a bare `DESIGN.md §` reference is dangling.
+
+/// See DESIGN.md § for details (dangling).
+pub fn stale() {}

@@ -1,0 +1,7 @@
+//! Negative fixture for R7: every reference resolves (the test feeds
+//! the engine a section set containing 3 and 5.3).
+
+/// The determinism contract is DESIGN.md §3; batching is DESIGN.md §5.3.
+/// A paper section reference like §42 without the file name is not a
+/// design-doc reference at all.
+pub fn fresh() {}

@@ -1,0 +1,22 @@
+// Fixture for the suppression grammar: each violation below carries a
+// justified allow marker, so the file must lint clean (with three
+// suppressions counted).
+use std::time::Instant;
+
+pub fn measured_step(f: impl FnOnce()) -> u128 {
+    // ampc-lint: allow(no-wall-clock-or-ambient-rng) -- reported measurement
+    // only; never feeds algorithm state. Marker sits on a comment block
+    // directly above the flagged line, like an #[allow] attribute.
+    let t = Instant::now();
+    f();
+    t.elapsed().as_nanos()
+}
+
+pub fn chase(ctx: &mut Ctx, keys: &[u64]) -> u64 {
+    let mut acc = 0;
+    for &k in keys {
+        acc += *ctx.handle.get(k).unwrap(); // ampc-lint: allow(no-unbatched-get) -- adaptive probe fixture.
+    }
+    let t2 = Instant::now(); // ampc-lint: allow(no-wall-clock-or-ambient-rng) -- same-line marker form.
+    acc + t2.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,21 @@
+//! The live workspace must be lint-clean: the same invariant CI
+//! enforces with the `ampc-lint` binary, pinned here so `cargo test`
+//! alone catches a conformance regression.
+
+use std::path::Path;
+
+#[test]
+fn live_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let report = ampc_lint::lint_workspace(&root).expect("workspace scan");
+    assert!(
+        report.files_scanned > 100,
+        "suspiciously few files scanned ({}) — did the walk roots move?",
+        report.files_scanned
+    );
+    assert!(
+        report.clean(),
+        "workspace has conformance violations:\n{}",
+        ampc_lint::render_text(&report)
+    );
+}

@@ -1,7 +1,15 @@
 //! Runtime configuration.
+//!
+//! Environment knobs: every `AMPC_*` variable the workspace reads is
+//! registered in the [`knobs`] registry re-exported here — `knobs::all()`
+//! enumerates them with accepted values and defaults. The
+//! `env-knob-registry` conformance rule (`ampc-lint` R6) keeps raw
+//! `std::env::var` calls out of the rest of the tree.
 
 use crate::fault::FaultPlan;
 use ampc_dht::cost::CostConfig;
+
+pub use ampc_knobs as knobs;
 
 /// Configuration of a simulated AMPC/MPC execution.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -50,14 +58,11 @@ pub struct AmpcConfig {
     pub in_memory_threshold: usize,
 }
 
-/// Default batching mode: on, unless the `AMPC_BATCH` environment
-/// variable says `off`/`0`/`false` (the CI knob that keeps the
-/// single-key baseline exercised).
+/// Default batching mode: on, unless the `AMPC_BATCH` environment knob
+/// says `off`/`0`/`false` (the CI knob that keeps the single-key
+/// baseline exercised). Read via the [`knobs`] registry.
 fn batching_default() -> bool {
-    match std::env::var("AMPC_BATCH") {
-        Ok(v) => !matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"),
-        Err(_) => true,
-    }
+    knobs::ampc_batch()
 }
 
 impl Default for AmpcConfig {

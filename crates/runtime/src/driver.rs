@@ -47,6 +47,9 @@ pub struct Driven<R> {
 /// `ampc` CLI use so that every algorithm shares one code path from
 /// configuration to report.
 pub fn drive<R>(cfg: &AmpcConfig, body: impl FnOnce(&mut Job) -> R) -> Driven<R> {
+    // ampc-lint: allow(no-wall-clock-or-ambient-rng) -- wall_ns is a reported
+    // measurement only: it never feeds algorithm state, and perf_suite --check
+    // excludes it from the deterministic fields.
     let start = Instant::now();
     let mut job = Job::new(*cfg);
     let output = body(&mut job);

@@ -212,6 +212,9 @@ impl Job {
         let stage = self.next_stage_index();
         let batching = self.cfg.batching;
         let policy = self.cfg.exec_policy();
+        // ampc-lint: allow(no-wall-clock-or-ambient-rng) -- stage wall time is a
+        // reported measurement only, never algorithm input; perf_suite --check
+        // excludes it from the deterministic fields.
         let wall = Instant::now();
         let mut outcome =
             executor::run_machines(read, write, chunks, budget, batching, policy, &body);
@@ -299,6 +302,9 @@ impl Job {
     /// the AMPC and MPC implementations once the problem is small).
     pub fn local<R>(&mut self, name: &str, ops: u64, f: impl FnOnce() -> R) -> R {
         let _ = self.next_stage_index();
+        // ampc-lint: allow(no-wall-clock-or-ambient-rng) -- stage wall time is a
+        // reported measurement only, never algorithm input; perf_suite --check
+        // excludes it from the deterministic fields.
         let wall = Instant::now();
         let out = f();
         self.report.push(StageReport {

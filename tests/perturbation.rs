@@ -1,0 +1,125 @@
+//! Schedule-perturbation smoke: the determinism contract (DESIGN.md §3)
+//! promises byte-identical outputs regardless of executor thread count.
+//! Each test runs one kernel per algorithm family at 1, 2, and 8
+//! executor threads and asserts the output digests are equal.
+//!
+//! `AMPC_THREADS` is read once and cached process-wide (OnceLock), so
+//! the thread count is perturbed programmatically through
+//! [`AmpcConfig::with_threads`] rather than by flipping the env var.
+
+use ampc::prelude::*;
+use ampc_core::algorithm::digest_u64s;
+use ampc_core::one_vs_two::CycleAnswer;
+use ampc_graph::gen;
+
+const THREADS: [usize; 3] = [1, 2, 8];
+
+fn cfg(threads: usize) -> AmpcConfig {
+    AmpcConfig {
+        num_machines: 4,
+        in_memory_threshold: 100,
+        seed: 0x500C,
+        ..AmpcConfig::default()
+    }
+    .with_threads(threads)
+}
+
+fn tiny() -> CsrGraph {
+    gen::rmat(8, 1_500, gen::RmatParams::SOCIAL, 42)
+}
+
+/// Runs `kernel` once per thread count in [`THREADS`] and asserts every
+/// digest matches the single-threaded run.
+fn assert_schedule_invariant(family: &str, kernel: impl Fn(&AmpcConfig) -> u64) {
+    let digests: Vec<u64> = THREADS.iter().map(|&t| kernel(&cfg(t))).collect();
+    for (&t, &d) in THREADS.iter().zip(&digests) {
+        assert_eq!(
+            d, digests[0],
+            "{family}: output digest diverged at {t} executor threads"
+        );
+    }
+}
+
+#[test]
+fn perturb_mis() {
+    let g = tiny();
+    assert_schedule_invariant("mis", |c| {
+        digest_u64s(mis::ampc_mis(&g, c).in_mis.iter().map(|&b| b as u64))
+    });
+}
+
+#[test]
+fn perturb_matching() {
+    let g = tiny();
+    assert_schedule_invariant("matching", |c| {
+        digest_u64s(
+            matching::ampc_matching(&g, c)
+                .partner
+                .iter()
+                .map(|&x| x as u64),
+        )
+    });
+}
+
+#[test]
+fn perturb_msf() {
+    let g = gen::random_weights(&tiny(), 1_000, 7);
+    assert_schedule_invariant("msf", |c| {
+        digest_u64s(
+            msf::ampc_msf(&g, c)
+                .edges
+                .iter()
+                .flat_map(|e| [e.u as u64, e.v as u64, e.w]),
+        )
+    });
+}
+
+#[test]
+fn perturb_connectivity() {
+    let g = tiny();
+    assert_schedule_invariant("connectivity", |c| {
+        digest_u64s(
+            connectivity::ampc_connected_components(&g, c)
+                .label
+                .iter()
+                .map(|&x| x as u64),
+        )
+    });
+}
+
+#[test]
+fn perturb_one_vs_two() {
+    let g = gen::two_cycles(200, 11);
+    assert_schedule_invariant("one_vs_two", |c| {
+        let answer = one_vs_two::ampc_one_vs_two(&g, c).answer;
+        digest_u64s([matches!(answer, CycleAnswer::Two) as u64])
+    });
+}
+
+#[test]
+fn perturb_walks() {
+    let g = tiny();
+    assert_schedule_invariant("walks", |c| {
+        digest_u64s(
+            walks::ampc_random_walks(&g, c, 1, 6)
+                .walks
+                .iter()
+                .flat_map(|walk| walk.iter().map(|&v| v as u64 + 1).chain([0])),
+        )
+    });
+}
+
+#[test]
+fn perturb_dynamic_connectivity() {
+    let g = tiny();
+    let batches =
+        ampc_graph::dynamic::generate_batches(&g, 3, 40, ampc_graph::dynamic::BatchMix::Churn, 11);
+    assert_schedule_invariant("dynamic", |c| {
+        digest_u64s(
+            dynamic::ampc_dynamic_cc(&g, &batches, c)
+                .labels
+                .iter()
+                .flat_map(|epoch| epoch.iter().map(|&x| x as u64)),
+        )
+    });
+}
