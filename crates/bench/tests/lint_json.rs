@@ -38,13 +38,24 @@ fn lint_json_escapes_survive_a_round_trip() {
     // quote, backslash, control character, and non-ASCII passthrough.
     let report = ampc_lint::Report {
         files_scanned: 1,
-        suppressed: 0,
+        suppressed: 1,
         violations: vec![ampc_lint::rules::Violation {
             rule: ampc_lint::rules::R7,
             file: "crates/core/src/\"odd\\name\".rs".to_string(),
             line: 3,
             col: 7,
             message: "tab\there, newline\nthere, §-sign".to_string(),
+            chain: vec![ampc_lint::callgraph::ChainStep {
+                name: "helper \"quoted\"".to_string(),
+                file: "crates/core/src/\"odd\\name\".rs".to_string(),
+                line: 9,
+            }],
+        }],
+        suppressions: vec![ampc_lint::rules::SuppressionEntry {
+            rule: ampc_lint::rules::R1,
+            file: "crates/core/src/\"odd\\name\".rs".to_string(),
+            line: 5,
+            justification: "why \\ \"because\"".to_string(),
         }],
     };
     let json = parse_json(&ampc_lint::render_json(&report)).expect("strict parse");
@@ -56,5 +67,15 @@ fn lint_json_escapes_survive_a_round_trip() {
     assert_eq!(
         v.get("message").and_then(|m| m.as_str()),
         Some("tab\there, newline\nthere, §-sign")
+    );
+    let step = &v.get("chain").and_then(|c| c.as_arr()).unwrap()[0];
+    assert_eq!(
+        step.get("name").and_then(|n| n.as_str()),
+        Some("helper \"quoted\"")
+    );
+    let s = &json.get("suppressions").and_then(|s| s.as_arr()).unwrap()[0];
+    assert_eq!(
+        s.get("justification").and_then(|j| j.as_str()),
+        Some("why \\ \"because\"")
     );
 }

@@ -37,6 +37,7 @@ pub fn forest_cc(n: usize, forest_edges: &[(NodeId, NodeId)], cfg: &AmpcConfig) 
 
 /// [`forest_cc`] running inside an existing job (used by the
 /// connectivity pipeline to produce one flat report).
+// ampc-lint: budget(batched-requests = 3)
 pub(crate) fn forest_cc_in_job(
     job: &mut Job,
     n: usize,
@@ -71,6 +72,7 @@ pub(crate) fn forest_cc_in_job(
         round += 1;
         assert!(round <= 48, "ForestConnectivity failed to converge");
         let budget = cfg.prim_budget(cur_n.max(2));
+        // ampc-lint: allow(transitive-unbatched-get) -- each contraction round's Prim searches are adaptive walks (DESIGN.md §5.3)
         let r = prim_contract_round(
             job,
             cur_n,

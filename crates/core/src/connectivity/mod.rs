@@ -31,6 +31,7 @@ pub fn ampc_connected_components(g: &CsrGraph, cfg: &AmpcConfig) -> CcOutcome {
 /// The in-job kernel body: computes component labels inside a
 /// caller-provided [`Job`] (the [`crate::algorithm::AmpcAlgorithm`]
 /// entry point).
+// ampc-lint: budget(batched-requests = 3)
 pub fn ampc_connected_components_in_job(job: &mut Job, g: &CsrGraph) -> Vec<NodeId> {
     let cfg = *job.config();
     let n = g.num_nodes();

@@ -112,6 +112,7 @@ pub fn ampc_matching_with_options(
 /// The in-job kernel body: runs AMPC maximal matching inside a
 /// caller-provided [`Job`] (the [`crate::algorithm::AmpcAlgorithm`]
 /// entry point), returning the partner array.
+// ampc-lint: budget(batched-requests = 2)
 pub fn ampc_matching_in_job(job: &mut Job, g: &CsrGraph, opts: MatchingOptions) -> Vec<NodeId> {
     let cfg = *job.config();
     let n = g.num_nodes();
@@ -190,6 +191,7 @@ pub fn ampc_matching_in_job(job: &mut Job, g: &CsrGraph, opts: MatchingOptions) 
                     .zip(roots)
                     .map(|(&v, root)| {
                         let root = root.map(|l| l.as_slice()).unwrap_or(&[]);
+                        // ampc-lint: allow(transitive-unbatched-get) -- vertex processing opens edges adaptively; each probe depends on the previous verdict
                         (v, m.vertex_process(v, root, ctx, budget))
                     })
                     .collect()
@@ -302,6 +304,7 @@ impl<'r> Machine<'r> {
             return Some(NO_NODE); // isolated vertex
         }
         for &u in nbrs {
+            // ampc-lint: allow(transitive-unbatched-get) -- edge verdicts are opened one at a time; the next query depends on this one
             match self.edge_process(v, u, ctx, budget, &mut queries, &mut lists) {
                 None => return None, // truncated
                 Some(true) => {
@@ -465,6 +468,7 @@ impl<'r> Machine<'r> {
                     }
                     None => {
                         // Recurse into (x, y).
+                        // ampc-lint: allow(transitive-unbatched-get) -- recursive edge opening: the child pair is known only after the parent resolves
                         match open(self, x, y, ctx, queries, lists) {
                             Some(child) => {
                                 stack.push(child);

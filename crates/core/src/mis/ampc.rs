@@ -98,6 +98,7 @@ pub fn ampc_mis_with_options(g: &CsrGraph, cfg: &AmpcConfig, opts: MisOptions) -
 /// The in-job kernel body: runs AMPC MIS inside a caller-provided
 /// [`Job`] (the [`crate::algorithm::AmpcAlgorithm`] entry point —
 /// config resolution and report finalization belong to the driver).
+// ampc-lint: budget(batched-requests = 3)
 pub fn ampc_mis_in_job(job: &mut Job, g: &CsrGraph, opts: MisOptions) -> Vec<bool> {
     let cfg = *job.config();
     let n = g.num_nodes();
@@ -181,6 +182,7 @@ pub fn ampc_mis_in_job(job: &mut Job, g: &CsrGraph, opts: MisOptions) -> Vec<boo
                         let root = root.map(|l| l.as_slice()).unwrap_or(&[]);
                         (
                             v,
+                            // ampc-lint: allow(transitive-unbatched-get) -- LubyMIS evaluation walks earlier-in-π neighbors adaptively (budget-capped)
                             evaluate(v, root, ctx, &mut cache, resolved_ro, budget, opts.caching),
                         )
                     })

@@ -214,6 +214,7 @@ pub fn prim_contract_round(
             items
                 .iter()
                 .zip(roots)
+                // ampc-lint: allow(transitive-unbatched-get) -- Prim search frontier: the next adjacency fetched depends on the heap top
                 .map(|(&v, root)| prim_search(v, root, ctx, seed, budget))
                 .collect()
         },
@@ -441,6 +442,7 @@ fn prim_search<'a>(
         if node_rank(seed, t) < rv {
             break;
         }
+        // ampc-lint: allow(transitive-unbatched-get) -- Prim search frontier: the next adjacency fetched depends on the heap top
         expand(t, &mut heap, ctx);
     }
     visited.remove(&v);

@@ -25,6 +25,7 @@ pub fn dense_msf(g: &WeightedCsrGraph, cfg: &AmpcConfig) -> MsfOutcome {
 /// The in-job kernel body: runs the iterated dense MSF inside a
 /// caller-provided [`Job`] (the [`crate::algorithm::AmpcAlgorithm`]
 /// entry point), returning the MSF edges in canonical order.
+// ampc-lint: budget(batched-requests = 3)
 pub fn dense_msf_in_job(job: &mut Job, g: &WeightedCsrGraph) -> Vec<ampc_graph::WeightedEdge> {
     let cfg = *job.config();
     let d = distinctify(g);
@@ -57,6 +58,7 @@ pub(crate) fn dense_msf_loop(
             format!("-r{round}")
         };
         let budget = cfg.prim_budget(cur_n.max(2));
+        // ampc-lint: allow(transitive-unbatched-get) -- each contraction round's Prim searches are adaptive walks (DESIGN.md §5.3)
         let r = prim_contract_round(job, cur_n, &edges, &tag, budget, round as u64);
         msf.extend(r.msf_internal);
         edges = r.next_edges;

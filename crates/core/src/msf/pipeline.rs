@@ -43,6 +43,7 @@ pub fn ampc_msf(g: &WeightedCsrGraph, cfg: &AmpcConfig) -> MsfOutcome {
 
 /// The in-job kernel body of the §5.5 production pipeline (the
 /// [`crate::algorithm::AmpcAlgorithm`] entry point).
+// ampc-lint: budget(batched-requests = 3)
 pub fn ampc_msf_in_job(job: &mut Job, g: &WeightedCsrGraph) -> Vec<WeightedEdge> {
     super::dense::dense_msf_in_job(job, g)
 }

@@ -75,6 +75,7 @@ pub fn ampc_one_vs_two_with_rate(g: &CsrGraph, cfg: &AmpcConfig, sample_inv: u64
 /// The in-job kernel body (the [`crate::algorithm::AmpcAlgorithm`]
 /// entry point): answers the instance inside a caller-provided [`Job`],
 /// returning the answer and the cycle count found.
+// ampc-lint: budget(batched-requests = 3)
 pub fn ampc_one_vs_two_in_job(
     job: &mut Job,
     g: &CsrGraph,

@@ -48,6 +48,7 @@ pub fn ampc_random_walks(
 /// The in-job kernel body (the [`crate::algorithm::AmpcAlgorithm`]
 /// entry point): runs the walks inside a caller-provided [`Job`],
 /// returning one vertex sequence per walker.
+// ampc-lint: budget(batched-requests = 2)
 pub fn ampc_random_walks_in_job(
     job: &mut Job,
     g: &CsrGraph,

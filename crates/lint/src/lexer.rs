@@ -19,7 +19,9 @@ pub enum TokKind {
     Punct(char),
     /// A `//…` or `/*…*/` comment, text preserved verbatim.
     Comment,
-    /// A string/char/numeric literal (contents irrelevant to rules).
+    /// A string/char/numeric literal. Numeric literals keep their text
+    /// (the stripe-lock-order rule compares literal indices); string and
+    /// char contents are dropped (no rule may read them as code).
     Literal,
 }
 
@@ -28,7 +30,8 @@ pub enum TokKind {
 pub struct Tok {
     /// Token class.
     pub kind: TokKind,
-    /// Identifier or comment text (empty for punctuation and literals).
+    /// Identifier, comment, or numeric-literal text (empty for
+    /// punctuation and string/char literals).
     pub text: String,
     /// 1-based line of the token's first character.
     pub line: u32,
@@ -271,14 +274,16 @@ impl Lexer {
     /// `.` so ranges (`0..n`) stay three separate tokens; `1.5` lexes
     /// as two literals, which no rule cares about.
     fn number(&mut self, line: u32, col: u32) {
+        let mut text = String::new();
         while let Some(c) = self.peek(0) {
             if c.is_alphanumeric() || c == '_' {
+                text.push(c);
                 self.bump();
             } else {
                 break;
             }
         }
-        self.push(TokKind::Literal, String::new(), line, col);
+        self.push(TokKind::Literal, text, line, col);
     }
 }
 

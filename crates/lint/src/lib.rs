@@ -6,24 +6,32 @@
 //! otherwise enforced only *dynamically*, by equivalence tests that
 //! need a schedule to expose a divergence. This crate enforces the same
 //! invariants *statically*, at the source level, before any schedule
-//! runs: a comment/string-aware lexer ([`lexer`]) feeds a lexical rule
-//! engine ([`rules`]) that walks every `.rs` file under `crates/`,
-//! `tests/`, `src/` and `examples/` and reports violations with
-//! file:line spans.
+//! runs. Three layers: a comment/string-aware lexer ([`lexer`]), an
+//! item-level parser ([`parser`]) feeding a workspace symbol table
+//! ([`symbols`]) and call graph ([`callgraph`]), and a rule engine
+//! ([`rules`]) that runs per-file lexical rules (R1–R7) plus
+//! interprocedural rules (R8–R11) over every `.rs` file under
+//! `crates/`, `tests/`, `src/` and `examples/` at once, reporting
+//! violations with file:line spans and — for the interprocedural
+//! family — witness call chains.
 //!
-//! The rules, their invariants and the suppression-marker grammar are
-//! documented in DESIGN.md §9. The crate is dependency-free so the
-//! conformance gate can never be blocked by the code it gates; its JSON
-//! output follows the same handwritten RFC 8259 conventions as
-//! `ampc-bench` (`crates/bench/src/json.rs` re-parses it in tests).
+//! The rules, their invariants, the suppression-marker grammar and the
+//! `budget(batched-requests = N)` annotation grammar are documented in
+//! DESIGN.md §9. The crate is dependency-free so the conformance gate
+//! can never be blocked by the code it gates; its JSON output follows
+//! the same handwritten RFC 8259 conventions as `ampc-bench`
+//! (`crates/bench/src/json.rs` re-parses it in tests).
 
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
+pub mod symbols;
 
-use rules::{FileReport, Linter, Violation};
+use rules::{SuppressionEntry, Violation, WorkspaceReport};
 use std::collections::BTreeSet;
 use std::io;
 use std::path::{Path, PathBuf};
@@ -31,18 +39,42 @@ use std::path::{Path, PathBuf};
 /// The aggregated result of linting a file set.
 #[derive(Clone, Debug, Default)]
 pub struct Report {
-    /// Number of `.rs` files scanned.
+    /// Number of `.rs` files scanned (parsed into the workspace symbol
+    /// table — with `--changed-only` this still counts every file,
+    /// because interprocedural rules need the whole workspace).
     pub files_scanned: usize,
     /// All surviving violations, ordered by (file, line, col).
     pub violations: Vec<Violation>,
     /// Violations silenced by well-formed allow markers.
     pub suppressed: usize,
+    /// The justified suppressions behind [`Report::suppressed`] —
+    /// the exception inventory CI surfaces.
+    pub suppressions: Vec<SuppressionEntry>,
 }
 
 impl Report {
     /// True when no violations survived.
     pub fn clean(&self) -> bool {
         self.violations.is_empty()
+    }
+
+    /// `(rule name, surviving-violation count)` for every known rule
+    /// plus the `bad-suppression` meta-rule, in R-number order.
+    pub fn rule_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut out: Vec<(&'static str, usize)> = rules::RULES
+            .iter()
+            .map(|r| r.name)
+            .chain([rules::BAD_SUPPRESSION])
+            .map(|name| {
+                (
+                    name,
+                    self.violations.iter().filter(|v| v.rule == name).count(),
+                )
+            })
+            .collect();
+        debug_assert_eq!(out.len(), rules::RULES.len() + 1);
+        out.shrink_to_fit();
+        out
     }
 }
 
@@ -70,14 +102,14 @@ pub fn parse_design_sections(src: &str) -> BTreeSet<String> {
     out
 }
 
-/// Builds a [`Linter`] for the workspace at `root`, loading the R7
-/// section set from `root/DESIGN.md` (absent file → empty set, so every
-/// reference flags rather than silently passing).
-pub fn linter_for_root(root: &Path) -> Linter {
+/// Builds a [`rules::Linter`] for the workspace at `root`, loading the
+/// R7 section set from `root/DESIGN.md` (absent file → empty set, so
+/// every reference flags rather than silently passing).
+pub fn linter_for_root(root: &Path) -> rules::Linter {
     let sections = std::fs::read_to_string(root.join("DESIGN.md"))
         .map(|s| parse_design_sections(&s))
         .unwrap_or_default();
-    Linter::with_sections(sections)
+    rules::Linter::with_sections(sections)
 }
 
 /// The directories under the workspace root that are scanned.
@@ -121,10 +153,23 @@ fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
 }
 
 /// Lints the whole workspace at `root`: every `.rs` file under
-/// [`SCAN_ROOTS`], rules scoped by path as DESIGN.md §9 specifies.
+/// [`SCAN_ROOTS`] is parsed into one symbol table, rules scoped by path
+/// as DESIGN.md §9 specifies.
 pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    lint_workspace_filtered(root, None)
+}
+
+/// Like [`lint_workspace`], but when `only_files` is given, violations
+/// and suppressions are reported only for those workspace-relative
+/// paths. The *whole* workspace is still parsed — the interprocedural
+/// rules need every potential callee — so a changed-only run is a
+/// report filter, not a soundness trade.
+pub fn lint_workspace_filtered(
+    root: &Path,
+    only_files: Option<&BTreeSet<String>>,
+) -> io::Result<Report> {
     let linter = linter_for_root(root);
-    let mut report = Report::default();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in workspace_files(root)? {
         let rel = path
             .strip_prefix(root)
@@ -132,22 +177,62 @@ pub fn lint_workspace(root: &Path) -> io::Result<Report> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = std::fs::read_to_string(&path)?;
-        let FileReport {
-            violations,
-            suppressed,
-        } = linter.check_source(&rel, &src);
-        report.files_scanned += 1;
-        report.suppressed += suppressed;
-        report.violations.extend(violations);
+        sources.push((rel, src));
     }
-    report
-        .violations
-        .sort_by(|a, b| (&a.file, a.line, a.col).cmp(&(&b.file, b.line, b.col)));
-    Ok(report)
+    let refs: Vec<(&str, &str)> = sources
+        .iter()
+        .map(|(r, s)| (r.as_str(), s.as_str()))
+        .collect();
+    let WorkspaceReport {
+        mut violations,
+        mut suppressions,
+    } = linter.check_sources(&refs);
+    if let Some(only) = only_files {
+        violations.retain(|v| only.contains(&v.file));
+        suppressions.retain(|s| only.contains(&s.file));
+    }
+    Ok(Report {
+        files_scanned: sources.len(),
+        suppressed: suppressions.len(),
+        violations,
+        suppressions,
+    })
 }
 
-/// Renders the report as human-readable text (one `file:line:col`
-/// violation per line plus a summary).
+/// The files `git` considers changed relative to `base` (plus untracked
+/// files), as workspace-relative paths — the `--changed-only` file set.
+pub fn changed_files(root: &Path, base: &str) -> io::Result<BTreeSet<String>> {
+    let mut out = BTreeSet::new();
+    for args in [
+        vec!["diff", "--name-only", base],
+        vec!["ls-files", "--others", "--exclude-standard"],
+    ] {
+        let cmd = std::process::Command::new("git")
+            .arg("-C")
+            .arg(root)
+            .args(&args)
+            .output()?;
+        if !cmd.status.success() {
+            return Err(io::Error::other(format!(
+                "git {} failed: {}",
+                args.join(" "),
+                String::from_utf8_lossy(&cmd.stderr).trim()
+            )));
+        }
+        for line in String::from_utf8_lossy(&cmd.stdout).lines() {
+            let line = line.trim();
+            if !line.is_empty() {
+                out.insert(line.replace('\\', "/"));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Renders the report as human-readable text: one `file:line:col`
+/// violation per line (witness chains, already embedded in the
+/// messages, get their own indented line for multi-step findings) plus
+/// a summary.
 pub fn render_text(report: &Report) -> String {
     let mut out = String::new();
     for v in &report.violations {
@@ -155,6 +240,12 @@ pub fn render_text(report: &Report) -> String {
             "{}:{}:{}: [{}] {}\n",
             v.file, v.line, v.col, v.rule, v.message
         ));
+        if v.chain.len() > 1 {
+            out.push_str(&format!(
+                "    witness: {}\n",
+                callgraph::render_chain(&v.chain)
+            ));
+        }
     }
     out.push_str(&format!(
         "ampc-lint: {} file(s) scanned, {} violation(s), {} suppressed — {}\n",
@@ -169,7 +260,8 @@ pub fn render_text(report: &Report) -> String {
 /// Renders the report as one strict RFC 8259 JSON document (the same
 /// handwritten-writer conventions as `ampc-bench`; no timestamps or
 /// absolute paths, so the artifact is byte-deterministic for a given
-/// tree).
+/// tree). Every violation carries its witness `chain` (possibly empty);
+/// top-level `rule_counts` and `suppressions` feed the CI step summary.
 pub fn render_json(report: &Report) -> String {
     let mut out = String::new();
     out.push_str("{\n");
@@ -180,21 +272,61 @@ pub fn render_json(report: &Report) -> String {
         report.suppressed,
         report.clean()
     ));
+    out.push_str("  \"rule_counts\": {");
+    for (i, (name, count)) in report.rule_counts().iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        out.push_str(&format!("{}: {}", json_string(name), count));
+    }
+    out.push_str("},\n");
     out.push_str("  \"violations\": [");
     for (i, v) in report.violations.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
+        let chain = v
+            .chain
+            .iter()
+            .map(|s| {
+                format!(
+                    "{{\"name\": {}, \"file\": {}, \"line\": {}}}",
+                    json_string(&s.name),
+                    json_string(&s.file),
+                    s.line
+                )
+            })
+            .collect::<Vec<_>>()
+            .join(", ");
         out.push_str(&format!(
-            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"chain\": [{}]}}",
             json_string(v.rule),
             json_string(&v.file),
             v.line,
             v.col,
-            json_string(&v.message)
+            json_string(&v.message),
+            chain
         ));
     }
     if report.violations.is_empty() {
+        out.push_str("],\n");
+    } else {
+        out.push_str("\n  ],\n");
+    }
+    out.push_str("  \"suppressions\": [");
+    for (i, s) in report.suppressions.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"rule\": {}, \"file\": {}, \"line\": {}, \"justification\": {}}}",
+            json_string(s.rule),
+            json_string(&s.file),
+            s.line,
+            json_string(&s.justification)
+        ));
+    }
+    if report.suppressions.is_empty() {
         out.push_str("]\n");
     } else {
         out.push_str("\n  ]\n");
@@ -245,5 +377,14 @@ mod tests {
         assert!(render_text(&r).contains("clean"));
         let j = render_json(&r);
         assert!(j.contains("\"clean\": true") && j.contains("\"violations\": []"));
+        assert!(j.contains("\"rule_counts\"") && j.contains("\"suppressions\": []"));
+    }
+
+    #[test]
+    fn rule_counts_cover_all_rules() {
+        let counts = Report::default().rule_counts();
+        assert_eq!(counts.len(), rules::RULES.len() + 1);
+        assert!(counts.iter().any(|(n, _)| *n == "query-budget"));
+        assert!(counts.iter().all(|(_, c)| *c == 0));
     }
 }

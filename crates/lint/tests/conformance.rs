@@ -3,7 +3,7 @@
 //! fixture is scanned under a synthetic workspace-relative path because
 //! rule scope is path-based (DESIGN.md §9).
 
-use ampc_lint::rules::{Linter, BAD_SUPPRESSION, R1, R2, R3, R4, R5, R6, R7};
+use ampc_lint::rules::{Linter, BAD_SUPPRESSION, R1, R10, R11, R2, R3, R4, R5, R6, R7, R8, R9};
 use std::collections::BTreeSet;
 
 fn linter() -> Linter {
@@ -157,6 +157,158 @@ fn malformed_markers_flag_and_do_not_suppress() {
         rules.contains(&R4),
         "unknown-rule marker must not silence R4"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Interprocedural rules R8–R11. These assert the witness chains, not
+// just the rule names: the chain is part of the finding's contract.
+// ---------------------------------------------------------------------------
+
+#[test]
+fn r8_catches_helper_wrapped_get_that_r1_misses() {
+    let report = linter().check_source(CORE, include_str!("fixtures/r8_flag.rs"));
+    let rules: Vec<&str> = report.violations.iter().map(|v| v.rule).collect();
+    assert!(rules.contains(&R8), "R8 must fire: {rules:?}");
+    assert!(
+        !rules.contains(&R1),
+        "lexical R1 cannot see through the helper — if it starts to, \
+         R8's charter needs revisiting: {rules:?}"
+    );
+    let v = report.violations.iter().find(|v| v.rule == R8).unwrap();
+    let names: Vec<&str> = v.chain.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, vec!["helper", "handle.get"], "witness chain");
+    assert!(v.chain.iter().all(|s| s.file == CORE && s.line > 0));
+    assert!(
+        v.message.contains("helper") && v.message.contains("->"),
+        "rendered chain belongs in the message: {}",
+        v.message
+    );
+}
+
+#[test]
+fn r8_passes_batched_helpers_and_out_of_loop_calls() {
+    let (rules, n) = run(CORE, include_str!("fixtures/r8_pass.rs"));
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+    assert_eq!(n, 0);
+}
+
+#[test]
+fn r9_flags_direct_and_helper_routed_hash_order_flows() {
+    let report = linter().check_source(CORE, include_str!("fixtures/r9_flag.rs"));
+    let r9: Vec<_> = report.violations.iter().filter(|v| v.rule == R9).collect();
+    assert_eq!(r9.len(), 2, "direct flow and flow through scramble()");
+    let direct: Vec<&str> = r9[0].chain.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(direct, vec!["hash-iter(m)", "digest"]);
+    let routed: Vec<&str> = r9[1].chain.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        routed,
+        vec!["hash-iter(s)", "scramble", "digest"],
+        "the taint summary must name the helper it flowed through"
+    );
+}
+
+#[test]
+fn r9_passes_sorted_counted_and_fx_collections() {
+    let report = linter().check_source(CORE, include_str!("fixtures/r9_pass.rs"));
+    let r9: Vec<_> = report.violations.iter().filter(|v| v.rule == R9).collect();
+    assert!(r9.is_empty(), "unexpected: {r9:?}");
+}
+
+#[test]
+fn r10_flags_missing_annotation_and_undercounted_budget() {
+    let report = linter().check_source(CORE, include_str!("fixtures/r10_flag.rs"));
+    let r10: Vec<_> = report.violations.iter().filter(|v| v.rule == R10).collect();
+    assert_eq!(r10.len(), 2, "alpha (missing) and beta (mismatch): {r10:?}");
+    assert!(r10[0].message.contains("alpha_in_job") && r10[0].message.contains("lacks"));
+    assert!(
+        r10[0].chain.is_empty(),
+        "nothing to witness when unannotated"
+    );
+    assert!(
+        r10[1].message.contains("budget(batched-requests = 1)")
+            && r10[1].message.contains("2 batched-request site(s)"),
+        "{}",
+        r10[1].message
+    );
+    let names: Vec<&str> = r10[1].chain.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(
+        names,
+        vec!["beta_in_job", "helper", "handle.put_many"],
+        "the chain witnesses the first over-budget site"
+    );
+}
+
+#[test]
+fn r10_passes_matching_budgets_including_zero() {
+    let (rules, n) = run(CORE, include_str!("fixtures/r10_pass.rs"));
+    assert!(rules.is_empty(), "unexpected: {rules:?}");
+    assert_eq!(
+        n, 0,
+        "budget annotations are declarations, not suppressions"
+    );
+}
+
+const DHT: &str = "crates/dht/src/fixture.rs";
+
+#[test]
+fn r11_flags_descending_overlap_and_escaping_guards() {
+    let report = linter().check_source(DHT, include_str!("fixtures/r11_flag.rs"));
+    let r11: Vec<_> = report.violations.iter().filter(|v| v.rule == R11).collect();
+    assert_eq!(
+        r11.len(),
+        2,
+        "overlapping descending + escaping guard: {r11:?}"
+    );
+    assert!(r11[0].message.contains("still live"));
+    assert_eq!(r11[0].chain.len(), 2, "both lock sites in the witness");
+    assert!(r11[1].message.contains("escapes its loop iteration"));
+}
+
+#[test]
+fn r11_passes_ascending_dropped_range_and_sorted_patterns() {
+    let report = linter().check_source(DHT, include_str!("fixtures/r11_pass.rs"));
+    let r11: Vec<_> = report.violations.iter().filter(|v| v.rule == R11).collect();
+    assert!(r11.is_empty(), "unexpected: {r11:?}");
+}
+
+#[test]
+fn r11_is_scoped_to_the_dht_crate() {
+    let report = linter().check_source(
+        "crates/bench/src/fixture.rs",
+        include_str!("fixtures/r11_flag.rs"),
+    );
+    assert!(
+        report.violations.iter().all(|v| v.rule != R11),
+        "R11 polices crates/dht only"
+    );
+}
+
+#[test]
+fn r8_witnesses_cross_file_chains() {
+    let files = [
+        (
+            "crates/core/src/kernel.rs",
+            "pub fn kernel(ctx: &mut Ctx) { for v in 0..4 { step(ctx, v); } }",
+        ),
+        (
+            "crates/core/src/helpers.rs",
+            "pub fn step(ctx: &mut Ctx, v: u64) -> u64 { probe(ctx, v) }\n\
+             fn probe(ctx: &mut Ctx, v: u64) -> u64 { *ctx.handle.get(v).unwrap() }",
+        ),
+    ];
+    let report = linter().check_sources(&files);
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.rule == R8)
+        .expect("cross-file R8");
+    let names: Vec<&str> = v.chain.iter().map(|s| s.name.as_str()).collect();
+    assert_eq!(names, vec!["step", "probe", "handle.get"]);
+    assert_eq!(v.file, "crates/core/src/kernel.rs");
+    assert!(v
+        .chain
+        .iter()
+        .all(|s| s.file == "crates/core/src/helpers.rs"));
 }
 
 #[test]

@@ -1,0 +1,20 @@
+//! R11 must-flag fixture: a second stripe lock taken in descending
+//! order while the first guard is live, and a guard escaping its loop
+//! iteration with no ascending-order evidence.
+
+pub fn overlapping(shards: &[Stripe]) -> u64 {
+    let a = shards[2].lock();
+    let b = shards[1].lock();
+    let r = *a + *b;
+    drop(b);
+    drop(a);
+    r
+}
+
+pub fn escaping(shards: &[Stripe], order: &[usize]) -> Vec<Guard> {
+    let mut guards = Vec::new();
+    for &s in order {
+        guards.push(shards[s].lock());
+    }
+    guards
+}

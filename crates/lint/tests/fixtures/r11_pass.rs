@@ -1,0 +1,42 @@
+//! R11 must-pass fixture: ascending literal indices, guards dropped
+//! before the next acquisition, range-driven collection (ascending by
+//! construction), and sorted index collections.
+
+pub fn ascending(shards: &[Stripe]) -> u64 {
+    let a = shards[1].lock();
+    let b = shards[2].lock();
+    let r = *a + *b;
+    drop(b);
+    drop(a);
+    r
+}
+
+pub fn dropped_before(shards: &[Stripe]) -> u64 {
+    let a = shards[4].lock();
+    let x = *a;
+    drop(a);
+    let b = shards[0].lock();
+    x + *b
+}
+
+pub fn single(shards: &[Stripe], i: usize) -> u64 {
+    let g = shards[i].lock();
+    *g
+}
+
+pub fn range_collect(shards: &[Stripe]) -> Vec<Guard> {
+    let mut guards = Vec::new();
+    for s in 0..shards.len() {
+        guards.push(shards[s].lock());
+    }
+    guards
+}
+
+pub fn sorted_collect(shards: &[Stripe], order: &mut Vec<usize>) -> Vec<Guard> {
+    order.sort_unstable();
+    let mut guards = Vec::new();
+    for &s in order.iter() {
+        guards.push(shards[s].lock());
+    }
+    guards
+}

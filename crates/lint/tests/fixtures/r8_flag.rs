@@ -1,0 +1,15 @@
+//! R8 must-flag fixture: the helper wrapping hides the per-key get
+//! from lexical R1 — only the call graph sees it. This is also the
+//! R8-catches/R1-misses regression pin.
+
+pub fn kernel(ctx: &mut MachineCtx<'_, u64>, items: &[u64]) -> Vec<u64> {
+    let mut out = Vec::new();
+    for &v in items {
+        out.push(helper(ctx, v));
+    }
+    out
+}
+
+fn helper(ctx: &mut MachineCtx<'_, u64>, v: u64) -> u64 {
+    *ctx.handle.get(v).unwrap()
+}

@@ -1,0 +1,20 @@
+//! R9 must-flag fixture: hash-iteration values reaching a digest sink
+//! directly, and through a helper function's return value.
+
+pub fn emit(acc: &mut Digest) {
+    let mut m: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    m.insert(1, 2);
+    let order: Vec<u64> = m.keys().copied().collect();
+    acc.digest(&order);
+}
+
+pub fn emit_via_helper(acc: &mut Digest) {
+    let order = scramble();
+    acc.digest(&order);
+}
+
+fn scramble() -> Vec<u64> {
+    let mut s: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    s.insert(9);
+    s.iter().copied().collect()
+}

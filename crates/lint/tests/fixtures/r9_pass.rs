@@ -1,0 +1,22 @@
+//! R9 must-pass fixture: canonicalized (sorted) before the sink,
+//! order-insensitive drains, and the fixed-seed Fx collections.
+
+pub fn canonical(acc: &mut Digest) {
+    let mut m: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+    m.insert(1, 2);
+    let mut order: Vec<u64> = m.keys().copied().collect();
+    order.sort_unstable();
+    acc.digest(&order);
+}
+
+pub fn counted(acc: &mut Digest) {
+    let m: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let n = m.len();
+    acc.digest(&n);
+}
+
+pub fn fx_is_exempt(acc: &mut Digest) {
+    let m: FxHashMap<u64, u64> = FxHashMap::default();
+    let vals: Vec<u64> = m.values().copied().collect();
+    acc.digest(&vals);
+}

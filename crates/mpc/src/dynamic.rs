@@ -44,6 +44,7 @@ pub fn mpc_recompute_cc(
 /// The in-job baseline body: applies each batch to the reference
 /// [`EdgeSet`] state machine, rebuilds the graph, and reruns the static
 /// MPC connectivity pipeline from scratch — one epoch per batch.
+// ampc-lint: budget(batched-requests = 0)
 pub fn mpc_recompute_cc_in_job(
     job: &mut Job,
     g: &CsrGraph,

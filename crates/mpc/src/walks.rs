@@ -38,6 +38,7 @@ pub fn mpc_random_walks(
 
 /// The in-job baseline body (the `AmpcAlgorithm` entry point): one
 /// shuffle per hop, walkers regrouped by their current vertex.
+// ampc-lint: budget(batched-requests = 0)
 pub fn mpc_random_walks_in_job(
     job: &mut Job,
     g: &CsrGraph,

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Render an ampc-lint JSON report as GitHub-flavored markdown.
+
+CI pipes the output into $GITHUB_STEP_SUMMARY so the per-rule counts,
+any findings (with their witness chains), and the full suppression
+inventory are readable on the job page without downloading the
+artifact. Usage: lint_summary.py <lint-report.json>
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) != 2:
+        print("usage: lint_summary.py <lint-report.json>", file=sys.stderr)
+        return 2
+    try:
+        with open(sys.argv[1], encoding="utf-8") as f:
+            report = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        # The gate may have died before writing the report; say so
+        # rather than failing the summary step on top of it.
+        print(f"## ampc-lint\n\nno readable report at `{sys.argv[1]}`: {e}")
+        return 0
+
+    status = "clean ✅" if report.get("clean") else "violations found ❌"
+    print(f"## ampc-lint — {status}")
+    print()
+    print(
+        f"{report.get('files_scanned', '?')} file(s) scanned, "
+        f"{len(report.get('violations', []))} violation(s), "
+        f"{report.get('suppressed', 0)} suppressed"
+    )
+    print()
+
+    print("| rule | findings |")
+    print("|---|---|")
+    for rule, count in report.get("rule_counts", {}).items():
+        marker = f"**{count}**" if count else "0"
+        print(f"| `{rule}` | {marker} |")
+    print()
+
+    violations = report.get("violations", [])
+    if violations:
+        print("### Findings")
+        print()
+        for v in violations:
+            loc = f"{v['file']}:{v['line']}"
+            print(f"- `{v['rule']}` at `{loc}` — {v['message'].splitlines()[0]}")
+            chain = v.get("chain", [])
+            if len(chain) > 1:
+                steps = " → ".join(
+                    f"{s['name']} ({s['file']}:{s['line']})" for s in chain
+                )
+                print(f"  - witness: {steps}")
+        print()
+
+    suppressions = report.get("suppressions", [])
+    print(f"### Suppression inventory ({len(suppressions)})")
+    print()
+    if suppressions:
+        print("| rule | location | justification |")
+        print("|---|---|---|")
+        for s in suppressions:
+            just = s["justification"].replace("|", "\\|")
+            print(f"| `{s['rule']}` | `{s['file']}:{s['line']}` | {just} |")
+    else:
+        print("none")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
