@@ -22,6 +22,7 @@ use ampc_dht::cost::Network;
 use ampc_graph::datasets::Scale;
 use ampc_graph::dynamic::{BatchMix, DynamicSource};
 use ampc_graph::{CsrGraph, GraphSource, WeightedCsrGraph};
+use ampc_runtime::chaos::ChaosSpec;
 use ampc_runtime::driver::{json_string, Driven, DriverOptions, RunSummary};
 use ampc_runtime::AmpcConfig;
 use std::collections::HashMap;
@@ -32,7 +33,9 @@ ampc — the AMPC workload runner
 USAGE:
   ampc list                          show all registered algorithms
   ampc run <family> --graph <src>    run one algorithm on one graph
-  ampc smoke                         run every registry row on small inputs (CI)
+  ampc smoke [--chaos <spec>]        run every registry row on small inputs (CI);
+                                     with --chaos, re-run each family under the
+                                     schedule and assert digests are unchanged
 
 RUN OPTIONS:
   --graph <src>        graph source (required), e.g. ok, rmat:12,40000,social,
@@ -56,6 +59,11 @@ RUN OPTIONS:
   --ops <K>            dyn-cc: updates per batch (default 64)
   --mix <M>            dyn-cc: churn|insert|delete (default churn)
   --dyn-seed <S>       dyn-cc: update-schedule seed
+  --chaos <spec>       seeded chaos schedule (AMPC_CHAOS equivalent): a
+                       chaos:seed=S[:rate=R][:drop=D][:retries=C][:stripe=K]
+                       [:kill=a.b][:ekill=e.m] spec or a bare integer seed;
+                       outputs stay byte-identical, only simulated time and
+                       the retry/replay counters change
   --validate           check the output against the input (exit 1 on failure)
   --json <path|->      write the JSON run record to a file, or '-' for stdout
   --quiet              suppress the human-readable summary
@@ -79,7 +87,7 @@ struct Cli {
     flags: HashMap<String, String>,
 }
 
-const VALUE_FLAGS: [&str; 18] = [
+const VALUE_FLAGS: [&str; 19] = [
     "--graph",
     "--model",
     "--machines",
@@ -98,6 +106,7 @@ const VALUE_FLAGS: [&str; 18] = [
     "--ops",
     "--mix",
     "--dyn-seed",
+    "--chaos",
 ];
 const SWITCHES: [&str; 3] = ["--validate", "--quiet", "--help"];
 
@@ -318,7 +327,8 @@ fn run_record(
     format!(
         "{{\n  \"tool\": \"ampc\",\n  \"algorithm\": {},\n  \"model\": {},\n  \
          \"graph\": {},\n  \"scale\": {},\n  \"n\": {n},\n  \"m\": {m},\n  \
-         \"seed\": {},\n  \"machines\": {},\n  \"params\": {{\"walkers_per_node\": {}, \
+         \"seed\": {},\n  \"machines\": {},\n  \"chaos\": {},\n  \
+         \"params\": {{\"walkers_per_node\": {}, \
          \"steps\": {}, \"sample_inv\": {}, \"dyn_batches\": {}, \"dyn_ops\": {}, \
          \"dyn_mix\": {}, \"dyn_seed\": {}}},\n  \"output\": {{\"kind\": {}, \"size\": {}, \
          \"digest\": {}}},\n  \"validated\": {validated},\n  \"report\":\n{}\n}}\n",
@@ -328,6 +338,9 @@ fn run_record(
         json_string(scale_token(spec.scale)),
         spec.cfg.seed,
         spec.cfg.num_machines,
+        spec.cfg
+            .chaos
+            .map_or("null".to_string(), |c| json_string(&c.describe())),
         spec.params.walkers_per_node,
         spec.params.steps,
         spec.params.sample_inv,
@@ -371,6 +384,10 @@ fn spec_from_cli(cli: &Cli) -> Result<RunSpec, String> {
         Some("tcp") => Some(Network::Tcp),
         Some(v) => return Err(format!("--network: expected rdma|tcp, got {v:?}")),
     };
+    let chaos = match cli.get("--chaos") {
+        None => None,
+        Some(v) => Some(ChaosSpec::parse(v).map_err(|e| format!("--chaos: {e}"))?),
+    };
     let opts = DriverOptions {
         machines: cli.parse_num("--machines")?,
         seed: cli.parse_num("--seed")?,
@@ -379,6 +396,7 @@ fn spec_from_cli(cli: &Cli) -> Result<RunSpec, String> {
         caching: cli.parse_toggle("--caching")?,
         network,
         in_memory_threshold: cli.parse_num("--threshold")?,
+        chaos,
         ..Default::default()
     };
     let cfg = opts.apply(harness_config(scale));
@@ -484,6 +502,10 @@ fn cmd_smoke(cli: &Cli) -> Result<(), String> {
         None => Scale::Test,
         _ => scale_of(cli)?,
     };
+    let chaos = match cli.get("--chaos") {
+        None => None,
+        Some(v) => Some(ChaosSpec::parse(v).map_err(|e| format!("--chaos: {e}"))?),
+    };
     let sources: [(&str, &str); 7] = [
         ("mis", "rmat:8,1500"),
         ("mm", "rmat:8,1500"),
@@ -495,6 +517,10 @@ fn cmd_smoke(cli: &Cli) -> Result<(), String> {
     ];
     let mut rows = Vec::new();
     let mut failures = 0usize;
+    // Totals across the chaos re-runs: the smoke gate asserts the
+    // schedule actually exercised the machinery (nonzero somewhere).
+    let mut chaos_replays = 0u64;
+    let mut chaos_retries = 0u64;
     for (family, src) in sources {
         let mut digests = Vec::new();
         for model in [Model::Ampc, Model::Mpc] {
@@ -551,6 +577,55 @@ fn cmd_smoke(cli: &Cli) -> Result<(), String> {
             eprintln!("ampc smoke: {family}: AMPC and MPC outputs differ");
             failures += 1;
         }
+        // Chaos invariant: the AMPC run under the fault schedule must
+        // produce a byte-identical output (same digest); only retry and
+        // replay counters (and simulated time) may move.
+        if let Some(spec) = chaos {
+            let family = registry::canonical_family(family).unwrap();
+            let mut cfg = harness_config(scale);
+            cfg.in_memory_threshold = 100;
+            cfg = cfg.with_chaos(spec);
+            let mut params = AlgoParams::default();
+            let source = resolve_source(family, src, &mut params)?;
+            let source_desc = source_desc(family, &source, &params);
+            let spec = RunSpec {
+                family,
+                model: Model::Ampc,
+                source,
+                source_desc,
+                scale,
+                cfg,
+                params,
+            };
+            let (driven, graph) = execute(&spec)?;
+            let (n, m) = (graph.as_input().num_nodes(), graph.as_input().num_edges());
+            let record = run_record(&spec, n, m, &driven, None);
+            let parses = json::validate_json(&record);
+            let kv = driven.report.kv_comm();
+            let same = driven.output.digest() == digests[0];
+            if !same {
+                eprintln!("ampc smoke: {family}: chaos run digest differs from fault-free");
+            }
+            if let Err(e) = &parses {
+                eprintln!("ampc smoke: {family}/chaos: JSON does not parse: {e}");
+            }
+            let ok = same && parses.is_ok();
+            failures += usize::from(!ok);
+            chaos_replays += driven.report.replays;
+            chaos_retries += kv.retries;
+            rows.push(vec![
+                family.to_string(),
+                "chaos".to_string(),
+                src.to_string(),
+                format!("{}", driven.report.replays),
+                format!("{}", kv.retries),
+                if ok { "ok".into() } else { "FAIL".into() },
+            ]);
+        }
+    }
+    if chaos.is_some() && chaos_replays == 0 && chaos_retries == 0 {
+        eprintln!("ampc smoke: chaos schedule injected no faults at all (inert spec?)");
+        failures += 1;
     }
     print!(
         "{}",
@@ -573,5 +648,11 @@ fn cmd_smoke(cli: &Cli) -> Result<(), String> {
         "smoke: all {} runs validated, JSON records parse",
         rows.len()
     );
+    if chaos.is_some() {
+        println!(
+            "smoke: chaos runs byte-identical to fault-free \
+             ({chaos_replays} replays, {chaos_retries} retries charged)"
+        );
+    }
     Ok(())
 }

@@ -65,7 +65,8 @@ pub struct KernelPerf {
     pub output_digest: u64,
     /// What `baseline_wall_ns` measures: `"sharded+spawn"` for the
     /// storage-layout/executor A/B rows, `"mpc-recompute"` for the
-    /// batch-dynamic maintained-vs-recompute comparison.
+    /// batch-dynamic maintained-vs-recompute comparison, `"no-fault"`
+    /// for the chaos-recovery overhead row.
     pub baseline: &'static str,
 }
 
@@ -167,16 +168,19 @@ where
     }
 }
 
-/// Runs two *different* kernels on the same input in the current
-/// (flat + pool) configuration, pinning their outputs byte-identical —
-/// the maintained-vs-recompute comparison of the batch-dynamic family,
-/// where the speedup is algorithmic (maintenance vs recomputation)
-/// rather than a storage-layout effect. Reported round/CommStats
-/// figures are the *current* (maintained) kernel's.
+/// Runs two *different* kernels (or the same kernel under two
+/// configurations, folded into the closures) on the same input in the
+/// current (flat + pool) configuration, pinning their outputs
+/// byte-identical — the maintained-vs-recompute comparison of the
+/// batch-dynamic family, and the chaos-vs-no-fault recovery-overhead
+/// row. `baseline_label` names what `baseline_wall_ns` measures in the
+/// emitted trajectory. Reported round/CommStats figures are the
+/// *current* kernel's.
 fn measure_vs<C, B>(
     name: &'static str,
     input: String,
     cfg: &AmpcConfig,
+    baseline_label: &'static str,
     current: C,
     baseline: B,
 ) -> KernelPerf
@@ -202,7 +206,7 @@ where
         kv_bytes: cur.report.kv_comm().kv_bytes(),
         peak_generation_bytes: cur.report.peak_generation_bytes(),
         output_digest: cur.output_digest,
-        baseline: "mpc-recompute",
+        baseline: baseline_label,
     }
 }
 
@@ -284,6 +288,10 @@ fn batch_write(cfg: &AmpcConfig, n: usize) -> (JobReport, u64) {
     });
     (job.into_report(), digest_u64s(got))
 }
+
+/// The fixed chaos schedule the `chaos-dyn-cc` row is tracked under:
+/// seeded kills at 120‰ per machine-stage plus 80‰ DHT batch drops.
+const CHAOS_DYN_SPEC: &str = "chaos:seed=29:rate=120:drop=80";
 
 /// Runs the suite at `scale`, returning the measured kernels.
 pub fn measure_all(scale: Scale) -> Vec<KernelPerf> {
@@ -382,8 +390,30 @@ pub fn measure_all(scale: Scale) -> Vec<KernelPerf> {
             "{input}, {dyn_batches} batches x {dyn_ops} churn ops (baseline: MPC recompute per batch)"
         ),
         &cfg,
+        "mpc-recompute",
         ampc("dyn-cc", dyn_params),
         via_registry("dyn-cc", Model::Mpc, dyn_params),
+    ));
+
+    // Chaos-recovery overhead: the maintained dynamic kernel under a
+    // fixed seeded fault schedule (machine kills every few stages plus
+    // DHT batch drops with capped-backoff retries) vs the same kernel
+    // fault-free. Outputs are asserted byte-identical — recovery is
+    // replay against sealed generations — so the wall-clock ratio *is*
+    // the amortized recovery overhead.
+    let chaos_spec =
+        ampc_runtime::ChaosSpec::parse(CHAOS_DYN_SPEC).expect("the tracked chaos spec parses");
+    let dyn_kernel = ampc("dyn-cc", dyn_params);
+    out.push(measure_vs(
+        "chaos-dyn-cc",
+        format!(
+            "{input}, {dyn_batches} batches x {dyn_ops} churn ops under {CHAOS_DYN_SPEC} \
+             (baseline: fault-free)"
+        ),
+        &cfg,
+        "no-fault",
+        |c: &AmpcConfig| dyn_kernel(&c.with_chaos(chaos_spec)),
+        dyn_kernel,
     ));
 
     // The storage substrate kernel: lockstep pointer chasing through a
@@ -469,7 +499,8 @@ pub fn to_json(scale: Scale, kernels: &[KernelPerf]) -> String {
         "{{\n  \"suite\": \"perf\",\n  \"scale\": \"{scale:?}\",\n  \
          \"ampc_threads\": {},\n  \"baselines\": {{\
          \"sharded+spawn\": \"AMPC_STORE=sharded + spawn-per-machine executor\", \
-         \"mpc-recompute\": \"MPC recompute-from-scratch per update batch\"}},\n  \
+         \"mpc-recompute\": \"MPC recompute-from-scratch per update batch\", \
+         \"no-fault\": \"same kernel without the chaos fault schedule\"}},\n  \
          \"kernels\": [\n{}\n  ]\n}}\n",
         ampc_dht::ampc_threads(),
         rows.join(",\n")
@@ -680,13 +711,14 @@ mod tests {
     fn modes_agree_at_test_scale() {
         let _guard = MEASURE_LOCK.lock().unwrap();
         let kernels = measure_all(Scale::Test);
-        assert_eq!(kernels.len(), 11);
+        assert_eq!(kernels.len(), 12);
         assert!(kernels.iter().any(|k| k.name == "batch-write"));
         assert!(kernels.iter().any(|k| k.name == "dyn-cc"));
         let json = to_json(Scale::Test, &kernels);
         assert!(json.contains("\"suite\": \"perf\""));
         assert!(json.contains("one-vs-two-cycle"));
         assert!(json.contains("dyn-cc-vs-recompute"));
+        assert!(json.contains("chaos-dyn-cc"));
         for k in &kernels {
             assert!(k.queries > 0, "{} did not touch the DHT", k.name);
             assert!(
@@ -695,14 +727,17 @@ mod tests {
                 k.name
             );
         }
-        // The two dyn-cc rows come from the same maintained kernel run
-        // under the same config: their digests must agree.
+        // The dyn-cc rows (maintained, vs-recompute, chaos) all compute
+        // the same labels: their digests must agree — the chaos row's
+        // equality is the byte-identical-under-faults invariant.
         let dyn_rows: Vec<_> = kernels
             .iter()
-            .filter(|k| k.name.starts_with("dyn-cc"))
+            .filter(|k| k.name.contains("dyn-cc"))
             .collect();
-        assert_eq!(dyn_rows.len(), 2);
-        assert_eq!(dyn_rows[0].output_digest, dyn_rows[1].output_digest);
+        assert_eq!(dyn_rows.len(), 3);
+        assert!(dyn_rows
+            .iter()
+            .all(|k| k.output_digest == dyn_rows[0].output_digest));
     }
 
     /// The regression gate passes against a trajectory the same build

@@ -137,6 +137,23 @@ impl CostConfig {
         (latency + transfer) as u64
     }
 
+    /// Simulated time charged for chaos-dropped DHT batches
+    /// ([`crate::fault::DropPlan`]): every dropped attempt
+    /// (`retries`) pays one effective lookup latency — the wasted
+    /// round trip — and the capped exponential backoff waits add
+    /// `backoff_units` further latencies (a batch that dropped `k`
+    /// times waited `2^k − 1` base units, with the base wait set to
+    /// one effective lookup latency). Scaled by [`Self::data_scale`]
+    /// like every other volume term; zero when both counters are zero,
+    /// so fault-free runs charge nothing here.
+    pub fn retry_time_ns(&self, retries: u64, backoff_units: u64) -> u64 {
+        if retries == 0 && backoff_units == 0 {
+            return 0;
+        }
+        let s = self.data_scale as f64;
+        (self.effective_lookup_latency_ns() * (retries + backoff_units) as f64 * s) as u64
+    }
+
     /// Simulated time for one machine to shuffle `bytes` (write to durable
     /// storage + read back on the consumer side — we charge the write;
     /// the read is the consumer's input scan, also charged here to keep
@@ -216,6 +233,21 @@ mod tests {
         let batched = cfg.kv_time_ns(100, bytes);
         assert!(batched < single, "{batched} vs {single}");
         assert!(batched >= cfg.kv_time_ns(0, bytes));
+    }
+
+    #[test]
+    fn retry_time_charges_drops_and_backoff() {
+        let cfg = CostConfig::default();
+        assert_eq!(cfg.retry_time_ns(0, 0), 0);
+        let one = cfg.retry_time_ns(1, 1);
+        assert!(one > 0);
+        // Linear in both counters, and data_scale multiplies.
+        assert_eq!(cfg.retry_time_ns(2, 2), 2 * one);
+        let mut scaled = cfg;
+        scaled.data_scale = 10;
+        // ~10x (exact up to sub-ns truncation of the effective latency).
+        let t = scaled.retry_time_ns(1, 1);
+        assert!(t >= 10 * one && t <= 10 * (one + 1), "{t} vs 10*{one}");
     }
 
     #[test]

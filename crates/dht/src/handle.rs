@@ -29,6 +29,7 @@
 //! the raw stored value stop hand-rolling cache-then-get logic.
 
 use crate::cache::DenseCache;
+use crate::fault::DropPlan;
 use crate::hasher::{FxHashMap, FxHashSet};
 use crate::measured::Measured;
 use crate::metrics::CommStats;
@@ -70,6 +71,14 @@ pub struct MachineHandle<'a, V> {
     batching: bool,
     /// Optional read-through cache of raw stored values.
     cache: Option<DenseCache<V>>,
+    /// Optional chaos drop plan: every accounted batch may be dropped
+    /// and re-sent a seeded, capped number of times (counted into the
+    /// retry fields of [`CommStats`]; never changes results).
+    drops: Option<DropPlan>,
+    /// Ordinal of the next accounted batch, the per-machine coordinate
+    /// the drop plan rolls on — so a replayed machine re-rolls exactly
+    /// the drops of its first attempt.
+    batch_ordinal: u64,
 }
 
 impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
@@ -83,6 +92,8 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
             machine_id: 0,
             batching: true,
             cache: None,
+            drops: None,
+            batch_ordinal: 0,
         }
     }
 
@@ -102,6 +113,32 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
     pub fn with_batching(mut self, batching: bool) -> Self {
         self.batching = batching;
         self
+    }
+
+    /// Arms chaos drop injection: each accounted batch rolls the plan
+    /// for a seeded, capped number of dropped attempts before its
+    /// success (DESIGN.md §10). `None` (the default) disables drops.
+    pub fn with_chaos_drops(mut self, drops: Option<DropPlan>) -> Self {
+        self.drops = drops;
+        self
+    }
+
+    /// Accounts one round trip, rolling the chaos drop plan (if armed)
+    /// for this batch's dropped attempts. Drops add retry counters and
+    /// (later) simulated time — never results, queries or bytes.
+    #[inline]
+    fn account_batch(&mut self) {
+        self.stats.batches += 1;
+        if let Some(plan) = self.drops {
+            let ordinal = self.batch_ordinal;
+            self.batch_ordinal += 1;
+            let k = plan.drops_for(self.machine_id, ordinal);
+            if k > 0 {
+                self.stats.retries += u64::from(k);
+                self.stats.wasted_batches += 1;
+                self.stats.backoff_units += (1u64 << k) - 1;
+            }
+        }
     }
 
     /// Mounts a read-through cache: `get_through`/`get_many_through`
@@ -151,7 +188,7 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
             self.machine_id,
             self.budget
         );
-        self.stats.batches += 1;
+        self.account_batch();
         self.charge_read(key)
     }
 
@@ -162,7 +199,7 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
         if !self.can_query() {
             return Err(BudgetExhausted);
         }
-        self.stats.batches += 1;
+        self.account_batch();
         Ok(self.charge_read(key))
     }
 
@@ -212,7 +249,7 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
             keys.len(),
             self.budget
         );
-        self.stats.batches += 1;
+        self.account_batch();
         out.reserve(keys.len());
         out.extend(keys.iter().map(|&k| self.charge_read(k)));
     }
@@ -228,13 +265,13 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
             return Err(BudgetExhausted);
         }
         if self.batching {
-            self.stats.batches += 1;
+            self.account_batch();
             Ok(keys.iter().map(|&k| self.charge_read(k)).collect())
         } else {
             Ok(keys
                 .iter()
                 .map(|&k| {
-                    self.stats.batches += 1;
+                    self.account_batch();
                     self.charge_read(k)
                 })
                 .collect())
@@ -336,7 +373,7 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
                 keys.len(),
                 self.budget
             );
-            self.stats.batches += 1;
+            self.account_batch();
             for (i, &k) in keys.iter().enumerate() {
                 let v = self.charge_read(k);
                 f(i, v.map(|v| -> &V { v }));
@@ -401,7 +438,7 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
     /// Panics if the handle was created read-only.
     #[inline]
     pub fn put(&mut self, key: u64, value: V) {
-        self.stats.batches += 1;
+        self.account_batch();
         self.charge_write(key, value);
     }
 
@@ -432,7 +469,7 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
         let (written, bytes) = w.put_many_from(self.machine_id, std::iter::once(first).chain(iter));
         self.stats.writes += written;
         self.stats.bytes_written += bytes as u64;
-        self.stats.batches += 1;
+        self.account_batch();
     }
 
     /// The communication counters accumulated so far.

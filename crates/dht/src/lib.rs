@@ -48,6 +48,7 @@
 
 pub mod cache;
 pub mod cost;
+pub mod fault;
 pub mod handle;
 pub mod hasher;
 pub mod measured;
@@ -56,6 +57,7 @@ pub mod store;
 
 pub use cache::DenseCache;
 pub use cost::{CostConfig, Network};
+pub use fault::DropPlan;
 pub use handle::{BudgetExhausted, MachineHandle};
 pub use measured::Measured;
 pub use metrics::CommStats;

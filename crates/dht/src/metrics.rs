@@ -31,6 +31,23 @@ pub struct CommStats {
     pub bytes_written: u64,
     /// Lookups served by the per-machine cache.
     pub cache_hits: u64,
+    /// Batch attempts dropped and re-sent by chaos fault injection
+    /// ([`crate::fault::DropPlan`]). Zero outside chaos runs. A batch
+    /// that dropped `k` times contributes `k` retries. Retries never
+    /// change `queries`/`writes`/`batches`/bytes — the successful
+    /// attempt is the one accounted there — they only add simulated
+    /// time ([`crate::cost::CostConfig::retry_time_ns`]).
+    #[serde(default)]
+    pub retries: u64,
+    /// Accounted batches that suffered at least one chaos drop (so
+    /// `wasted_batches <= batches` and, per batch, retries ≥ 1).
+    #[serde(default)]
+    pub wasted_batches: u64,
+    /// Capped-exponential-backoff wait accumulated by dropped batches,
+    /// in base backoff units: a batch that dropped `k` times waited
+    /// `1 + 2 + … + 2^{k-1} = 2^k − 1` units before succeeding.
+    #[serde(default)]
+    pub backoff_units: u64,
 }
 
 impl CommStats {
@@ -82,6 +99,9 @@ impl CommStats {
         self.bytes_read += other.bytes_read;
         self.bytes_written += other.bytes_written;
         self.cache_hits += other.cache_hits;
+        self.retries += other.retries;
+        self.wasted_batches += other.wasted_batches;
+        self.backoff_units += other.backoff_units;
     }
 
     /// Merged copy of a collection of per-machine stats.
@@ -107,6 +127,9 @@ mod tests {
             bytes_read: 3,
             bytes_written: 4,
             cache_hits: 5,
+            retries: 6,
+            wasted_batches: 1,
+            backoff_units: 9,
         };
         let mut b = a;
         b.merge(&a);
@@ -114,6 +137,9 @@ mod tests {
         assert_eq!(b.batches, 4);
         assert_eq!(b.kv_bytes(), 14);
         assert_eq!(b.network_ops(), 6);
+        assert_eq!(b.retries, 12);
+        assert_eq!(b.wasted_batches, 2);
+        assert_eq!(b.backoff_units, 18);
     }
 
     #[test]

@@ -52,6 +52,17 @@ pub const KNOBS: &[KnobSpec] = &[
               (identical outputs, one round trip per key).",
     },
     KnobSpec {
+        name: "AMPC_CHAOS",
+        accepts: "a chaos spec string (`chaos:seed=S[:rate=R][:drop=D]\
+                  [:retries=C][:stripe=K][:kill=a.b+c.d][:ekill=e.m]`) \
+                  or a bare integer seed",
+        default: "unset or malformed: chaos disabled",
+        doc: "Seeded chaos schedule: multi-fault machine kills and DHT \
+              batch drops with capped-backoff retries. Outputs stay \
+              byte-identical to a fault-free run; only simulated time \
+              and the retry/replay counters change.",
+    },
+    KnobSpec {
         name: "AMPC_SCALE",
         accepts: "test | mid | bench",
         default: "mid",
@@ -103,6 +114,15 @@ pub fn ampc_batch() -> bool {
         Some(v) => !matches!(v.to_ascii_lowercase().as_str(), "off" | "0" | "false"),
         None => true,
     }
+}
+
+/// `AMPC_CHAOS`: the raw chaos spec string, if set and non-empty. The
+/// grammar is owned by `ampc_runtime::chaos::ChaosSpec::parse` (this
+/// crate stays dependency-free and does not parse it); unset or empty
+/// means chaos disabled. Read per call, captured into `AmpcConfig` at
+/// construction like `AMPC_BATCH`.
+pub fn ampc_chaos() -> Option<String> {
+    raw("AMPC_CHAOS").filter(|v| !v.trim().is_empty())
 }
 
 /// `AMPC_SCALE`: normalized to `"test"`, `"mid"` or `"bench"`
@@ -166,5 +186,10 @@ mod tests {
         assert!(matches!(ampc_scale(), "test" | "mid" | "bench"));
         let _ = ampc_batch();
         let _ = ampc_store_sharded();
+        // Chaos is never silently on: only a set, non-empty value
+        // yields a spec string for the runtime to parse.
+        if let Some(v) = ampc_chaos() {
+            assert!(!v.trim().is_empty());
+        }
     }
 }

@@ -1,7 +1,8 @@
 // Positive fixture for R6 (env-knob-registry): direct environment
 // reads outside the ampc-knobs registry crate.
-pub fn rogue_knobs() -> (Option<String>, bool) {
+pub fn rogue_knobs() -> (Option<String>, bool, Option<String>) {
     let scale = std::env::var("AMPC_SCALE").ok();
     let raw = std::env::var_os("AMPC_STORE").is_some();
-    (scale, raw)
+    let chaos = std::env::var("AMPC_CHAOS").ok();
+    (scale, raw, chaos)
 }

@@ -8,3 +8,7 @@ pub fn registry_read() -> Option<String> {
 pub fn consumer() -> usize {
     ampc_knobs::ampc_threads()
 }
+
+pub fn chaos_consumer() -> Option<String> {
+    ampc_knobs::ampc_chaos()
+}

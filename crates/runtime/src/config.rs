@@ -6,6 +6,7 @@
 //! `env-knob-registry` conformance rule (`ampc-lint` R6) keeps raw
 //! `std::env::var` calls out of the rest of the tree.
 
+use crate::chaos::ChaosSpec;
 use crate::fault::FaultPlan;
 use ampc_dht::cost::CostConfig;
 
@@ -17,6 +18,10 @@ pub struct AmpcConfig {
     /// Optional fault injection: preempt a machine mid-stage and replay
     /// it (see [`crate::fault`]). `None` disables injection.
     pub fault: Option<FaultPlan>,
+    /// Optional chaos schedule: seeded multi-fault kills and DHT batch
+    /// drops with retry/backoff (see [`crate::chaos`]). `None` — the
+    /// default unless the `AMPC_CHAOS` knob is set — disables it.
+    pub chaos: Option<ChaosSpec>,
     /// Number of machines `P`.
     pub num_machines: usize,
     /// The model's space exponent: each machine has `S = Θ(n^epsilon)`
@@ -65,10 +70,20 @@ fn batching_default() -> bool {
     knobs::ampc_batch()
 }
 
+/// Default chaos schedule: the `AMPC_CHAOS` environment knob, parsed by
+/// [`ChaosSpec::parse`] (a `chaos:` spec string or a bare seed). Unset,
+/// empty, or malformed values disable chaos — the env default must
+/// never panic library consumers; the CLI's `--chaos` flag is the loud
+/// path for typos.
+fn chaos_default() -> Option<ChaosSpec> {
+    knobs::ampc_chaos().and_then(|v| ChaosSpec::parse(&v).ok())
+}
+
 impl Default for AmpcConfig {
     fn default() -> Self {
         AmpcConfig {
             fault: None,
+            chaos: chaos_default(),
             num_machines: 10,
             epsilon: 0.75,
             cost: CostConfig::default(),
@@ -151,6 +166,13 @@ impl AmpcConfig {
     /// Arms fault injection for jobs run under this configuration.
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Arms a chaos schedule for jobs run under this configuration
+    /// (see [`crate::chaos`]).
+    pub fn with_chaos(mut self, chaos: ChaosSpec) -> Self {
+        self.chaos = Some(chaos);
         self
     }
 

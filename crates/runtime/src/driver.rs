@@ -24,6 +24,7 @@
 //!   emit as JSON (hand-rolled writer: the workspace vendors no JSON
 //!   serializer).
 
+use crate::chaos::ChaosSpec;
 use crate::config::AmpcConfig;
 use crate::fault::FaultPlan;
 use crate::job::Job;
@@ -171,6 +172,8 @@ pub struct DriverOptions {
     pub epsilon: Option<f64>,
     /// Fault injection plan.
     pub fault: Option<FaultPlan>,
+    /// Chaos schedule (multi-fault kills + DHT drops; `--chaos`).
+    pub chaos: Option<ChaosSpec>,
 }
 
 impl DriverOptions {
@@ -206,6 +209,9 @@ impl DriverOptions {
         }
         if let Some(f) = self.fault {
             base = base.with_fault(f);
+        }
+        if let Some(c) = self.chaos {
+            base = base.with_chaos(c);
         }
         base
     }
@@ -244,8 +250,13 @@ pub struct RunSummary {
     pub wall_ns: u64,
     /// Machines killed and replayed by fault injection.
     pub replays: u64,
-    /// Per-stage `(name, kind, sim_ns)` in execution order.
-    pub stages: Vec<(String, &'static str, u64)>,
+    /// DHT batch attempts dropped and re-sent by chaos injection
+    /// (summed over stages; zero outside chaos runs).
+    pub retries: u64,
+    /// Accounted batches that suffered at least one chaos drop.
+    pub wasted_batches: u64,
+    /// Per-stage `(name, kind, sim_ns, replays)` in execution order.
+    pub stages: Vec<(String, &'static str, u64, u64)>,
 }
 
 /// Stage kind as the lowercase token the JSON schema uses.
@@ -281,10 +292,12 @@ impl RunSummary {
             sim_ns: report.sim_ns(),
             wall_ns,
             replays: report.replays,
+            retries: kv.retries,
+            wasted_batches: kv.wasted_batches,
             stages: report
                 .stages
                 .iter()
-                .map(|s| (s.name.clone(), kind_token(s.kind), s.sim_ns))
+                .map(|s| (s.name.clone(), kind_token(s.kind), s.sim_ns, s.replays))
                 .collect(),
         }
     }
@@ -296,9 +309,10 @@ impl RunSummary {
         let stages: Vec<String> = self
             .stages
             .iter()
-            .map(|(name, kind, sim)| {
+            .map(|(name, kind, sim, replays)| {
                 format!(
-                    "{pad}    {{\"name\": {}, \"kind\": \"{kind}\", \"sim_ns\": {sim}}}",
+                    "{pad}    {{\"name\": {}, \"kind\": \"{kind}\", \"sim_ns\": {sim}, \
+                     \"replays\": {replays}}}",
                     json_string(name)
                 )
             })
@@ -319,6 +333,8 @@ impl RunSummary {
              {pad}  \"sim_ns\": {},\n\
              {pad}  \"wall_ns\": {},\n\
              {pad}  \"replays\": {},\n\
+             {pad}  \"retries\": {},\n\
+             {pad}  \"wasted_batches\": {},\n\
              {pad}  \"stages\": [\n{}\n{pad}  ]\n\
              {pad}}}",
             self.num_machines,
@@ -335,6 +351,8 @@ impl RunSummary {
             self.sim_ns,
             self.wall_ns,
             self.replays,
+            self.retries,
+            self.wasted_batches,
             stages.join(",\n"),
         )
     }

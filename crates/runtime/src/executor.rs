@@ -15,6 +15,7 @@
 //! machine.
 
 use crate::pool::WorkerPool;
+use ampc_dht::fault::DropPlan;
 use ampc_dht::handle::MachineHandle;
 use ampc_dht::measured::Measured;
 use ampc_dht::metrics::CommStats;
@@ -125,17 +126,20 @@ impl<R> RoundOutcome<R> {
 ///
 /// `budget` is the per-machine query budget (`O(S)` in the model);
 /// `batching` selects batched round-trip accounting vs the single-key
-/// baseline (see [`MachineHandle::get_many`]); `policy` selects inline,
-/// pooled or legacy spawn-per-machine execution. Outputs, per-machine
-/// statistics and the sealed result of `write` are identical across
-/// policies — execution policy is a wall-clock knob, never a semantic
-/// one.
+/// baseline (see [`MachineHandle::get_many`]); `drops` arms the chaos
+/// DHT fault mode on every machine's handle (retry counters only —
+/// see [`DropPlan`]); `policy` selects inline, pooled or legacy
+/// spawn-per-machine execution. Outputs, per-machine statistics and
+/// the sealed result of `write` are identical across policies —
+/// execution policy is a wall-clock knob, never a semantic one.
+#[allow(clippy::too_many_arguments)]
 pub fn run_machines<V, T, R, F>(
     read: &Generation<V>,
     write: Option<&GenerationWriter<V>>,
     chunks: &[Vec<T>],
     budget: u64,
     batching: bool,
+    drops: Option<DropPlan>,
     policy: ExecPolicy,
     body: F,
 ) -> RoundOutcome<R>
@@ -158,7 +162,9 @@ where
             for (machine_id, chunk) in chunks.iter().enumerate() {
                 let body = &body;
                 handles.push(scope.spawn(move || {
-                    run_one_machine(machine_id, read, write, chunk, budget, batching, body)
+                    run_one_machine(
+                        machine_id, read, write, chunk, budget, batching, drops, body,
+                    )
                 }));
             }
             for (slot, h) in results.iter_mut().zip(handles) {
@@ -170,7 +176,7 @@ where
         // the caller thread through the replay entry point.
         for (machine_id, (chunk, slot)) in chunks.iter().zip(results.iter_mut()).enumerate() {
             *slot = Some(run_one_machine(
-                machine_id, read, write, chunk, budget, batching, &body,
+                machine_id, read, write, chunk, budget, batching, drops, &body,
             ));
         }
     } else {
@@ -183,7 +189,7 @@ where
             .map(|(machine_id, (chunk, slot))| {
                 Box::new(move || {
                     *slot = Some(run_one_machine(
-                        machine_id, read, write, chunk, budget, batching, body,
+                        machine_id, read, write, chunk, budget, batching, drops, body,
                     ));
                 }) as Box<dyn FnOnce() + Send + '_>
             })
@@ -198,6 +204,7 @@ where
 /// execution path and the replay path used by fault injection —
 /// replaying against the same sealed generation necessarily reproduces
 /// the same result, whichever policy ran the original round.
+#[allow(clippy::too_many_arguments)]
 pub fn run_one_machine<V, T, R, F>(
     machine_id: usize,
     read: &Generation<V>,
@@ -205,6 +212,7 @@ pub fn run_one_machine<V, T, R, F>(
     chunk: &[T],
     budget: u64,
     batching: bool,
+    drops: Option<DropPlan>,
     body: &F,
 ) -> (Vec<R>, MachineRoundStats)
 where
@@ -216,7 +224,8 @@ where
         handle: MachineHandle::new(read, write)
             .with_budget(budget)
             .with_machine(machine_id as u32)
-            .with_batching(batching),
+            .with_batching(batching)
+            .with_chaos_drops(drops),
         ops: 0,
     };
     let out = body(&mut ctx, chunk);
@@ -255,6 +264,7 @@ mod tests {
                 &chunks,
                 u64::MAX,
                 true,
+                None,
                 policy,
                 |ctx, items| {
                     items
@@ -279,6 +289,7 @@ mod tests {
                 &chunks,
                 u64::MAX,
                 true,
+                None,
                 policy,
                 |ctx, items| {
                     for &k in items {
@@ -308,6 +319,7 @@ mod tests {
                 &chunks,
                 u64::MAX,
                 true,
+                None,
                 policy,
                 |ctx, items| {
                     for &k in items {
@@ -338,6 +350,7 @@ mod tests {
                 &chunks,
                 u64::MAX,
                 true,
+                None,
                 policy,
                 |ctx, items| {
                     for &m in items {
@@ -374,8 +387,8 @@ mod tests {
                 .map(|&k| *ctx.handle.get(k).unwrap())
                 .collect::<Vec<_>>()
         };
-        let (a, sa) = run_one_machine(0, &read, None, &chunk, u64::MAX, true, &body);
-        let (b, sb) = run_one_machine(0, &read, None, &chunk, u64::MAX, true, &body);
+        let (a, sa) = run_one_machine(0, &read, None, &chunk, u64::MAX, true, None, &body);
+        let (b, sb) = run_one_machine(0, &read, None, &chunk, u64::MAX, true, None, &body);
         assert_eq!(a, b);
         assert_eq!(sa.comm, sb.comm);
     }
@@ -398,6 +411,7 @@ mod tests {
             &chunks,
             u64::MAX,
             true,
+            None,
             ExecPolicy::inline(),
             body,
         );
@@ -407,6 +421,7 @@ mod tests {
             &chunks,
             u64::MAX,
             false,
+            None,
             ExecPolicy::inline(),
             body,
         );
@@ -427,20 +442,29 @@ mod tests {
         let chunks = partition::chunk(vec![0u64, 500], 2);
         let budget = 5u64;
         for policy in policies() {
-            let outcome = run_machines(&read, None, &chunks, budget, true, policy, |ctx, items| {
-                items
-                    .iter()
-                    .map(|&start| {
-                        let mut cur = start;
-                        loop {
-                            match ctx.handle.try_get(cur) {
-                                Ok(Some(&next)) => cur = next,
-                                Ok(None) | Err(_) => break cur,
+            let outcome = run_machines(
+                &read,
+                None,
+                &chunks,
+                budget,
+                true,
+                None,
+                policy,
+                |ctx, items| {
+                    items
+                        .iter()
+                        .map(|&start| {
+                            let mut cur = start;
+                            loop {
+                                match ctx.handle.try_get(cur) {
+                                    Ok(Some(&next)) => cur = next,
+                                    Ok(None) | Err(_) => break cur,
+                                }
                             }
-                        }
-                    })
-                    .collect::<Vec<u64>>()
-            });
+                        })
+                        .collect::<Vec<u64>>()
+                },
+            );
             // Each machine ran one chain and was cut off after `budget` hops.
             assert_eq!(outcome.outputs, vec![budget, 500 + budget], "{policy:?}");
             for m in &outcome.per_machine {
@@ -460,6 +484,7 @@ mod tests {
                 &chunks,
                 u64::MAX,
                 true,
+                None,
                 ExecPolicy::pooled(4),
                 |ctx, items| {
                     if ctx.machine_id == 2 {

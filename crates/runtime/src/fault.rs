@@ -26,7 +26,22 @@ pub struct FaultPlan {
     pub machine: usize,
     /// Fraction of the machine's work completed before the preemption
     /// (only affects the simulated-time charge for the wasted attempt).
+    /// The runtime charges the sanitized value
+    /// ([`Self::charge_progress`]): clamped to `[0, 1]`, with
+    /// non-finite inputs treated as the 0.5 default (and rejected by a
+    /// debug assertion in [`Self::with_progress`]).
     pub progress: f64,
+}
+
+/// Clamps a progress fraction to `[0, 1]`; non-finite values fall back
+/// to the 0.5 default.
+#[inline]
+fn sanitize_progress(p: f64) -> f64 {
+    if p.is_finite() {
+        p.clamp(0.0, 1.0)
+    } else {
+        0.5
+    }
 }
 
 impl FaultPlan {
@@ -37,6 +52,27 @@ impl FaultPlan {
             machine,
             progress: 0.5,
         }
+    }
+
+    /// Sets the progress fraction, sanitized at construction: clamped
+    /// to `[0, 1]`. Non-finite values panic in debug builds and fall
+    /// back to the 0.5 default in release builds.
+    pub fn with_progress(mut self, progress: f64) -> Self {
+        debug_assert!(
+            progress.is_finite(),
+            "FaultPlan progress must be finite, got {progress}"
+        );
+        self.progress = sanitize_progress(progress);
+        self
+    }
+
+    /// The progress fraction the runtime charges wasted time with:
+    /// [`Self::progress`] sanitized to a finite value in `[0, 1]`
+    /// (the field itself stays public and uncooked for back-compat
+    /// with struct-literal construction).
+    #[inline]
+    pub fn charge_progress(&self) -> f64 {
+        sanitize_progress(self.progress)
     }
 
     /// Does this plan fire for the given stage?
@@ -56,5 +92,32 @@ mod tests {
         assert!(!f.fires_at(0));
         assert!(f.fires_at(2));
         assert!(!f.fires_at(3));
+    }
+
+    #[test]
+    fn with_progress_clamps_to_unit_interval() {
+        assert_eq!(FaultPlan::new(0, 0).with_progress(-0.5).progress, 0.0);
+        assert_eq!(FaultPlan::new(0, 0).with_progress(7.0).progress, 1.0);
+        assert_eq!(FaultPlan::new(0, 0).with_progress(0.25).progress, 0.25);
+    }
+
+    #[test]
+    fn charge_progress_sanitizes_raw_field() {
+        let mut f = FaultPlan::new(0, 0);
+        f.progress = 3.0;
+        assert_eq!(f.charge_progress(), 1.0);
+        f.progress = -1.0;
+        assert_eq!(f.charge_progress(), 0.0);
+        f.progress = f64::NAN;
+        assert_eq!(f.charge_progress(), 0.5);
+        f.progress = f64::INFINITY;
+        assert_eq!(f.charge_progress(), 0.5);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "must be finite")]
+    fn with_progress_rejects_non_finite_in_debug() {
+        let _ = FaultPlan::new(0, 0).with_progress(f64::NAN);
     }
 }

@@ -1,5 +1,6 @@
 //! Job orchestration: stages, cost charging, fault replay.
 
+use crate::chaos::{ChaosSpec, FaultSchedule};
 use crate::config::AmpcConfig;
 use crate::executor::{self, MachineCtx, MachineRoundStats};
 use crate::fault::FaultPlan;
@@ -16,26 +17,39 @@ pub struct Job {
     cfg: AmpcConfig,
     report: JobReport,
     fault: Option<FaultPlan>,
+    chaos: Option<FaultSchedule>,
     stage_index: usize,
+    /// True between an [`Self::epoch`] mark and the next KV round: that
+    /// round is the epoch's first, where `ekill=` chaos events fire.
+    epoch_kv_pending: bool,
 }
 
 impl Job {
     /// Starts a job under the given configuration (inheriting its fault
-    /// plan, if any).
+    /// plan and chaos schedule, if any).
     pub fn new(cfg: AmpcConfig) -> Self {
         let p = cfg.num_machines;
         let fault = cfg.fault;
+        let chaos = cfg.chaos.map(FaultSchedule::new);
         Job {
             cfg,
             report: JobReport::new(p),
             fault,
+            chaos,
             stage_index: 0,
+            epoch_kv_pending: false,
         }
     }
 
     /// Arms fault injection.
     pub fn with_fault(mut self, fault: FaultPlan) -> Self {
         self.fault = Some(fault);
+        self
+    }
+
+    /// Arms a chaos schedule (see [`crate::chaos`]).
+    pub fn with_chaos(mut self, spec: ChaosSpec) -> Self {
+        self.chaos = Some(FaultSchedule::new(spec));
         self
     }
 
@@ -78,6 +92,7 @@ impl Job {
             name: name.to_string(),
             first_stage: self.report.stages.len(),
         });
+        self.epoch_kv_pending = true;
     }
 
     /// Meters a shuffle stage with explicit byte loads: `total_bytes`
@@ -98,6 +113,7 @@ impl Job {
             ops: 0,
             sim_ns: sim,
             wall_ns: 0,
+            replays: 0,
         });
     }
 
@@ -212,39 +228,66 @@ impl Job {
         let stage = self.next_stage_index();
         let batching = self.cfg.batching;
         let policy = self.cfg.exec_policy();
+        let drops = self.chaos.and_then(|c| c.drop_plan(stage));
+        // Epoch bookkeeping: the first KV round after an epoch mark is
+        // where epoch kills fire; the flag is consumed either way.
+        let epoch_first_kv = if self.epoch_kv_pending {
+            Some(self.report.epochs.len().saturating_sub(1))
+        } else {
+            None
+        };
+        self.epoch_kv_pending = false;
         // ampc-lint: allow(no-wall-clock-or-ambient-rng) -- stage wall time is a
         // reported measurement only, never algorithm input; perf_suite --check
         // excludes it from the deterministic fields.
         let wall = Instant::now();
         let mut outcome =
-            executor::run_machines(read, write, chunks, budget, batching, policy, &body);
+            executor::run_machines(read, write, chunks, budget, batching, drops, policy, &body);
 
-        // Fault injection: the chosen machine's first attempt is thrown
-        // away and its chunk replayed against the same sealed input.
-        let mut extra_sim = 0u64;
-        if let Some(f) = self.fault {
-            if f.fires_at(stage) && !chunks.is_empty() {
-                let victim = f.machine % chunks.len();
-                let wasted =
-                    (self.machine_time_ns(&outcome.per_machine[victim]) as f64 * f.progress) as u64;
-                let (replayed, stats) = executor::run_one_machine(
-                    victim,
-                    read,
-                    write,
-                    &chunks[victim],
-                    budget,
-                    batching,
-                    &body,
-                );
-                // Splice the replayed outputs over the victim's originals.
-                let start: usize = (0..victim)
-                    .map(|i| chunk_output_len(&outcome, i, chunks))
-                    .sum();
-                let len = chunk_output_len(&outcome, victim, chunks);
-                outcome.outputs.splice(start..start + len, replayed);
-                extra_sim = wasted + self.machine_time_ns(&stats);
-                self.report.replays += 1;
+        // Fault injection: each victim's first attempt is thrown away
+        // and its chunk replayed against the same sealed input, in
+        // ascending machine order (deterministic replay order; repeats
+        // allowed — a machine killed twice is replayed twice). Victims
+        // come from the legacy single-fault plan plus the chaos
+        // schedule's explicit and seeded kills.
+        let mut victims: Vec<(usize, f64)> = Vec::new();
+        if !chunks.is_empty() {
+            if let Some(f) = self.fault {
+                if f.fires_at(stage) {
+                    victims.push((f.machine % chunks.len(), f.charge_progress()));
+                }
             }
+            if let Some(c) = self.chaos {
+                for m in c.victims(stage, epoch_first_kv, chunks.len()) {
+                    victims.push((m, c.progress(stage, m)));
+                }
+            }
+            victims.sort_by_key(|v| v.0);
+        }
+        let mut extra_sim = 0u64;
+        let stage_replays = victims.len() as u64;
+        for &(victim, progress) in &victims {
+            let wasted =
+                (self.machine_time_ns(&outcome.per_machine[victim]) as f64 * progress) as u64;
+            let (replayed, stats) = executor::run_one_machine(
+                victim,
+                read,
+                write,
+                &chunks[victim],
+                budget,
+                batching,
+                drops,
+                &body,
+            );
+            // Splice the replayed outputs over the victim's originals
+            // (length-preserving, so offsets stay valid across victims).
+            let start: usize = (0..victim)
+                .map(|i| chunk_output_len(&outcome, i, chunks))
+                .sum();
+            let len = chunk_output_len(&outcome, victim, chunks);
+            outcome.outputs.splice(start..start + len, replayed);
+            extra_sim += wasted + self.machine_time_ns(&stats);
+            self.report.replays += 1;
         }
 
         let comm = CommStats::merged(outcome.per_machine.iter().map(|m| &m.comm));
@@ -267,6 +310,7 @@ impl Job {
             ops,
             sim_ns: self.cfg.cost.stage_overhead_ns + bottleneck + extra_sim,
             wall_ns: wall.elapsed().as_nanos() as u64,
+            replays: stage_replays,
         });
         outcome.outputs
     }
@@ -295,6 +339,10 @@ impl Job {
                 .cfg
                 .cost
                 .kv_time_ns(m.comm.round_trips(), m.comm.kv_bytes())
+            + self
+                .cfg
+                .cost
+                .retry_time_ns(m.comm.retries, m.comm.backoff_units)
     }
 
     /// Runs a single-machine in-memory step, charging `ops` local
@@ -317,6 +365,7 @@ impl Job {
             ops,
             sim_ns: self.cfg.cost.stage_overhead_ns + self.cfg.cost.compute_time_ns(ops),
             wall_ns: wall.elapsed().as_nanos() as u64,
+            replays: 0,
         });
         out
     }

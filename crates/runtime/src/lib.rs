@@ -34,7 +34,12 @@
 //!   (Figure 8).
 //! * [`fault`] demonstrates the fault-tolerance property of §2: because
 //!   sealed DHT generations are immutable, replaying a preempted
-//!   machine's work yields byte-identical results.
+//!   machine's work yields byte-identical results. [`chaos`] generalizes
+//!   it to seeded multi-fault **schedules** — several machines per
+//!   stage, repeated kills, correlated stripes, epoch-targeted kills
+//!   for the dynamic kernels, and DHT batch drops retried with capped
+//!   exponential backoff — under the same invariant: outputs stay
+//!   byte-identical, only simulated time and retry counters change.
 //! * [`driver`] owns the orchestration kernels used to hand-roll —
 //!   job lifecycle ([`driver::drive`]), truncated-round budget
 //!   bookkeeping ([`driver::AdaptiveRounds`]), config resolution
@@ -50,6 +55,7 @@
 #![deny(missing_docs)]
 #![deny(unsafe_code)]
 
+pub mod chaos;
 pub mod config;
 pub mod driver;
 pub mod executor;
@@ -59,6 +65,7 @@ pub mod partition;
 pub mod pool;
 pub mod report;
 
+pub use chaos::{ChaosSpec, FaultSchedule};
 pub use config::AmpcConfig;
 pub use job::Job;
 pub use report::{JobReport, StageKind, StageReport};

@@ -48,6 +48,12 @@ pub struct StageReport {
     pub sim_ns: u64,
     /// Wall-clock time the simulation itself took (informational).
     pub wall_ns: u64,
+    /// Machines killed and replayed during this stage by fault
+    /// injection (legacy single-fault plan plus chaos schedules —
+    /// see [`crate::chaos`]). Zero outside fault runs; a machine
+    /// killed twice in one stage counts twice.
+    #[serde(default)]
+    pub replays: u64,
 }
 
 /// An epoch boundary: a named position in the stage sequence. The
@@ -246,6 +252,7 @@ mod tests {
             ops: 0,
             sim_ns: sim,
             wall_ns: 1,
+            replays: 0,
         }
     }
 

@@ -1,0 +1,218 @@
+//! Property tests for the chaos engine (vendored proptest stand-in,
+//! same harness as `crates/lint/tests/prop.rs`).
+//!
+//! Three properties:
+//!
+//! * **grammar round-trip** — for arbitrary specs,
+//!   `parse(describe(s)) == s` (DESIGN.md §10's canonical-form
+//!   contract), and `parse` never panics on adversarial input;
+//! * **byte-identical outputs** — arbitrary seeded schedules (random
+//!   kill rates, drop rates, retry caps, stripes, explicit and epoch
+//!   kills) leave every kernel family's output digest equal to the
+//!   fault-free run;
+//! * **deterministic accounting** — the same schedule run twice charges
+//!   identical replay/retry counters and simulated time.
+
+use ampc::prelude::*;
+use ampc_core::algorithm::digest_u64s;
+use ampc_core::one_vs_two::CycleAnswer;
+use ampc_graph::gen;
+use ampc_runtime::chaos::ChaosSpec;
+use ampc_runtime::JobReport;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+fn cfg() -> AmpcConfig {
+    AmpcConfig {
+        num_machines: 4,
+        in_memory_threshold: 100,
+        seed: 0x500C,
+        ..AmpcConfig::default()
+    }
+}
+
+/// An arbitrary chaos spec: any seed, moderate seeded rates (high
+/// enough to fire, low enough that a case stays fast), any retry cap,
+/// small stripes, and up to the maximum number of explicit kill and
+/// epoch-kill events (repeats and out-of-range machines included —
+/// machines wrap modulo the machine count at execution time).
+fn arb_spec() -> impl Strategy<Value = ChaosSpec> {
+    (
+        (0..u64::MAX, 0..301u16, 0..301u16),
+        (0..17u8, 0..5u16),
+        vec((0..6u32, 0..9u32), 0..8),
+        vec((0..3u32, 0..9u32), 0..8),
+    )
+        .prop_map(|((seed, rate, drop), (retries, stripe), kills, ekills)| {
+            let mut s = ChaosSpec::new(seed)
+                .with_rate(rate)
+                .with_drop(drop)
+                .with_retries(retries)
+                .with_stripe(stripe);
+            for (stage, m) in kills {
+                s = s.with_kill(stage, m);
+            }
+            for (epoch, m) in ekills {
+                s = s.with_epoch_kill(epoch, m);
+            }
+            s
+        })
+}
+
+/// Fragments for adversarial spec strings: valid segments, truncated
+/// segments, wrong separators, overflow values.
+const SPEC_FRAGMENTS: &[&str] = &[
+    "chaos:",
+    "chaos",
+    "seed=1",
+    "seed=",
+    "rate=60",
+    "rate=1001",
+    "drop=40",
+    "retries=4",
+    "retries=99",
+    "stripe=2",
+    "kill=1.2",
+    "kill=1.2+3.4",
+    "kill=1",
+    "ekill=0.1",
+    "ekill=.",
+    ":",
+    "=",
+    "+",
+    ".",
+    "0",
+    "42",
+    "18446744073709551616",
+    "bogus=7",
+    " ",
+    "Seed=1",
+];
+
+fn arb_spec_soup() -> impl Strategy<Value = String> {
+    vec(0..SPEC_FRAGMENTS.len(), 0..10).prop_map(|picks| {
+        picks
+            .into_iter()
+            .map(|i| SPEC_FRAGMENTS[i])
+            .collect::<String>()
+    })
+}
+
+/// Runs one kernel family under `c`, returning its output digest and
+/// report. Families match the perturbation/chaos integration suites.
+fn run_family(fam: usize, c: &AmpcConfig) -> (u64, JobReport) {
+    let tiny = || gen::rmat(8, 1_500, gen::RmatParams::SOCIAL, 42);
+    match fam {
+        0 => {
+            let r = mis::ampc_mis(&tiny(), c);
+            (digest_u64s(r.in_mis.iter().map(|&b| b as u64)), r.report)
+        }
+        1 => {
+            let r = matching::ampc_matching(&tiny(), c);
+            (digest_u64s(r.partner.iter().map(|&x| x as u64)), r.report)
+        }
+        2 => {
+            let g = gen::random_weights(&tiny(), 1_000, 7);
+            let r = msf::ampc_msf(&g, c);
+            (
+                digest_u64s(r.edges.iter().flat_map(|e| [e.u as u64, e.v as u64, e.w])),
+                r.report,
+            )
+        }
+        3 => {
+            let r = connectivity::ampc_connected_components(&tiny(), c);
+            (digest_u64s(r.label.iter().map(|&x| x as u64)), r.report)
+        }
+        4 => {
+            let r = one_vs_two::ampc_one_vs_two(&gen::two_cycles(200, 11), c);
+            (
+                digest_u64s([matches!(r.answer, CycleAnswer::Two) as u64]),
+                r.report,
+            )
+        }
+        5 => {
+            let r = walks::ampc_random_walks(&tiny(), c, 1, 6);
+            (
+                digest_u64s(
+                    r.walks
+                        .iter()
+                        .flat_map(|walk| walk.iter().map(|&v| v as u64 + 1).chain([0])),
+                ),
+                r.report,
+            )
+        }
+        _ => {
+            let g = tiny();
+            let batches = ampc_graph::dynamic::generate_batches(
+                &g,
+                3,
+                40,
+                ampc_graph::dynamic::BatchMix::Churn,
+                11,
+            );
+            let r = dynamic::ampc_dynamic_cc(&g, &batches, c);
+            (
+                digest_u64s(
+                    r.labels
+                        .iter()
+                        .flat_map(|epoch| epoch.iter().map(|&x| x as u64)),
+                ),
+                r.report,
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn spec_round_trips_through_canonical_form(spec in arb_spec()) {
+        let described = spec.describe();
+        let reparsed = ChaosSpec::parse(&described);
+        prop_assert_eq!(reparsed, Ok(spec), "describe() produced {described:?}");
+    }
+
+    #[test]
+    fn parse_survives_adversarial_strings(s in arb_spec_soup()) {
+        // Never panics; when it accepts, the canonical form is a fixed
+        // point (parse ∘ describe = id on the accepted set).
+        if let Ok(spec) = ChaosSpec::parse(&s) {
+            prop_assert_eq!(ChaosSpec::parse(&spec.describe()), Ok(spec));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn arbitrary_schedules_leave_outputs_byte_identical(
+        spec in arb_spec(),
+        fam in 0..7usize,
+    ) {
+        let (clean_digest, clean_report) = run_family(fam, &cfg());
+        let chaos_cfg = cfg().with_chaos(spec);
+        let (chaos_digest, chaos_report) = run_family(fam, &chaos_cfg);
+        prop_assert_eq!(
+            chaos_digest, clean_digest,
+            "family {fam} output changed under {}", spec.describe()
+        );
+        // Retry handling never perturbs the accounted communication.
+        let (kv, clean_kv) = (chaos_report.kv_comm(), clean_report.kv_comm());
+        prop_assert_eq!(kv.queries, clean_kv.queries);
+        prop_assert_eq!(kv.writes, clean_kv.writes);
+        prop_assert_eq!(kv.batches, clean_kv.batches);
+        prop_assert_eq!(kv.kv_bytes(), clean_kv.kv_bytes());
+        // Same schedule again: replay order and every counter is
+        // deterministic per seed.
+        let (again_digest, again_report) = run_family(fam, &chaos_cfg);
+        prop_assert_eq!(again_digest, chaos_digest);
+        prop_assert_eq!(again_report.replays, chaos_report.replays);
+        let again_kv = again_report.kv_comm();
+        prop_assert_eq!(again_kv.retries, kv.retries);
+        prop_assert_eq!(again_kv.wasted_batches, kv.wasted_batches);
+        prop_assert_eq!(again_kv.backoff_units, kv.backoff_units);
+        prop_assert_eq!(again_report.sim_ns(), chaos_report.sim_ns());
+    }
+}

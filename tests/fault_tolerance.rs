@@ -75,6 +75,48 @@ fn replay_is_counted_and_charged() {
 }
 
 #[test]
+fn dyn_cc_survives_preemption_across_layouts_and_threads() {
+    let g = gen::erdos_renyi(300, 420, 9);
+    let batches =
+        ampc_graph::dynamic::generate_batches(&g, 3, 48, ampc_graph::dynamic::BatchMix::Churn, 11);
+    let clean = dynamic::ampc_dynamic_cc(&g, &batches, &cfg());
+    assert_eq!(clean.report.replays, 0);
+    // Preempt during a mid-stream epoch's classify round and during the
+    // final epoch, across both sealed-storage layouts (the AMPC_STORE
+    // axis, forced programmatically because the env read is cached) and
+    // 1/8 executor threads (the AMPC_THREADS axis): recovery replays
+    // the partition against the last sealed generation, so every
+    // epoch's labels stay byte-identical everywhere.
+    let kv_stages: Vec<usize> = clean
+        .report
+        .stages
+        .iter()
+        .enumerate()
+        .filter(|(_, s)| s.kind == ampc_runtime::StageKind::KvRound)
+        .map(|(i, _)| i)
+        .collect();
+    let probe = [kv_stages[kv_stages.len() / 2], *kv_stages.last().unwrap()];
+    for sharded in [false, true] {
+        ampc_dht::store::force_store_layout(Some(sharded));
+        for threads in [1, 8] {
+            for &stage in &probe {
+                let c = cfg()
+                    .with_threads(threads)
+                    .with_fault(FaultPlan::new(stage, 2));
+                let faulted = dynamic::ampc_dynamic_cc(&g, &batches, &c);
+                assert_eq!(
+                    faulted.labels, clean.labels,
+                    "stage {stage}, sharded={sharded}, threads={threads}"
+                );
+                assert_eq!(faulted.report.replays, 1);
+                assert!(faulted.report.sim_ns() > clean.report.sim_ns());
+            }
+        }
+    }
+    ampc_dht::store::force_store_layout(None);
+}
+
+#[test]
 fn mpc_baseline_also_survives_preemption() {
     let g = gen::erdos_renyi(300, 1_500, 8);
     let clean = ampc_mpc::mpc_mis(&g, &cfg());
