@@ -155,14 +155,16 @@ pub fn ampc_one_vs_two_in_job(
                 .filter(|&i| !is_sampled(walks[i].cur))
                 .collect();
             // Lockstep buffers, reused across hops: one batched lookup
-            // per adaptive step, no per-hop allocation.
+            // per adaptive step, no per-hop allocation — the survivor
+            // list double-buffers with `active` instead of reallocating.
             let mut keys: Vec<u64> = Vec::with_capacity(active.len());
             let mut frontier: Vec<Option<&Vec<NodeId>>> = Vec::with_capacity(active.len());
+            let mut next_active: Vec<usize> = Vec::with_capacity(active.len());
             while !active.is_empty() {
                 keys.clear();
                 keys.extend(active.iter().map(|&i| walks[i].cur as u64));
                 ctx.handle.get_many_into(&keys, &mut frontier);
-                let mut next_active = Vec::with_capacity(active.len());
+                next_active.clear();
                 for (&i, cn) in active.iter().zip(frontier.iter().copied()) {
                     ctx.add_ops(1);
                     let cn = cn.expect("2-regular");
@@ -176,7 +178,7 @@ pub fn ampc_one_vs_two_in_job(
                         next_active.push(i);
                     }
                 }
-                active = next_active;
+                std::mem::swap(&mut active, &mut next_active);
             }
             walks
                 .into_iter()
