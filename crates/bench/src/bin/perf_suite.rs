@@ -82,10 +82,14 @@ fn run(args: &[String]) -> Result<(), String> {
                 .map_err(|e| format!("--out {dest}: {e}"))?;
             eprintln!("wrote {dest}");
         }
-        if !report.failures.is_empty() {
+        let clone_violations = perf_suite::clone_free_violations(&report.fresh);
+        for v in &clone_violations {
+            eprintln!("perf_suite: {v}");
+        }
+        if !report.failures.is_empty() || !clone_violations.is_empty() {
             return Err(format!(
                 "{} perf regression(s) against {path}",
-                report.failures.len()
+                report.failures.len() + clone_violations.len()
             ));
         }
         println!("perf check: no regressions against {path}");
@@ -94,6 +98,9 @@ fn run(args: &[String]) -> Result<(), String> {
         let scale = ampc_graph::datasets::Scale::from_env();
         let (md, kernels) = perf_suite::run(scale);
         print!("{md}");
+        if let Some(v) = perf_suite::clone_free_violations(&kernels).first() {
+            return Err(format!("zero-clone contract violated — {v}"));
+        }
         let json = perf_suite::to_json(scale, &kernels);
         let dest = out_path.unwrap_or("BENCH_perf.json");
         std::fs::write(dest, &json).map_err(|e| format!("write {dest}: {e}"))?;

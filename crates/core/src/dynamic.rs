@@ -27,7 +27,7 @@
 //!   are **byte-identical** to recomputation after every batch, which
 //!   is what the cross-model equivalence suites pin.
 
-use ampc_dht::store::{Dht, GenerationWriter};
+use ampc_dht::store::{Dht, GenerationWriter, StripeArena};
 use ampc_graph::dynamic::{EdgeSet, UpdateBatch, UpdateKind};
 use ampc_graph::{CsrGraph, NodeId};
 use ampc_runtime::{AmpcConfig, Job, JobReport};
@@ -71,6 +71,10 @@ pub fn ampc_dynamic_cc_in_job(
     let n = g.num_nodes();
     let mut out = Vec::with_capacity(batches.len() + 1);
     let mut dht: Dht<u64> = Dht::new();
+    // Stripe-log buffers recycled across epochs: each publish writer
+    // pops the previous seal's (cleared) buffers instead of allocating
+    // 64 fresh logs per batch (DESIGN.md §11).
+    let arena: StripeArena<u64> = StripeArena::new();
 
     // Maintained state: the current adjacency (sorted neighbor sets, so
     // every iteration order — and with it every downstream stat — is
@@ -90,7 +94,7 @@ pub fn ampc_dynamic_cc_in_job(
     job.local("DynInitCC", ((n + g.num_arcs()) as u64 + 1) * 8, || {
         rebuild_region(&region, &adj, &mut labels, &mut forest)
     });
-    publish(job, &mut dht, "DynPublish-b0", &labels);
+    publish(job, &mut dht, "DynPublish-b0", &labels, &arena);
     out.push(labels.clone());
 
     for (bi, batch) in batches.iter().enumerate() {
@@ -106,18 +110,19 @@ pub fn ampc_dynamic_cc_in_job(
             None,
             batch.clone(),
             |ctx, items| {
-                let keys: Vec<u64> = items
-                    .iter()
-                    .flat_map(|up| [up.u as u64, up.v as u64])
-                    .collect();
-                let mut buf: Vec<Option<&u64>> = Vec::with_capacity(keys.len());
-                ctx.handle.get_many_into(&keys, &mut buf);
+                // Key and value buffers live in the machine's scratch
+                // arena, so classify reuses them across batches; labels
+                // are fixed-size (`u64`), so the expect path copies
+                // them straight out of the sealed layout — no Option
+                // buffer, no per-batch allocation.
+                ctx.scratch.keys.clear();
+                ctx.scratch
+                    .keys
+                    .extend(items.iter().flat_map(|up| [up.u as u64, up.v as u64]));
+                let (keys, vals) = (&ctx.scratch.keys, &mut ctx.scratch.vals);
+                ctx.handle.get_many_expect_into(keys, vals);
                 (0..items.len())
-                    .map(|i| {
-                        let lu = *buf[2 * i].expect("every vertex label is published");
-                        let lv = *buf[2 * i + 1].expect("every vertex label is published");
-                        (lu as NodeId, lv as NodeId)
-                    })
+                    .map(|i| (vals[2 * i] as NodeId, vals[2 * i + 1] as NodeId))
                     .collect()
             },
         );
@@ -180,16 +185,24 @@ pub fn ampc_dynamic_cc_in_job(
 
         // Publish: every machine writes its slice of the labelling; the
         // sealed generation is this epoch's snapshot.
-        publish(job, &mut dht, &format!("DynPublish-b{b}"), &labels);
+        publish(job, &mut dht, &format!("DynPublish-b{b}"), &labels, &arena);
         out.push(labels.clone());
     }
     out
 }
 
 /// One KV-write round putting the full labelling, sealed into the next
-/// generation.
-fn publish(job: &mut Job, dht: &mut Dht<u64>, name: &str, labels: &[NodeId]) {
-    let writer = GenerationWriter::new();
+/// generation. The writer's stripe logs come from (and return to) the
+/// caller's [`StripeArena`], so steady-state epochs reuse buffer
+/// capacity instead of reallocating per publish.
+fn publish(
+    job: &mut Job,
+    dht: &mut Dht<u64>,
+    name: &str,
+    labels: &[NodeId],
+    arena: &StripeArena<u64>,
+) {
+    let writer = GenerationWriter::with_arena(arena);
     job.kv_round(
         name,
         dht.current(),
@@ -201,7 +214,7 @@ fn publish(job: &mut Job, dht: &mut Dht<u64>, name: &str, labels: &[NodeId]) {
             Vec::<()>::new()
         },
     );
-    dht.push(writer.seal());
+    dht.push(writer.seal_recycle(arena));
 }
 
 /// Recomputes the components of `region` (sorted ascending, closed

@@ -45,6 +45,7 @@ pub mod matching;
 pub mod mis;
 pub mod msf;
 pub mod one_vs_two;
+pub mod prim;
 pub mod priorities;
 pub mod validate;
 pub mod walks;

@@ -183,9 +183,12 @@ pub fn ampc_matching_in_job(job: &mut Job, g: &CsrGraph, opts: MatchingOptions) 
                 // §5.3 batching: the chunk's root adjacency fetches are
                 // independent, so they share one accounted round trip;
                 // each vertex process's adaptive interior stays
-                // single-key.
-                let keys: Vec<u64> = items.iter().map(|&v| v as u64).collect();
-                let roots = ctx.handle.get_many(&keys);
+                // single-key. Keys batch in the machine's scratch
+                // arena, results borrowed from the sealed generation.
+                ctx.scratch.keys.clear();
+                ctx.scratch.keys.extend(items.iter().map(|&v| v as u64));
+                let mut roots = Vec::with_capacity(items.len());
+                ctx.handle.get_many_into(&ctx.scratch.keys, &mut roots);
                 items
                     .iter()
                     .zip(roots)

@@ -173,8 +173,12 @@ pub fn ampc_mis_in_job(job: &mut Job, g: &CsrGraph, opts: MisOptions) -> Vec<boo
                 // fetches share a single accounted round trip. The
                 // adaptive interior of each search stays single-key —
                 // dependent queries are separate round trips by design.
-                let keys: Vec<u64> = items.iter().map(|&v| v as u64).collect();
-                let roots = ctx.handle.get_many(&keys);
+                // Keys batch in the machine's scratch arena, results
+                // borrowed from the sealed generation.
+                ctx.scratch.keys.clear();
+                ctx.scratch.keys.extend(items.iter().map(|&v| v as u64));
+                let mut roots = Vec::with_capacity(items.len());
+                ctx.handle.get_many_into(&ctx.scratch.keys, &mut roots);
                 items
                     .iter()
                     .zip(roots)

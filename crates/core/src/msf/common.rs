@@ -208,9 +208,12 @@ pub fn prim_contract_round(
             // §5.3 batching: every search unconditionally expands its
             // own origin first, so those lookups are independent and
             // share one round trip; the adaptive frontier expansions
-            // stay single-key.
-            let keys: Vec<u64> = items.iter().map(|&v| v as u64).collect();
-            let roots = ctx.handle.get_many(&keys);
+            // stay single-key. Keys batch in the machine's scratch
+            // arena, results borrowed from the sealed generation.
+            ctx.scratch.keys.clear();
+            ctx.scratch.keys.extend(items.iter().map(|&v| v as u64));
+            let mut roots = Vec::with_capacity(items.len());
+            ctx.handle.get_many_into(&ctx.scratch.keys, &mut roots);
             items
                 .iter()
                 .zip(roots)
@@ -311,17 +314,30 @@ pub fn prim_contract_round(
     );
 
     // -------------------------------------------- Contract (2 shuffles)
-    let relabeled: Vec<ProvEdge> = edges
+    // Flat-primitive frontier selection: pack the indices of the
+    // component-crossing edges (striped over the pool at scale), then
+    // relabel just those.
+    let mut crossing: Vec<u32> = Vec::new();
+    crate::prim::pack_range(
+        edges.len(),
+        |i| {
+            let e = &edges[i];
+            root_of[e.u as usize] != root_of[e.v as usize]
+        },
+        &mut crossing,
+    );
+    let relabeled: Vec<ProvEdge> = crossing
         .iter()
-        .filter_map(|e| {
+        .map(|&i| {
+            let e = &edges[i as usize];
             let (ru, rv) = (root_of[e.u as usize], root_of[e.v as usize]);
-            (ru != rv).then_some(ProvEdge {
+            ProvEdge {
                 u: ru.min(rv),
                 v: ru.max(rv),
                 w: e.w,
                 ou: e.ou,
                 ov: e.ov,
-            })
+            }
         })
         .collect();
     let contracted_buckets = job.shuffle_by_key(&format!("Contract{tag}"), relabeled, |e| {

@@ -94,14 +94,21 @@ pub fn ampc_one_vs_two_in_job(
     let rate_inv = sample_inv.min((n as u64 / 8).max(1));
     let cutoff = u64::MAX / rate_inv;
     let is_sampled = |v: NodeId| mix64(cfg.seed ^ SAMPLE_SALT ^ v as u64) <= cutoff;
-    let samples: Vec<NodeId> = (0..n as NodeId).filter(|&v| is_sampled(v)).collect();
+    let mut samples: Vec<NodeId> = Vec::new();
+    crate::prim::pack_range(n, |v| is_sampled(v as NodeId), &mut samples);
 
     // ------------------------------------------------ WriteGraph shuffle
     // (§5.6: "a single shuffle used to write the graph to the key-value
-    // store".)
-    let records: Vec<(NodeId, Vec<NodeId>)> =
-        g.nodes().map(|v| (v, g.neighbors(v).to_vec())).collect();
-    let buckets = job.shuffle_by_key("WriteGraph", records, |r| r.0 as u64);
+    // store".) Host-side only vertex ids move; the simulated shuffle
+    // redistributes the full adjacency record (id + length-prefixed
+    // neighbor list), so the metered loads are those of the record.
+    let vertices: Vec<NodeId> = g.nodes().collect();
+    let buckets = job.shuffle_by_key_measured(
+        "WriteGraph",
+        vertices,
+        |&v| v as u64,
+        |&v| 12 + 4 * g.degree(v) as u64,
+    );
     let mut dht: Dht<Vec<NodeId>> = Dht::new();
     let writer = GenerationWriter::new();
     job.kv_round_chunked(
@@ -109,10 +116,12 @@ pub fn ampc_one_vs_two_in_job(
         dht.current(),
         Some(&writer),
         &buckets,
-        |ctx, items: &[(NodeId, Vec<NodeId>)]| {
-            // Independent writes share one round trip (§5.3).
+        |ctx, items: &[NodeId]| {
+            // Independent writes share one round trip (§5.3). Each
+            // adjacency list is materialized exactly once, owned by its
+            // put — no intermediate record vector, no clone.
             ctx.handle
-                .put_many(items.iter().map(|(v, nbrs)| (*v as u64, nbrs.clone())));
+                .put_many(items.iter().map(|&v| (v as u64, g.neighbors(v).to_vec())));
             Vec::<()>::new()
         },
     );
@@ -136,47 +145,62 @@ pub fn ampc_one_vs_two_in_job(
                 cur: NodeId,
                 steps: u64,
             }
-            // The sample-origin fetches are independent: one batch.
-            let keys: Vec<u64> = items.iter().map(|&s| s as u64).collect();
-            let origins = ctx.handle.get_many(&keys);
+            // Lockstep buffers, reused across hops *and rounds* (the
+            // keys batch lives in the machine's scratch arena): one
+            // batched lookup per adaptive step through the zero-copy
+            // visitor form — adjacency is served by reference in a
+            // single pass, no `Option<&V>` staging buffer, no per-hop
+            // allocation. The survivor list double-buffers with
+            // `active` instead of reallocating.
             let mut walks: Vec<Walk> = Vec::with_capacity(items.len() * 2);
-            for (&s, nbrs) in items.iter().zip(origins) {
-                let nbrs = nbrs.expect("2-regular");
-                for &start in nbrs.iter().take(2) {
-                    walks.push(Walk {
-                        origin: s,
-                        prev: s,
-                        cur: start,
-                        steps: 1,
+            // The sample-origin fetches are independent: one batch.
+            ctx.scratch.keys.clear();
+            ctx.scratch.keys.extend(items.iter().map(|&s| s as u64));
+            {
+                let walks = &mut walks;
+                ctx.handle
+                    .get_many_through_with(&ctx.scratch.keys, |j, nbrs| {
+                        let nbrs = nbrs.expect("2-regular");
+                        let s = items[j];
+                        for &start in nbrs.iter().take(2) {
+                            walks.push(Walk {
+                                origin: s,
+                                prev: s,
+                                cur: start,
+                                steps: 1,
+                            });
+                        }
                     });
-                }
             }
             let mut active: Vec<usize> = (0..walks.len())
                 .filter(|&i| !is_sampled(walks[i].cur))
                 .collect();
-            // Lockstep buffers, reused across hops: one batched lookup
-            // per adaptive step, no per-hop allocation — the survivor
-            // list double-buffers with `active` instead of reallocating.
-            let mut keys: Vec<u64> = Vec::with_capacity(active.len());
-            let mut frontier: Vec<Option<&Vec<NodeId>>> = Vec::with_capacity(active.len());
             let mut next_active: Vec<usize> = Vec::with_capacity(active.len());
             while !active.is_empty() {
-                keys.clear();
-                keys.extend(active.iter().map(|&i| walks[i].cur as u64));
-                ctx.handle.get_many_into(&keys, &mut frontier);
+                ctx.scratch.keys.clear();
+                ctx.scratch
+                    .keys
+                    .extend(active.iter().map(|&i| walks[i].cur as u64));
+                ctx.add_ops(active.len() as u64);
                 next_active.clear();
-                for (&i, cn) in active.iter().zip(frontier.iter().copied()) {
-                    ctx.add_ops(1);
-                    let cn = cn.expect("2-regular");
-                    let w = &mut walks[i];
-                    let next = if cn[0] == w.prev { cn[1] } else { cn[0] };
-                    w.prev = w.cur;
-                    w.cur = next;
-                    w.steps += 1;
-                    debug_assert!(w.steps <= n as u64 + 1, "walk failed to terminate");
-                    if !is_sampled(w.cur) {
-                        next_active.push(i);
-                    }
+                {
+                    let walks = &mut walks;
+                    let next_active = &mut next_active;
+                    let active = &active;
+                    ctx.handle
+                        .get_many_through_with(&ctx.scratch.keys, |j, cn| {
+                            let cn = cn.expect("2-regular");
+                            let i = active[j];
+                            let w = &mut walks[i];
+                            let next = if cn[0] == w.prev { cn[1] } else { cn[0] };
+                            w.prev = w.cur;
+                            w.cur = next;
+                            w.steps += 1;
+                            debug_assert!(w.steps <= n as u64 + 1, "walk failed to terminate");
+                            if !is_sampled(w.cur) {
+                                next_active.push(i);
+                            }
+                        });
                 }
                 std::mem::swap(&mut active, &mut next_active);
             }

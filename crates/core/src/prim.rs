@@ -1,0 +1,342 @@
+//! Flat parallel primitives over reusable scratch (DESIGN.md §11).
+//!
+//! The lockstep hop loops of the adaptive kernels used to rebuild their
+//! survivor/frontier vectors from scratch every hop — a fresh
+//! allocation plus a reallocation-prone `filter().collect()` on paths
+//! executed hundreds of times per round. These primitives replace that
+//! churn with **caller-owned output buffers**: each call clears and
+//! refills a `Vec` the kernel keeps across hops and epochs (usually one
+//! of the [`ampc_runtime::executor::ScratchBuffers`] arenas), so
+//! steady-state loops allocate nothing once buffers reach their
+//! high-water capacity.
+//!
+//! Above [`PAR_MIN`] elements and with more than one executor thread,
+//! the primitives stripe over the persistent
+//! [`ampc_runtime::pool::WorkerPool`]: pass 1 counts survivors per
+//! stripe in parallel, pass 2 scatters each stripe into its disjoint,
+//! pre-sized window of the output (safe `split_at_mut` windows — no
+//! aliasing, no locks). Output order equals input order for every
+//! thread count, so the primitives are schedule-deterministic by
+//! construction (§3). The predicate runs twice per element in the
+//! striped path; that is the standard price of an allocation-free
+//! two-pass pack and is far cheaper than the per-hop `Vec` growth it
+//! replaces.
+
+use ampc_dht::store::ampc_threads;
+use ampc_runtime::pool::WorkerPool;
+
+/// Below this many elements the striped paths fall back to a simple
+/// sequential pass (stripe bookkeeping would dominate).
+pub const PAR_MIN: usize = 1 << 16;
+
+/// Splits `0..n` into at most `parts` contiguous, near-equal ranges.
+fn stripe_bounds(n: usize, parts: usize) -> Vec<std::ops::Range<usize>> {
+    let parts = parts.max(1).min(n.max(1));
+    let per = n.div_ceil(parts);
+    (0..parts)
+        .map(|i| (i * per).min(n)..((i + 1) * per).min(n))
+        .filter(|r| !r.is_empty())
+        .collect()
+}
+
+/// Fills `out` with the indices `i` in `0..n` where `pred(i)` holds, in
+/// ascending order, reusing `out`'s capacity. The striped replacement
+/// for `(0..n).filter(pred).collect()` in sampling loops.
+pub fn pack_range(n: usize, pred: impl Fn(usize) -> bool + Sync, out: &mut Vec<u32>) {
+    pack_range_with_threads(n, pred, out, ampc_threads());
+}
+
+/// [`pack_range`] with an explicit thread count (test hook; results are
+/// identical for every value).
+pub fn pack_range_with_threads(
+    n: usize,
+    pred: impl Fn(usize) -> bool + Sync,
+    out: &mut Vec<u32>,
+    threads: usize,
+) {
+    assert!(n <= u32::MAX as usize, "pack_range indexes with u32");
+    out.clear();
+    if threads <= 1 || n < PAR_MIN {
+        out.extend((0..n).filter(|&i| pred(i)).map(|i| i as u32));
+        return;
+    }
+    let stripes = stripe_bounds(n, threads);
+    let mut counts = vec![0usize; stripes.len()];
+    let pred = &pred;
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = stripes
+            .iter()
+            .zip(counts.iter_mut())
+            .map(|(r, c)| {
+                let r = r.clone();
+                Box::new(move || *c = r.filter(|&i| pred(i)).count()) as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        WorkerPool::global(threads).run_batch(tasks, threads);
+    }
+    let total: usize = counts.iter().sum();
+    out.resize(total, 0);
+    let mut rest = out.as_mut_slice();
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(stripes.len());
+    for (r, &c) in stripes.iter().zip(&counts) {
+        let (win, tail) = rest.split_at_mut(c);
+        rest = tail;
+        let r = r.clone();
+        tasks.push(Box::new(move || {
+            for (slot, i) in win.iter_mut().zip(r.filter(|&i| pred(i))) {
+                *slot = i as u32;
+            }
+        }));
+    }
+    WorkerPool::global(threads).run_batch(tasks, threads);
+}
+
+/// Fills `out` with copies of the elements of `src` satisfying `pred`,
+/// in input order, reusing `out`'s capacity.
+pub fn filter_into<T>(src: &[T], pred: impl Fn(&T) -> bool + Sync, out: &mut Vec<T>)
+where
+    T: Copy + Send + Sync,
+{
+    filter_into_with_threads(src, pred, out, ampc_threads());
+}
+
+/// [`filter_into`] with an explicit thread count (test hook; results
+/// are identical for every value).
+pub fn filter_into_with_threads<T>(
+    src: &[T],
+    pred: impl Fn(&T) -> bool + Sync,
+    out: &mut Vec<T>,
+    threads: usize,
+) where
+    T: Copy + Send + Sync,
+{
+    out.clear();
+    if threads <= 1 || src.len() < PAR_MIN {
+        out.extend(src.iter().copied().filter(pred));
+        return;
+    }
+    let stripes = stripe_bounds(src.len(), threads);
+    let mut counts = vec![0usize; stripes.len()];
+    let pred = &pred;
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = stripes
+            .iter()
+            .zip(counts.iter_mut())
+            .map(|(r, c)| {
+                let seg = &src[r.clone()];
+                Box::new(move || *c = seg.iter().filter(|t| pred(t)).count())
+                    as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        WorkerPool::global(threads).run_batch(tasks, threads);
+    }
+    let total: usize = counts.iter().sum();
+    out.resize(total, src[0]);
+    let mut rest = out.as_mut_slice();
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(stripes.len());
+    for (r, &c) in stripes.iter().zip(&counts) {
+        let (win, tail) = rest.split_at_mut(c);
+        rest = tail;
+        let seg = &src[r.clone()];
+        tasks.push(Box::new(move || {
+            for (slot, v) in win.iter_mut().zip(seg.iter().filter(|t| pred(t))) {
+                *slot = *v;
+            }
+        }));
+    }
+    WorkerPool::global(threads).run_batch(tasks, threads);
+}
+
+/// Splits `src` into `yes` (elements satisfying `pred`) and `no` (the
+/// rest), both in input order, reusing both buffers' capacity.
+pub fn partition_into<T>(
+    src: &[T],
+    pred: impl Fn(&T) -> bool + Sync,
+    yes: &mut Vec<T>,
+    no: &mut Vec<T>,
+) where
+    T: Copy + Send + Sync,
+{
+    partition_into_with_threads(src, pred, yes, no, ampc_threads());
+}
+
+/// [`partition_into`] with an explicit thread count (test hook; results
+/// are identical for every value).
+pub fn partition_into_with_threads<T>(
+    src: &[T],
+    pred: impl Fn(&T) -> bool + Sync,
+    yes: &mut Vec<T>,
+    no: &mut Vec<T>,
+    threads: usize,
+) where
+    T: Copy + Send + Sync,
+{
+    yes.clear();
+    no.clear();
+    if threads <= 1 || src.len() < PAR_MIN {
+        for v in src {
+            if pred(v) {
+                yes.push(*v)
+            } else {
+                no.push(*v)
+            }
+        }
+        return;
+    }
+    let stripes = stripe_bounds(src.len(), threads);
+    let mut counts = vec![0usize; stripes.len()];
+    let pred = &pred;
+    {
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = stripes
+            .iter()
+            .zip(counts.iter_mut())
+            .map(|(r, c)| {
+                let seg = &src[r.clone()];
+                Box::new(move || *c = seg.iter().filter(|t| pred(t)).count())
+                    as Box<dyn FnOnce() + Send>
+            })
+            .collect();
+        WorkerPool::global(threads).run_batch(tasks, threads);
+    }
+    let total_yes: usize = counts.iter().sum();
+    yes.resize(total_yes, src[0]);
+    no.resize(src.len() - total_yes, src[0]);
+    let (mut rest_yes, mut rest_no) = (yes.as_mut_slice(), no.as_mut_slice());
+    let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(stripes.len());
+    for (r, &c) in stripes.iter().zip(&counts) {
+        let (win_yes, tail) = rest_yes.split_at_mut(c);
+        rest_yes = tail;
+        let (win_no, tail) = rest_no.split_at_mut(r.len() - c);
+        rest_no = tail;
+        let seg = &src[r.clone()];
+        tasks.push(Box::new(move || {
+            let (mut iy, mut ino) = (0, 0);
+            for v in seg {
+                if pred(v) {
+                    win_yes[iy] = *v;
+                    iy += 1;
+                } else {
+                    win_no[ino] = *v;
+                    ino += 1;
+                }
+            }
+        }));
+    }
+    WorkerPool::global(threads).run_batch(tasks, threads);
+}
+
+/// Stable counting sort of `src` by a small integer key (`key(t) <
+/// buckets`), written into `out`; `counts` is reusable scratch resized
+/// to `buckets + 1`. The counting pass stripes over the pool; the
+/// stable scatter is sequential (its positions interleave across
+/// stripes, so a parallel scatter would need per-slot synchronization —
+/// not worth it for the bucket counts the kernels use).
+pub fn counting_sort_by_key<T: Copy>(
+    src: &[T],
+    buckets: usize,
+    key: impl Fn(&T) -> usize,
+    counts: &mut Vec<usize>,
+    out: &mut Vec<T>,
+) {
+    counts.clear();
+    counts.resize(buckets + 1, 0);
+    for t in src {
+        let k = key(t);
+        debug_assert!(k < buckets, "key {k} out of range (buckets = {buckets})");
+        counts[k + 1] += 1;
+    }
+    for i in 1..counts.len() {
+        counts[i] += counts[i - 1];
+    }
+    out.clear();
+    if let Some(&first) = src.first() {
+        out.resize(src.len(), first);
+        for t in src {
+            let k = key(t);
+            out[counts[k]] = *t;
+            counts[k] += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ampc_dht::hasher::mix64;
+
+    #[test]
+    fn pack_range_matches_naive_for_every_thread_count() {
+        let n = PAR_MIN + 1234;
+        let pred = |i: usize| mix64(i as u64).is_multiple_of(3);
+        let naive: Vec<u32> = (0..n).filter(|&i| pred(i)).map(|i| i as u32).collect();
+        let mut out = Vec::new();
+        for threads in [1, 2, 3, 8] {
+            pack_range_with_threads(n, pred, &mut out, threads);
+            assert_eq!(out, naive, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn filter_into_matches_naive_and_reuses_capacity() {
+        let src: Vec<u64> = (0..PAR_MIN as u64 + 99).map(mix64).collect();
+        let pred = |v: &u64| v.is_multiple_of(2);
+        let naive: Vec<u64> = src.iter().copied().filter(pred).collect();
+        let mut out = Vec::new();
+        for threads in [1, 2, 8] {
+            filter_into_with_threads(&src, pred, &mut out, threads);
+            assert_eq!(out, naive, "threads = {threads}");
+        }
+        let cap = out.capacity();
+        filter_into_with_threads(&src, pred, &mut out, 2);
+        assert_eq!(out.capacity(), cap, "steady state must not reallocate");
+    }
+
+    #[test]
+    fn partition_preserves_order_and_covers() {
+        let src: Vec<u64> = (0..PAR_MIN as u64 + 7).map(mix64).collect();
+        let pred = |v: &u64| v % 5 < 2;
+        let (mut yes, mut no) = (Vec::new(), Vec::new());
+        let naive_yes: Vec<u64> = src.iter().copied().filter(pred).collect();
+        let naive_no: Vec<u64> = src.iter().copied().filter(|v| !pred(v)).collect();
+        for threads in [1, 4] {
+            partition_into_with_threads(&src, pred, &mut yes, &mut no, threads);
+            assert_eq!(yes, naive_yes, "threads = {threads}");
+            assert_eq!(no, naive_no, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn small_inputs_take_the_sequential_path() {
+        let mut out = Vec::new();
+        pack_range(10, |i| i % 2 == 0, &mut out);
+        assert_eq!(out, vec![0, 2, 4, 6, 8]);
+        let mut f = Vec::new();
+        filter_into(&[1u64, 2, 3, 4], |v| *v > 2, &mut f);
+        assert_eq!(f, vec![3, 4]);
+    }
+
+    #[test]
+    fn counting_sort_is_stable() {
+        // (key, payload): payload order within a key must survive.
+        let src: Vec<(usize, u64)> = (0..1000u64).map(|i| ((mix64(i) % 7) as usize, i)).collect();
+        let (mut counts, mut out) = (Vec::new(), Vec::new());
+        counting_sort_by_key(&src, 7, |t| t.0, &mut counts, &mut out);
+        let mut naive = src.clone();
+        naive.sort_by_key(|t| t.0); // sort_by_key is stable
+        assert_eq!(out, naive);
+        // Reuse: second call with the same scratch, different buckets.
+        counting_sort_by_key(&src, 7, |t| t.0, &mut counts, &mut out);
+        assert_eq!(out, naive);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        let mut out = Vec::new();
+        pack_range(0, |_| true, &mut out);
+        assert!(out.is_empty());
+        let mut counts = Vec::new();
+        let mut sorted: Vec<u64> = Vec::new();
+        counting_sort_by_key(&[], 4, |_: &u64| 0, &mut counts, &mut sorted);
+        assert!(sorted.is_empty());
+    }
+}

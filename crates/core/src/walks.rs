@@ -59,9 +59,16 @@ pub fn ampc_random_walks_in_job(
     let n = g.num_nodes();
 
     // WriteGraph shuffle + KV-write, like every AMPC algorithm here.
-    let records: Vec<(NodeId, Vec<NodeId>)> =
-        g.nodes().map(|v| (v, g.neighbors(v).to_vec())).collect();
-    let buckets = job.shuffle_by_key("WriteGraph", records, |r| r.0 as u64);
+    // Host-side only vertex ids move; the simulated shuffle
+    // redistributes the full adjacency record (id + length-prefixed
+    // neighbor list), so the metered loads are those of the record.
+    let vertices: Vec<NodeId> = g.nodes().collect();
+    let buckets = job.shuffle_by_key_measured(
+        "WriteGraph",
+        vertices,
+        |&v| v as u64,
+        |&v| 12 + 4 * g.degree(v) as u64,
+    );
     let mut dht: Dht<Vec<NodeId>> = Dht::new();
     let writer = GenerationWriter::new();
     job.kv_round_chunked(
@@ -69,10 +76,12 @@ pub fn ampc_random_walks_in_job(
         dht.current(),
         Some(&writer),
         &buckets,
-        |ctx, items: &[(NodeId, Vec<NodeId>)]| {
-            // Independent writes share one round trip (§5.3).
+        |ctx, items: &[NodeId]| {
+            // Independent writes share one round trip (§5.3). Each
+            // adjacency list is materialized exactly once, owned by its
+            // put — no intermediate record vector, no clone.
             ctx.handle
-                .put_many(items.iter().map(|(v, nbrs)| (*v as u64, nbrs.clone())));
+                .put_many(items.iter().map(|&v| (v as u64, g.neighbors(v).to_vec())));
             Vec::<()>::new()
         },
     );
@@ -102,33 +111,34 @@ pub fn ampc_random_walks_in_job(
                 p
             })
             .collect();
-        // Lockstep key buffer, reused across hops: one batched
-        // lookup per adaptive step, no per-hop allocation. The
-        // visitor form serves adjacency *references* (cache or
-        // generation), so a cache miss costs exactly one clone —
-        // the cache insert — and the hop loop clones nothing.
-        let mut keys: Vec<u64> = Vec::with_capacity(cur.len());
+        // Lockstep key buffer in the machine's scratch arena, reused
+        // across hops and rounds: one batched lookup per adaptive
+        // step, no per-hop allocation. The visitor form serves
+        // adjacency *references* (cache or generation), so a cache
+        // miss costs exactly one clone — the cache insert — and the
+        // hop loop clones nothing.
         for s in 0..steps {
-            keys.clear();
-            keys.extend(cur.iter().map(|&c| c as u64));
+            ctx.scratch.keys.clear();
+            ctx.scratch.keys.extend(cur.iter().map(|&c| c as u64));
             let mut moved = 0u64;
             let cur = &mut cur;
             let paths = &mut paths;
-            ctx.handle.get_many_through_with(&keys, |i, nbrs| {
-                let nbrs = nbrs.expect("vertex record");
-                if nbrs.is_empty() {
+            ctx.handle
+                .get_many_through_with(&ctx.scratch.keys, |i, nbrs| {
+                    let nbrs = nbrs.expect("vertex record");
+                    if nbrs.is_empty() {
+                        paths[i].push(cur[i]);
+                        return;
+                    }
+                    moved += 1;
+                    let (w, _) = items[i];
+                    let r = mix64(
+                        seed ^ w.wrapping_mul(0x9E37_79B9).wrapping_add(cur[i] as u64)
+                            ^ ((s as u64) << 32),
+                    );
+                    cur[i] = nbrs[(r % nbrs.len() as u64) as usize];
                     paths[i].push(cur[i]);
-                    return;
-                }
-                moved += 1;
-                let (w, _) = items[i];
-                let r = mix64(
-                    seed ^ w.wrapping_mul(0x9E37_79B9).wrapping_add(cur[i] as u64)
-                        ^ ((s as u64) << 32),
-                );
-                cur[i] = nbrs[(r % nbrs.len() as u64) as usize];
-                paths[i].push(cur[i]);
-            });
+                });
             ctx.add_ops(moved);
         }
         paths

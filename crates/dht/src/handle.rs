@@ -28,11 +28,12 @@
 //! ([`MachineHandle::mount_cache`]) so kernels whose cached state is
 //! the raw stored value stop hand-rolling cache-then-get logic.
 
-use crate::cache::DenseCache;
+use crate::cache::{DenseCache, HotSet};
 use crate::fault::DropPlan;
 use crate::hasher::{FxHashMap, FxHashSet};
 use crate::measured::Measured;
 use crate::metrics::CommStats;
+use crate::probe;
 use crate::store::{Generation, GenerationWriter};
 
 /// Signal returned by the `try_*` accessors when the next request would
@@ -71,6 +72,12 @@ pub struct MachineHandle<'a, V> {
     batching: bool,
     /// Optional read-through cache of raw stored values.
     cache: Option<DenseCache<V>>,
+    /// Optional hot-key replica set (`AMPC_HOT_KEYS`): frequently read
+    /// keys get machine-local replicas that serve the reference paths
+    /// without touching the sealed generation. Accounting is identical
+    /// either way — replication is a host-side strategy, not a model
+    /// change (see [`HotSet`]).
+    hot: Option<HotSet<V>>,
     /// Optional chaos drop plan: every accounted batch may be dropped
     /// and re-sent a seeded, capped number of times (counted into the
     /// retry fields of [`CommStats`]; never changes results).
@@ -92,6 +99,7 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
             machine_id: 0,
             batching: true,
             cache: None,
+            hot: None,
             drops: None,
             batch_ordinal: 0,
         }
@@ -120,6 +128,15 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
     /// success (DESIGN.md §10). `None` (the default) disables drops.
     pub fn with_chaos_drops(mut self, drops: Option<DropPlan>) -> Self {
         self.drops = drops;
+        self
+    }
+
+    /// Arms hot-key replication with room for `k` replicas (`k = 0`,
+    /// the `AMPC_HOT_KEYS` default, disables it). Served values and
+    /// every [`CommStats`] counter are identical with replication on or
+    /// off; only the host-side memory traffic changes.
+    pub fn with_hot_keys(mut self, k: usize) -> Self {
+        self.hot = (k > 0).then(|| HotSet::new(k));
         self
     }
 
@@ -250,8 +267,86 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
             self.budget
         );
         self.account_batch();
-        out.reserve(keys.len());
-        out.extend(keys.iter().map(|&k| self.charge_read(k)));
+        // Whole-batch accounting: one add for the queries, one pass for
+        // the bytes — same totals as per-key `charge_read`, without 2
+        // counter bumps per element — and the generation's prefetch
+        // pipeline serves the lookups.
+        self.stats.queries += keys.len() as u64;
+        self.read.get_many_into(keys, out);
+        let mut bytes_read = 0u64;
+        for v in out.iter() {
+            bytes_read += match v {
+                Some(v) => 8 + v.size_bytes() as u64,
+                None => 8, // the miss response
+            };
+        }
+        self.stats.bytes_read += bytes_read;
+    }
+
+    /// Fixed-size fast path of the batch family: **copies** each value
+    /// into the caller's scratch buffer (cleared first) instead of
+    /// collecting `Option<&V>`, so lockstep kernels over `Copy` values
+    /// (chase tables, labels) keep one flat `Vec<V>` alive across hops
+    /// with no borrow tying it to the generation — and no per-hop
+    /// allocation at all. Accounting is *identical* to
+    /// [`Self::get_many_into`] on an all-present batch: one round trip,
+    /// one query and `8 + size` response bytes per key (per-key round
+    /// trips with batching disabled). Hot-key replicas
+    /// ([`Self::with_hot_keys`]) serve from machine-local memory at the
+    /// same charged cost.
+    ///
+    /// # Panics
+    /// When a key is absent — callers use this for tables they wrote
+    /// themselves. In debug builds, also panics if the batch would
+    /// exceed the `O(S)` query budget.
+    pub fn get_many_expect_into(&mut self, keys: &[u64], out: &mut Vec<V>)
+    where
+        V: Copy,
+    {
+        out.clear();
+        if keys.is_empty() {
+            return;
+        }
+        if !self.batching {
+            out.reserve(keys.len());
+            for &k in keys {
+                let v = *self.get(k).expect("get_many_expect_into: key absent");
+                out.push(v);
+            }
+            return;
+        }
+        debug_assert!(
+            self.stats.queries.saturating_add(keys.len() as u64) <= self.budget,
+            "machine {} batch of {} keys exceeds its O(S) query budget of {}",
+            self.machine_id,
+            keys.len(),
+            self.budget
+        );
+        self.account_batch();
+        self.stats.queries += keys.len() as u64;
+        if let Some(mut hot) = self.hot.take() {
+            out.reserve(keys.len());
+            for &k in keys {
+                let v = match hot.get(k) {
+                    Some(v) => *v,
+                    None => {
+                        let v = self.read.get(k).expect("get_many_expect_into: key absent");
+                        hot.observe(k, v);
+                        *v
+                    }
+                };
+                self.stats.bytes_read += 8 + v.size_bytes() as u64;
+                out.push(v);
+            }
+            self.hot = Some(hot);
+            return;
+        }
+        self.read.get_many_copied_into(keys, out);
+        let mut bytes_read = 0u64;
+        for v in out.iter() {
+            bytes_read += 8 + v.size_bytes() as u64;
+        }
+        self.stats.bytes_read += bytes_read;
     }
 
     /// Budget-enforcing batch lookup: the whole batch is rejected with
@@ -288,7 +383,11 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
     /// [`Self::get_through_ref`] (single clone per miss, none for the
     /// caller).
     pub fn get_through(&mut self, key: u64) -> Option<V> {
-        self.get_through_ref(key).cloned()
+        let v = self.get_through_ref(key);
+        if let Some(v) = v {
+            probe::record_clone(v.size_bytes()); // the caller-side clone
+        }
+        v.cloned()
     }
 
     /// Reference-serving read-through lookup: a cache hit is served
@@ -308,6 +407,7 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
         }
         let fetched = self.get(key);
         if let Some(v) = fetched {
+            probe::record_clone(v.size_bytes());
             cache.put(key, v.clone()); // the single per-miss clone
         }
         self.cache = Some(cache);
@@ -339,7 +439,12 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
     pub fn get_many_through_into(&mut self, keys: &[u64], out: &mut Vec<Option<V>>) {
         out.clear();
         out.reserve(keys.len());
-        self.get_many_through_with(keys, |_, v| out.push(v.cloned()));
+        self.get_many_through_with(keys, |_, v| {
+            if let Some(v) = v {
+                probe::record_clone(v.size_bytes()); // the caller-side clone
+            }
+            out.push(v.cloned());
+        });
     }
 
     /// The reference-serving read-through batch at the bottom of the
@@ -374,10 +479,43 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
                 self.budget
             );
             self.account_batch();
-            for (i, &k) in keys.iter().enumerate() {
-                let v = self.charge_read(k);
-                f(i, v.map(|v| -> &V { v }));
+            self.stats.queries += keys.len() as u64;
+            if let Some(mut hot) = self.hot.take() {
+                for (i, &k) in keys.iter().enumerate() {
+                    // A replica hit charges exactly what the DHT read
+                    // would — replication never changes CommStats.
+                    match hot.get(k) {
+                        Some(v) => {
+                            self.stats.bytes_read += 8 + v.size_bytes() as u64;
+                            f(i, Some(v));
+                        }
+                        None => match self.read.get(k) {
+                            Some(v) => {
+                                self.stats.bytes_read += 8 + v.size_bytes() as u64;
+                                hot.observe(k, v);
+                                f(i, Some(v));
+                            }
+                            None => {
+                                self.stats.bytes_read += 8;
+                                f(i, None);
+                            }
+                        },
+                    }
+                }
+                self.hot = Some(hot);
+                return;
             }
+            // Bytes accumulate in a local so the per-key hot loop keeps
+            // the counter in a register instead of a `&mut self` store.
+            let mut bytes_read = 0u64;
+            self.read.get_many_with(keys, |i, v| {
+                bytes_read += match v {
+                    Some(v) => 8 + v.size_bytes() as u64,
+                    None => 8,
+                };
+                f(i, v.map(|v| -> &V { v }));
+            });
+            self.stats.bytes_read += bytes_read;
             return;
         };
         let mut fetch: Vec<u64> = Vec::new();
@@ -395,6 +533,7 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
         for (&k, v) in fetch.iter().zip(&fetched) {
             batch.insert(k, *v);
             if let Some(v) = v {
+                probe::record_clone(v.size_bytes());
                 cache.put(k, (*v).clone()); // the single per-miss clone
             }
         }
@@ -787,6 +926,64 @@ mod tests {
             *h.stats()
         };
         assert_eq!(single(true), single(false));
+    }
+
+    /// The fixed-size copy path must charge exactly what the reference
+    /// path charges on an all-present batch — batching on and off.
+    #[test]
+    fn expect_path_accounting_matches_get_many_into() {
+        let g: Generation<u64> = Generation::from_iter((0..64u64).map(|k| (k, k * 3)));
+        let keys: Vec<u64> = (0..64u64).rev().collect();
+        for batching in [true, false] {
+            let mut a: MachineHandle<u64> = MachineHandle::new(&g, None).with_batching(batching);
+            let mut refs = Vec::new();
+            a.get_many_into(&keys, &mut refs);
+            let mut b: MachineHandle<u64> = MachineHandle::new(&g, None).with_batching(batching);
+            let mut vals = Vec::new();
+            b.get_many_expect_into(&keys, &mut vals);
+            assert_eq!(a.stats(), b.stats(), "batching={batching}");
+            let copied: Vec<u64> = refs.iter().map(|v| *v.expect("present")).collect();
+            assert_eq!(copied, vals);
+            // Buffer reuse: a second batch refills, never appends.
+            b.get_many_expect_into(&[1, 2], &mut vals);
+            assert_eq!(vals, vec![3, 6]);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "key absent")]
+    fn expect_path_panics_on_missing_key() {
+        let g = gen3();
+        let mut h: MachineHandle<u64> = MachineHandle::new(&g, None);
+        let mut out = Vec::new();
+        h.get_many_expect_into(&[1, 99], &mut out);
+    }
+
+    /// Hot-key replication must be invisible in values *and* in every
+    /// CommStats counter — it only changes where the bytes come from.
+    #[test]
+    fn hot_key_replication_is_stats_invisible() {
+        let g: Generation<u64> = Generation::from_iter((0..32u64).map(|k| (k, k + 100)));
+        // A skewed sequence: key 3 is read far past the promotion
+        // threshold, with cold keys interleaved.
+        let keys: Vec<u64> = (0..200u64)
+            .map(|i| if i % 3 == 0 { 3 } else { i % 32 })
+            .collect();
+        let run = |hot: usize| {
+            let mut h: MachineHandle<u64> = MachineHandle::new(&g, None).with_hot_keys(hot);
+            let mut vals = Vec::new();
+            let mut visited = Vec::new();
+            for chunk in keys.chunks(16) {
+                h.get_many_expect_into(chunk, &mut vals);
+                visited.extend(vals.iter().copied());
+                h.get_many_through_with(chunk, |_, v| visited.push(*v.expect("present")));
+            }
+            (visited, *h.stats())
+        };
+        let (vals_off, stats_off) = run(0);
+        let (vals_on, stats_on) = run(4);
+        assert_eq!(vals_off, vals_on);
+        assert_eq!(stats_off, stats_on);
     }
 
     /// Algorithm-1-style truncation: a search loop that explores until

@@ -53,12 +53,13 @@ pub mod handle;
 pub mod hasher;
 pub mod measured;
 pub mod metrics;
+pub mod probe;
 pub mod store;
 
-pub use cache::DenseCache;
+pub use cache::{DenseCache, HotSet};
 pub use cost::{CostConfig, Network};
 pub use fault::DropPlan;
 pub use handle::{BudgetExhausted, MachineHandle};
 pub use measured::Measured;
 pub use metrics::CommStats;
-pub use store::{ampc_threads, Dht, Generation, GenerationWriter, ReprKind};
+pub use store::{ampc_threads, Dht, Generation, GenerationWriter, ReprKind, StripeArena};

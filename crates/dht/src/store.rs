@@ -39,6 +39,8 @@
 //! computed once at seal time and cached, so the per-round report path
 //! reads them in O(1) instead of re-walking every entry.
 
+#![allow(unsafe_code)] // disjoint-stripe scatter in the parallel seal; see seal_dense_scatter.
+
 use crate::hasher::{mix64, FxHashMap};
 use crate::measured::Measured;
 use parking_lot::Mutex;
@@ -105,23 +107,65 @@ pub fn force_store_layout(sharded: Option<bool>) {
     STORE_MODE.store(mode, std::sync::atomic::Ordering::Relaxed);
 }
 
+/// One logged write: `(key, writing machine, value)`. Stripes are
+/// append-only until seal; duplicate resolution happens once, at seal
+/// time, instead of per write.
+type LogEntry<V> = (u64, u32, V);
+
+/// A pool of recycled stripe buffers, so epoch loops (dyn-cc publishes
+/// one generation per batch) reuse the writer's log allocations instead
+/// of growing fresh `Vec`s every epoch. Checked out by
+/// [`GenerationWriter::with_arena`], returned by
+/// [`GenerationWriter::seal_recycle`]. Buffers come back cleared but
+/// with capacity intact; the arena itself is cheap to create and holds
+/// nothing until a seal returns buffers to it.
+pub struct StripeArena<V> {
+    bufs: Mutex<Vec<Vec<LogEntry<V>>>>,
+}
+
+impl<V> StripeArena<V> {
+    /// An empty arena.
+    pub fn new() -> Self {
+        StripeArena {
+            bufs: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Number of buffers currently parked in the arena (test hook).
+    pub fn parked(&self) -> usize {
+        self.bufs.lock().len()
+    }
+}
+
+impl<V> Default for StripeArena<V> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 /// A write-only, lock-striped generation under construction.
 ///
-/// Duplicate keys are resolved **deterministically**: every write
-/// carries the id of the machine that issued it (threaded through
+/// Each stripe is an **append log** of `(key, machine, value)` entries;
+/// writes never hash into a map. Duplicate keys are resolved
+/// **deterministically at seal time**: every write carries the id of
+/// the machine that issued it (threaded through
 /// [`crate::MachineHandle::put`]) and the entry from the *lowest*
 /// machine id wins, regardless of thread schedule. Writes from the same
-/// machine are sequential, so among them the last one wins. This is the
-/// §3 determinism contract: a sealed generation is a pure function of
-/// *what* was written, never of *when* the OS scheduled the writers —
-/// which is also what makes fault replay exact.
+/// machine are appended sequentially, so among them the last one wins.
+/// This is the §3 determinism contract: a sealed generation is a pure
+/// function of *what* was written, never of *when* the OS scheduled the
+/// writers — within a stripe, one machine's entries keep their issue
+/// order under every interleaving, and "last entry from the lowest
+/// machine" names the same winner in all of them. That is also what
+/// makes fault replay exact.
 pub struct GenerationWriter<V> {
-    /// Each entry carries the writing machine's id as its precedence.
-    shards: Vec<Mutex<FxHashMap<u64, (u32, V)>>>,
+    /// Append logs, lock-striped by `mix64(key) % stripes`.
+    shards: Vec<Mutex<Vec<LogEntry<V>>>>,
     /// When true (the default), cross-machine writes of *different*
-    /// values to the same key trip a `debug_assert` — workspace
-    /// algorithms only ever race equal values (e.g. idempotent status
-    /// markers), so a conflicting duplicate is a kernel bug.
+    /// values to the same key trip a `debug_assert` at seal time —
+    /// workspace algorithms only ever race equal values (e.g.
+    /// idempotent status markers), so a conflicting duplicate is a
+    /// kernel bug.
     strict: bool,
 }
 
@@ -135,9 +179,21 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
     pub fn with_shards(shards: usize) -> Self {
         assert!(shards >= 1);
         GenerationWriter {
-            shards: (0..shards)
-                .map(|_| Mutex::new(FxHashMap::default()))
-                .collect(),
+            shards: (0..shards).map(|_| Mutex::new(Vec::new())).collect(),
+            strict: true,
+        }
+    }
+
+    /// New writer whose stripe buffers are checked out of `arena`
+    /// (falling back to fresh `Vec`s when the arena runs dry). Pair
+    /// with [`Self::seal_recycle`] to close the loop.
+    pub fn with_arena(arena: &StripeArena<V>) -> Self {
+        let mut pooled = arena.bufs.lock();
+        let shards = (0..DEFAULT_SHARDS)
+            .map(|_| Mutex::new(pooled.pop().unwrap_or_default()))
+            .collect();
+        GenerationWriter {
+            shards,
             strict: true,
         }
     }
@@ -164,125 +220,41 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
     /// Inserts a key-value pair written by `machine`. On duplicate keys
     /// the entry from the lowest machine id wins (ties: the same
     /// machine overwrites its own earlier write — deterministic because
-    /// one machine's writes are sequential). Returns the serialized
-    /// size of the pair for the caller's accounting.
+    /// one machine's writes are sequential). Resolution happens at seal
+    /// time; the write itself is one lock and one `Vec` push. Returns
+    /// the serialized size of the pair for the caller's accounting.
     ///
     /// # Panics
-    /// In debug builds (unless [`Self::relaxed`]), panics when two
-    /// *different* machines write *different* values for one key.
+    /// In debug builds (unless [`Self::relaxed`]), sealing panics when
+    /// two *different* machines wrote *different* values for one key.
     pub fn put_from(&self, machine: u32, key: u64, value: V) -> usize {
         let bytes = 8 + value.size_bytes();
-        let mut shard = self.shards[self.shard_of(key)].lock();
-        match shard.entry(key) {
-            std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert((machine, value));
-            }
-            std::collections::hash_map::Entry::Occupied(mut e) => {
-                let (prev_machine, prev_value) = e.get();
-                if self.strict && *prev_machine != machine {
-                    debug_assert!(
-                        *prev_value == value,
-                        "conflicting cross-machine writes for key {key} \
-                         (machines {prev_machine} and {machine}): the §3 \
-                         determinism contract forbids schedule-dependent values"
-                    );
-                }
-                if machine <= *prev_machine {
-                    e.insert((machine, value));
-                }
-            }
-        }
+        self.shards[self.shard_of(key)]
+            .lock()
+            .push((key, machine, value));
         bytes
     }
 
-    /// Inserts a batch of pairs written by `machine`, locking each
-    /// stripe **once** (and reserving its growth up front) instead of
-    /// once per key — the write-side counterpart of the flat read path.
-    /// Per-pair semantics are exactly [`Self::put_from`]: same
-    /// deterministic lowest-machine-id resolution, same conflict
+    /// Inserts a batch of pairs written by `machine`. Per-pair
+    /// semantics are exactly [`Self::put_from`]: same deterministic
+    /// lowest-machine-id resolution (at seal), same conflict
     /// `debug_assert`, and the returned byte total is the sum of the
     /// per-pair sizes. Returns `(pairs_written, total_bytes)`.
+    ///
+    /// With append-log stripes there is no per-key map work to batch,
+    /// so the batch form is a plain loop over [`Self::put_from`] —
+    /// each value moves exactly once, out of the iterator and into its
+    /// stripe log, with no intermediate batch buffer.
     pub fn put_many_from(
         &self,
         machine: u32,
         pairs: impl IntoIterator<Item = (u64, V)>,
     ) -> (u64, usize) {
-        if sharded_store_requested() {
-            // `AMPC_STORE=sharded` restores the pre-flat storage layer
-            // end to end, write path included: one lock per key.
-            let mut written = 0u64;
-            let mut total_bytes = 0usize;
-            for (k, v) in pairs {
-                total_bytes += self.put_from(machine, k, v);
-                written += 1;
-            }
-            return (written, total_bytes);
-        }
-        // Group the batch by stripe *by index*, not by moving payloads:
-        // the pairs are materialized once, a counting sort over their
-        // stripe ids yields the per-stripe visit order, and each value
-        // is then moved exactly once — out of the batch, into its
-        // stripe map. (The previous implementation pushed every pair
-        // through a fresh `Vec<Vec<_>>` of stripe buckets: one extra
-        // move per value plus `shards.len()` vector allocations on
-        // every batched write.)
-        let mut batch: Vec<Option<(u64, V)>> = pairs.into_iter().map(Some).collect();
-        let written = batch.len() as u64;
-        let nshards = self.shards.len();
+        let mut written = 0u64;
         let mut total_bytes = 0usize;
-        let mut stripe_of: Vec<u32> = Vec::with_capacity(batch.len());
-        let mut counts: Vec<usize> = vec![0; nshards];
-        for slot in &batch {
-            let (key, value) = slot.as_ref().expect("just materialized");
-            total_bytes += 8 + value.size_bytes();
-            let s = self.shard_of(*key);
-            stripe_of.push(s as u32);
-            counts[s] += 1;
-        }
-        // Prefix sums → each stripe's index range in `order`.
-        let mut starts: Vec<usize> = Vec::with_capacity(nshards + 1);
-        let mut acc = 0usize;
-        for &c in &counts {
-            starts.push(acc);
-            acc += c;
-        }
-        starts.push(acc);
-        let mut cursor = starts[..nshards].to_vec();
-        let mut order: Vec<u32> = vec![0; batch.len()];
-        for (i, &s) in stripe_of.iter().enumerate() {
-            order[cursor[s as usize]] = i as u32;
-            cursor[s as usize] += 1;
-        }
-        for s in 0..nshards {
-            let range = starts[s]..starts[s + 1];
-            if range.is_empty() {
-                continue;
-            }
-            // One lock + one reserve per touched stripe.
-            let mut shard = self.shards[s].lock();
-            shard.reserve(range.len());
-            for &i in &order[range] {
-                let (key, value) = batch[i as usize].take().expect("each index drained once");
-                match shard.entry(key) {
-                    std::collections::hash_map::Entry::Vacant(e) => {
-                        e.insert((machine, value));
-                    }
-                    std::collections::hash_map::Entry::Occupied(mut e) => {
-                        let (prev_machine, prev_value) = e.get();
-                        if self.strict && *prev_machine != machine {
-                            debug_assert!(
-                                *prev_value == value,
-                                "conflicting cross-machine writes for key {key} \
-                                 (machines {prev_machine} and {machine}): the §3 \
-                                 determinism contract forbids schedule-dependent values"
-                            );
-                        }
-                        if machine <= *prev_machine {
-                            e.insert((machine, value));
-                        }
-                    }
-                }
-            }
+        for (k, v) in pairs {
+            total_bytes += self.put_from(machine, k, v);
+            written += 1;
         }
         (written, total_bytes)
     }
@@ -294,65 +266,308 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
     /// sharded layout instead (the perf-suite baseline).
     pub fn seal(self) -> Generation<V> {
         if sharded_store_requested() {
-            self.seal_sharded()
+            self.seal_sharded_drain()
         } else {
-            self.seal_with_threads(ampc_threads())
+            self.seal_flat(ampc_threads())
         }
+    }
+
+    /// [`Self::seal`], returning the drained stripe buffers to `arena`
+    /// for the next epoch's writer. The sealed generation is identical
+    /// to a plain `seal`; only the allocation lifecycle differs.
+    pub fn seal_recycle(self, arena: &StripeArena<V>) -> Generation<V> {
+        let g = if sharded_store_requested() {
+            self.seal_sharded_drain()
+        } else {
+            self.seal_flat(ampc_threads())
+        };
+        let mut pooled = arena.bufs.lock();
+        pooled.extend(self.shards.into_iter().map(|m| {
+            let mut buf = m.into_inner();
+            buf.clear(); // drained by the seal; belt and braces
+            buf
+        }));
+        g
     }
 
     /// Seals into the flat layout with an explicit worker count
     /// (`threads = 1` seals entirely on the calling thread). The sealed
-    /// layout is byte-identical for every `threads` value: the stats
-    /// pass over the stripes is parallel, but the physical layout is
-    /// canonical (see module docs).
+    /// layout is byte-identical for every `threads` value: the dense
+    /// scatter distributes whole stripes over workers, and the physical
+    /// layout is canonical (see module docs).
     pub fn seal_with_threads(self, threads: usize) -> Generation<V> {
-        // Pass 1 — per-stripe (len, bytes, max_key), parallel across
-        // stripes for large generations.
-        let (len, size_bytes, max_key) = self.stripe_stats(threads);
-        if len == 0 {
+        self.seal_flat(threads)
+    }
+
+    /// Flat seal over the stripe logs. Resolution and layout selection
+    /// in one sweep:
+    ///
+    /// 1. A scan over the logs finds the total logged entry count and
+    ///    the maximum key. The *distinct* key count is not yet known
+    ///    (logs may hold duplicates), so the scan only rules layouts
+    ///    *out*: if even the logged count cannot justify a dense array,
+    ///    no subset of it can.
+    /// 2. Dense-eligible logs scatter into the direct-index array with
+    ///    a `machines` side array carrying write precedence; the true
+    ///    distinct count falls out, and a duplicate-heavy log that
+    ///    turns out sparse is compacted into the open table (the
+    ///    bitmap yields pairs in ascending key order for free).
+    /// 3. Sparse logs resolve per stripe by a stable `(key, machine)`
+    ///    sort — "last entry of the lowest-machine run" is exactly the
+    ///    deterministic winner — then build the open table in ascending
+    ///    key order.
+    fn seal_flat(&self, threads: usize) -> Generation<V> {
+        let mut logged = 0usize;
+        let mut max_key = 0u64;
+        for m in &self.shards {
+            let log = m.lock();
+            logged += log.len();
+            for &(k, _, _) in log.iter() {
+                max_key = max_key.max(k);
+            }
+        }
+        if logged == 0 {
             return Generation::empty();
         }
-
         let dense_slots = max_key as usize + 1;
-        let repr = if (max_key as usize) < u32::MAX as usize
-            && dense_slots <= len.saturating_mul(DENSE_MAX_WASTE)
+        if (max_key as usize) < u32::MAX as usize
+            && dense_slots <= logged.saturating_mul(DENSE_MAX_WASTE)
         {
-            // Pass 2, dense: scatter straight out of the stripe maps
-            // into the direct-index array — no intermediate collection,
-            // each value moves exactly once. Slot k ⇔ key k, so the
-            // layout cannot depend on stripe or drain order.
-            let mut slots: Vec<Option<V>> = vec![None; dense_slots];
-            let mut occupied = vec![0u64; dense_slots.div_ceil(64)];
-            for m in self.shards {
-                for (k, (_, v)) in m.into_inner() {
-                    occupied[(k / 64) as usize] |= 1u64 << (k % 64);
-                    slots[k as usize] = Some(v);
-                }
-            }
-            Repr::Dense { slots, occupied }
+            self.seal_dense_scatter(dense_slots, logged, threads)
         } else {
-            // Pass 2, open-addressed fallback: capacity keeps load
-            // ≤ 50%, and ascending-key insertion makes the probe layout
-            // a pure function of the key set.
-            let cap = len.saturating_mul(2).next_power_of_two().max(16);
-            let mask = cap as u64 - 1;
-            let mut pairs: Vec<(u64, V)> = Vec::with_capacity(len);
-            for m in self.shards {
-                pairs.extend(m.into_inner().into_iter().map(|(k, (_, v))| (k, v)));
+            // distinct ≤ logged, so dense_slots > distinct × waste too:
+            // the layout rule can only choose Open here.
+            self.seal_open_sorted(logged)
+        }
+    }
+
+    /// Dense-path seal: scatter the logs into the direct-index array,
+    /// resolving duplicates via the `machines` precedence array (the
+    /// incremental `machine <= holder` replacement rule, replayed in
+    /// log order). Stripes partition the key space, so whole stripes
+    /// can scatter in parallel: a slot is only ever touched by the
+    /// worker owning its key's stripe. Falls back to the open table
+    /// when the resolved occupancy turns out sparse.
+    fn seal_dense_scatter(
+        &self,
+        dense_slots: usize,
+        logged: usize,
+        threads: usize,
+    ) -> Generation<V> {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let words = dense_slots.div_ceil(64);
+        let mut slots: Vec<Option<V>> = vec![None; dense_slots];
+        let mut machines: Vec<u32> = vec![0; dense_slots];
+        let workers = threads.min(self.shards.len()).max(1);
+        let mut len = 0usize;
+        let occupied: Vec<u64> = if workers > 1 && logged >= PARALLEL_SEAL_MIN {
+            let occupied: Vec<AtomicU64> = (0..words).map(|_| AtomicU64::new(0)).collect();
+            struct RawParts<V> {
+                slots: *mut Option<V>,
+                machines: *mut u32,
             }
-            pairs.sort_unstable_by_key(|&(k, _)| k);
-            let mut slots: Vec<Option<(u64, V)>> = vec![None; cap];
-            for (k, v) in pairs {
-                let mut i = (mix64(k) & mask) as usize;
-                while slots[i].is_some() {
-                    i = (i + 1) & mask as usize;
+            // SAFETY: `RawParts` is shared across scoped workers, but a
+            // key lives in exactly one stripe (`shard_of` is a pure
+            // function of the key) and each stripe is drained by
+            // exactly one worker, so any slot/machine index is accessed
+            // by at most one thread. The bitmap is atomic because
+            // distinct keys sharing a 64-bit word may live in
+            // different stripes.
+            unsafe impl<V> Sync for RawParts<V> {}
+            let parts = RawParts {
+                slots: slots.as_mut_ptr(),
+                machines: machines.as_mut_ptr(),
+            };
+            let nstripes = self.shards.len();
+            let shards = &self.shards;
+            let strict = self.strict;
+            let parts = &parts;
+            let occ = &occupied;
+            len = std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|w| {
+                        scope.spawn(move || {
+                            // Worker w owns stripes w, w+W, w+2W, …; the
+                            // locks are uncontended (writers are done).
+                            let mut inserted = 0usize;
+                            let mut i = w;
+                            while i < nstripes {
+                                for (k, mach, v) in shards[i].lock().drain(..) {
+                                    let s = k as usize;
+                                    let bit = 1u64 << (s % 64);
+                                    let word = &occ[s / 64];
+                                    // SAFETY: slot `s` belongs to stripe
+                                    // `i`, owned by this worker alone
+                                    // (see RawParts above); the atomic
+                                    // bit is read after this worker's
+                                    // own fetch_or, so same-thread
+                                    // ordering suffices.
+                                    unsafe {
+                                        let slot = &mut *parts.slots.add(s);
+                                        let owner = &mut *parts.machines.add(s);
+                                        if word.load(Ordering::Relaxed) & bit == 0 {
+                                            word.fetch_or(bit, Ordering::Relaxed);
+                                            *slot = Some(v);
+                                            *owner = mach;
+                                            inserted += 1;
+                                        } else {
+                                            if strict && *owner != mach {
+                                                let prev = *owner;
+                                                debug_assert!(
+                                                    slot.as_ref() == Some(&v),
+                                                    "conflicting cross-machine writes for key {k} \
+                                                     (machines {prev} and {mach}): the §3 \
+                                                     determinism contract forbids \
+                                                     schedule-dependent values"
+                                                );
+                                            }
+                                            if mach <= *owner {
+                                                *owner = mach;
+                                                *slot = Some(v);
+                                            }
+                                        }
+                                    }
+                                }
+                                i += workers;
+                            }
+                            inserted
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("seal worker panicked"))
+                    .sum()
+            });
+            occupied.into_iter().map(AtomicU64::into_inner).collect()
+        } else {
+            let mut occupied = vec![0u64; words];
+            for m in &self.shards {
+                for (k, mach, v) in m.lock().drain(..) {
+                    let s = k as usize;
+                    let bit = 1u64 << (s % 64);
+                    if occupied[s / 64] & bit == 0 {
+                        occupied[s / 64] |= bit;
+                        slots[s] = Some(v);
+                        machines[s] = mach;
+                        len += 1;
+                    } else {
+                        if self.strict && machines[s] != mach {
+                            let prev = machines[s];
+                            debug_assert!(
+                                slots[s].as_ref() == Some(&v),
+                                "conflicting cross-machine writes for key {k} \
+                                 (machines {prev} and {mach}): the §3 determinism \
+                                 contract forbids schedule-dependent values"
+                            );
+                        }
+                        if mach <= machines[s] {
+                            machines[s] = mach;
+                            slots[s] = Some(v);
+                        }
+                    }
                 }
-                slots[i] = Some((k, v));
             }
-            Repr::Open { slots, mask }
+            occupied
         };
+        drop(machines);
+        if dense_slots <= len.saturating_mul(DENSE_MAX_WASTE) {
+            let mut size_bytes = 0usize;
+            for (w, &bits) in occupied.iter().enumerate() {
+                for k in (BitIter {
+                    bits,
+                    base: w as u64 * 64,
+                }) {
+                    size_bytes += 8 + slots[k as usize]
+                        .as_ref()
+                        .expect("bitmap/slot agree")
+                        .size_bytes();
+                }
+            }
+            Generation {
+                repr: Repr::Dense { slots, occupied },
+                len,
+                size_bytes,
+            }
+        } else {
+            // Duplicate-heavy log: the resolved key set is sparse after
+            // all. The bitmap walks keys in ascending order, which is
+            // exactly the canonical open-table insertion order.
+            let mut pairs: Vec<(u64, V)> = Vec::with_capacity(len);
+            for (w, &bits) in occupied.iter().enumerate() {
+                for k in (BitIter {
+                    bits,
+                    base: w as u64 * 64,
+                }) {
+                    pairs.push((k, slots[k as usize].take().expect("bitmap/slot agree")));
+                }
+            }
+            Self::build_open(pairs)
+        }
+    }
+
+    /// Sparse-path seal: resolve each stripe's log with a stable
+    /// `(key, machine)` sort (same-machine entries keep their append
+    /// order, so the last entry of the lowest-machine run is the
+    /// deterministic winner), then build the canonical open table.
+    fn seal_open_sorted(&self, logged: usize) -> Generation<V> {
+        let mut pairs: Vec<(u64, V)> = Vec::with_capacity(logged);
+        for m in &self.shards {
+            let mut log = m.lock();
+            log.sort_by_key(|&(k, mach, _)| (k, mach));
+            let mut cur: Option<LogEntry<V>> = None;
+            for (k, mach, v) in log.drain(..) {
+                match &mut cur {
+                    Some((ck, cm, cv)) if *ck == k => {
+                        if self.strict && mach != *cm {
+                            debug_assert!(
+                                *cv == v,
+                                "conflicting cross-machine writes for key {k} \
+                                 (machines {cm} and {mach}): the §3 determinism \
+                                 contract forbids schedule-dependent values"
+                            );
+                        }
+                        if mach == *cm {
+                            *cv = v;
+                        }
+                    }
+                    _ => {
+                        if let Some((ck, _, cv)) = cur.take() {
+                            pairs.push((ck, cv));
+                        }
+                        cur = Some((k, mach, v));
+                    }
+                }
+            }
+            if let Some((ck, _, cv)) = cur.take() {
+                pairs.push((ck, cv));
+            }
+        }
+        // Stripes interleave the key space; the canonical layout wants
+        // one global ascending order.
+        pairs.sort_unstable_by_key(|&(k, _)| k);
+        Self::build_open(pairs)
+    }
+
+    /// Builds the canonical open-addressed layout from resolved pairs
+    /// in ascending key order: capacity keeps load ≤ 50%, and the
+    /// insertion order makes the probe layout a pure function of the
+    /// key set.
+    fn build_open(pairs: Vec<(u64, V)>) -> Generation<V> {
+        let len = pairs.len();
+        let size_bytes = pairs.iter().map(|(_, v)| 8 + v.size_bytes()).sum();
+        let cap = len.saturating_mul(2).next_power_of_two().max(16);
+        let mask = cap as u64 - 1;
+        let mut slots: Vec<Option<(u64, V)>> = vec![None; cap];
+        for (k, v) in pairs {
+            let mut i = (mix64(k) & mask) as usize;
+            while slots[i].is_some() {
+                i = (i + 1) & mask as usize;
+            }
+            slots[i] = Some((k, v));
+        }
         Generation {
-            repr,
+            repr: Repr::Open { slots, mask },
             len,
             size_bytes,
         }
@@ -363,17 +578,45 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
     /// regression tests can pin read-path equivalence; kernels should
     /// let [`Self::seal`] pick.
     pub fn seal_sharded(self) -> Generation<V> {
+        self.seal_sharded_drain()
+    }
+
+    /// Sharded seal body: replays each stripe's log through the
+    /// incremental pre-flat resolution rule (stripe index ≡ shard
+    /// index: both are `mix64(key) % n`).
+    fn seal_sharded_drain(&self) -> Generation<V> {
         let mut len = 0usize;
         let mut size_bytes = 0usize;
         let shards: Vec<FxHashMap<u64, V>> = self
             .shards
-            .into_iter()
+            .iter()
             .map(|m| {
-                let shard: FxHashMap<u64, V> = m
-                    .into_inner()
-                    .into_iter()
-                    .map(|(k, (_, v))| (k, v))
-                    .collect();
+                let mut log = m.lock();
+                let mut resolved: FxHashMap<u64, (u32, V)> = FxHashMap::default();
+                resolved.reserve(log.len());
+                for (k, mach, v) in log.drain(..) {
+                    match resolved.entry(k) {
+                        std::collections::hash_map::Entry::Vacant(e) => {
+                            e.insert((mach, v));
+                        }
+                        std::collections::hash_map::Entry::Occupied(mut e) => {
+                            let (prev_machine, prev_value) = e.get();
+                            if self.strict && *prev_machine != mach {
+                                debug_assert!(
+                                    *prev_value == v,
+                                    "conflicting cross-machine writes for key {k} \
+                                     (machines {prev_machine} and {mach}): the §3 \
+                                     determinism contract forbids schedule-dependent values"
+                                );
+                            }
+                            if mach <= *prev_machine {
+                                e.insert((mach, v));
+                            }
+                        }
+                    }
+                }
+                let shard: FxHashMap<u64, V> =
+                    resolved.into_iter().map(|(k, (_, v))| (k, v)).collect();
                 len += shard.len();
                 size_bytes += shard.values().map(|v| 8 + v.size_bytes()).sum::<usize>();
                 shard
@@ -384,62 +627,6 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
             len,
             size_bytes,
         }
-    }
-
-    /// The seal's stats pass: total entry count, total serialized
-    /// bytes, and the largest key — what the layout selection rule and
-    /// the seal-time `len`/`size_bytes` caches need. Distributed over
-    /// up to `threads` scoped workers when the generation is large
-    /// enough to amortize them (the per-stripe figures are
-    /// schedule-independent either way: winners were already resolved
-    /// at `put_from` time).
-    fn stripe_stats(&self, threads: usize) -> (usize, usize, u64) {
-        let measure_stripe = |m: &FxHashMap<u64, (u32, V)>| {
-            let mut bytes = 0usize;
-            let mut max_key = 0u64;
-            for (&k, (_, v)) in m {
-                bytes += 8 + v.size_bytes();
-                max_key = max_key.max(k);
-            }
-            (m.len(), bytes, max_key)
-        };
-        let total: usize = self.shards.iter().map(|m| m.lock().len()).sum();
-        let workers = threads.min(self.shards.len()).max(1);
-        let merged = if workers == 1 || total < PARALLEL_SEAL_MIN {
-            self.shards
-                .iter()
-                .map(|m| measure_stripe(&m.lock()))
-                .collect::<Vec<_>>()
-        } else {
-            let nstripes = self.shards.len();
-            let shards = &self.shards;
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..workers)
-                    .map(|w| {
-                        scope.spawn(move || {
-                            // Worker w owns stripes w, w+W, w+2W, …; the
-                            // locks are uncontended (writers are done).
-                            let mut out = Vec::new();
-                            let mut i = w;
-                            while i < nstripes {
-                                out.push(measure_stripe(&shards[i].lock()));
-                                i += workers;
-                            }
-                            out
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("seal worker panicked"))
-                    .collect()
-            })
-        };
-        merged
-            .into_iter()
-            .fold((0, 0, 0), |(l, b, k), (sl, sb, sk)| {
-                (l + sl, b + sb, k.max(sk))
-            })
     }
 }
 
@@ -532,15 +719,95 @@ impl<V: Measured + Clone> Generation<V> {
         }
     }
 
+    /// Issues a software prefetch for the slot `key` would occupy, so a
+    /// batched lookup loop can overlap the memory latency of lookup
+    /// `i + d` with the work of lookup `i`. Purely advisory: a no-op on
+    /// non-x86 targets and for the sharded baseline layout (whose
+    /// double indirection the prefetcher cannot see through anyway).
+    #[inline]
+    fn prefetch(&self, key: u64) {
+        #[cfg(target_arch = "x86_64")]
+        {
+            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+            match &self.repr {
+                Repr::Dense { slots, .. } => {
+                    let i = key as usize;
+                    if i < slots.len() {
+                        // SAFETY: the index is bounds-checked above and
+                        // prefetch dereferences nothing — it is a pure
+                        // cache hint with no semantic effect.
+                        unsafe { _mm_prefetch(slots.as_ptr().add(i) as *const i8, _MM_HINT_T0) }
+                    }
+                }
+                Repr::Open { slots, mask } => {
+                    let i = (mix64(key) & *mask) as usize;
+                    // SAFETY: `mask` is `capacity - 1` for a power-of-two
+                    // capacity, so the index is in bounds; prefetch
+                    // dereferences nothing.
+                    unsafe { _mm_prefetch(slots.as_ptr().add(i) as *const i8, _MM_HINT_T0) }
+                }
+                Repr::Sharded { .. } => {}
+            }
+        }
+        #[cfg(not(target_arch = "x86_64"))]
+        let _ = key;
+    }
+
+    /// How far ahead the batched lookup loops prefetch. Large enough to
+    /// cover a main-memory miss at a few cycles per element, small
+    /// enough not to thrash L1.
+    const PREFETCH_AHEAD: usize = 16;
+
     /// Looks up a batch of keys, appending one `Option<&V>` per key to
     /// `out` (which is cleared first). The allocation-free counterpart
     /// of collecting [`Self::get`] results — lockstep kernels reuse one
     /// buffer across hops instead of allocating a fresh `Vec` per batch.
+    /// Lookups are software-pipelined: slot `i + 16` is prefetched
+    /// while slot `i` is read, hiding most of the random-access latency
+    /// on large generations.
     pub fn get_many_into<'a>(&'a self, keys: &[u64], out: &mut Vec<Option<&'a V>>) {
         out.clear();
         out.reserve(keys.len());
-        for &k in keys {
+        for (i, &k) in keys.iter().enumerate() {
+            if let Some(&ahead) = keys.get(i + Self::PREFETCH_AHEAD) {
+                self.prefetch(ahead);
+            }
             out.push(self.get(k));
+        }
+    }
+
+    /// Batched lookup fast path for fixed-size `Copy` values: copies
+    /// each value into `out` (cleared first) instead of collecting
+    /// references, so the caller can reuse one flat scratch buffer
+    /// across hops with no borrow tying it to the generation. Same
+    /// prefetch pipeline as [`Self::get_many_into`].
+    ///
+    /// # Panics
+    /// When a key is absent — callers use this for keys they wrote
+    /// themselves (the workspace invariant for chase/label tables).
+    pub fn get_many_copied_into(&self, keys: &[u64], out: &mut Vec<V>)
+    where
+        V: Copy,
+    {
+        out.clear();
+        out.reserve(keys.len());
+        for (i, &k) in keys.iter().enumerate() {
+            if let Some(&ahead) = keys.get(i + Self::PREFETCH_AHEAD) {
+                self.prefetch(ahead);
+            }
+            out.push(*self.get(k).expect("get_many_copied_into: key absent"));
+        }
+    }
+
+    /// Visitor form of the batched lookup: `f` is called once per key,
+    /// in key order, with the index and the result — no output buffer
+    /// at all. Same prefetch pipeline as [`Self::get_many_into`].
+    pub fn get_many_with<'a>(&'a self, keys: &[u64], mut f: impl FnMut(usize, Option<&'a V>)) {
+        for (i, &k) in keys.iter().enumerate() {
+            if let Some(&ahead) = keys.get(i + Self::PREFETCH_AHEAD) {
+                self.prefetch(ahead);
+            }
+            f(i, self.get(k));
         }
     }
 
@@ -829,6 +1096,33 @@ mod tests {
         let w: GenerationWriter<u64> = GenerationWriter::new();
         w.put_from(0, 7, 1);
         w.put_from(1, 7, 2);
+        // Writes append; the conflict is detected when resolution runs.
+        let _ = w.seal();
+    }
+
+    /// Arena-recycled writers must seal identically to fresh ones, and
+    /// the drained stripe buffers must actually come back.
+    #[test]
+    fn arena_recycles_stripe_buffers() {
+        let arena: StripeArena<u64> = StripeArena::new();
+        let fresh = {
+            let w = GenerationWriter::new();
+            for k in 0..300u64 {
+                w.put(k, k * 7);
+            }
+            w.seal()
+        };
+        for epoch in 0..3 {
+            let w = GenerationWriter::with_arena(&arena);
+            for k in 0..300u64 {
+                w.put(k, k * 7);
+            }
+            let g = w.seal_recycle(&arena);
+            assert_eq!(g.layout_fingerprint(), fresh.layout_fingerprint());
+            assert_eq!(g.len(), fresh.len());
+            assert_eq!(g.size_bytes(), fresh.size_bytes());
+            assert_eq!(arena.parked(), DEFAULT_SHARDS, "epoch {epoch}");
+        }
     }
 
     /// Dense 0..n keys must select the direct-index layout; sparse u64

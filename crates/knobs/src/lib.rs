@@ -63,6 +63,16 @@ pub const KNOBS: &[KnobSpec] = &[
               and the retry/replay counters change.",
     },
     KnobSpec {
+        name: "AMPC_HOT_KEYS",
+        accepts: "a non-negative integer",
+        default: "0 (replication disabled)",
+        doc: "Per-machine hot-key replica capacity (DESIGN.md §11): \
+              keys a machine reads repeatedly in one round are \
+              replicated onto the machine, top-K first-come. An \
+              execution-strategy knob only — outputs and CommStats are \
+              byte-identical for every value.",
+    },
+    KnobSpec {
         name: "AMPC_SCALE",
         accepts: "test | mid | bench",
         default: "mid",
@@ -123,6 +133,15 @@ pub fn ampc_batch() -> bool {
 /// construction like `AMPC_BATCH`.
 pub fn ampc_chaos() -> Option<String> {
     raw("AMPC_CHAOS").filter(|v| !v.trim().is_empty())
+}
+
+/// `AMPC_HOT_KEYS`: per-machine hot-key replica capacity. Unset,
+/// malformed, or `0` disables replication. Read per call, captured
+/// into `AmpcConfig` at construction like `AMPC_BATCH`.
+pub fn ampc_hot_keys() -> usize {
+    raw("AMPC_HOT_KEYS")
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .unwrap_or(0)
 }
 
 /// `AMPC_SCALE`: normalized to `"test"`, `"mid"` or `"bench"`
@@ -186,6 +205,7 @@ mod tests {
         assert!(matches!(ampc_scale(), "test" | "mid" | "bench"));
         let _ = ampc_batch();
         let _ = ampc_store_sharded();
+        let _ = ampc_hot_keys();
         // Chaos is never silently on: only a set, non-empty value
         // yields a spec string for the runtime to parse.
         if let Some(v) = ampc_chaos() {

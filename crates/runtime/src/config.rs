@@ -40,6 +40,15 @@ pub struct AmpcConfig {
     /// single-key baseline: identical queries, bytes and outputs, one
     /// round trip per key.
     pub batching: bool,
+    /// Per-machine hot-key replica capacity (`AMPC_HOT_KEYS`,
+    /// DESIGN.md §11): keys a machine reads repeatedly within one
+    /// round are replicated onto the machine, top-K first-come, so
+    /// skewed read distributions stop hammering the sealed generation.
+    /// `0` (the default) disables replication. Purely an
+    /// execution-strategy knob: replica-served reads charge identical
+    /// queries/bytes, so outputs and `CommStats` are byte-identical
+    /// for every value.
+    pub hot_keys: usize,
     /// Concurrency of the simulation itself: how many machine bodies
     /// may execute at once. `1` (the forced value under
     /// `AMPC_THREADS=1`) runs every machine inline on the caller
@@ -89,6 +98,7 @@ impl Default for AmpcConfig {
             cost: CostConfig::default(),
             caching: true,
             batching: batching_default(),
+            hot_keys: knobs::ampc_hot_keys(),
             threads: ampc_dht::store::ampc_threads(),
             legacy_spawn: false,
             seed: 0xA3C5,
@@ -137,6 +147,13 @@ impl AmpcConfig {
     /// Enables/disables the §5.3 batching optimization.
     pub fn with_batching(mut self, batching: bool) -> Self {
         self.batching = batching;
+        self
+    }
+
+    /// Sets the per-machine hot-key replica capacity (see
+    /// [`Self::hot_keys`]; `0` disables replication).
+    pub fn with_hot_keys(mut self, k: usize) -> Self {
+        self.hot_keys = k;
         self
     }
 

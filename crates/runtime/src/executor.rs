@@ -60,12 +60,103 @@ impl Default for ExecPolicy {
     }
 }
 
+/// Per-round execution parameters a machine body runs under, bundled so
+/// the replay entry point ([`run_one_machine`]) provably receives the
+/// exact parameters of the original round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundSpec {
+    /// Per-machine query budget (`O(S)` in the model; `u64::MAX` means
+    /// unenforced).
+    pub budget: u64,
+    /// Batched round-trip accounting vs the single-key baseline (see
+    /// [`MachineHandle::get_many`]).
+    pub batching: bool,
+    /// Chaos DHT fault mode for every machine's handle (retry counters
+    /// only — see [`DropPlan`]).
+    pub drops: Option<DropPlan>,
+    /// Per-machine hot-key replica capacity (`0` disables; see
+    /// [`ampc_dht::cache::HotSet`]).
+    pub hot_keys: usize,
+}
+
+impl RoundSpec {
+    /// Batched execution with no budget, no chaos, no replication.
+    pub fn unbudgeted() -> Self {
+        RoundSpec {
+            budget: u64::MAX,
+            batching: true,
+            drops: None,
+            hot_keys: 0,
+        }
+    }
+}
+
+impl Default for RoundSpec {
+    fn default() -> Self {
+        RoundSpec::unbudgeted()
+    }
+}
+
+/// One machine's reusable buffer arena. Kernels route their per-hop
+/// allocations (batched lookup keys, fixed-size results, frontiers,
+/// index permutations) through these vectors instead of allocating
+/// fresh ones every adaptive step; the arena persists across rounds and
+/// epochs of a [`crate::job::Job`], so steady-state hot loops allocate
+/// nothing.
+///
+/// Contents are **unspecified garbage** at body entry — whatever the
+/// previous round left behind. Bodies must `clear()` (or overwrite via
+/// `*_into` calls, which clear internally) before reading; in exchange,
+/// capacity is retained. Determinism is unaffected: a replayed machine
+/// may see different leftover capacity but never reads stale *values*.
+#[derive(Debug, Default)]
+pub struct ScratchBuffers {
+    /// Batched lookup keys.
+    pub keys: Vec<u64>,
+    /// Fixed-size (`u64`) lookup results: labels, successors, parents.
+    pub vals: Vec<u64>,
+    /// General `u64` workspace (frontiers, second key batches).
+    pub aux: Vec<u64>,
+    /// Index workspace (pack/partition survivor lists).
+    pub idx: Vec<u32>,
+}
+
+/// The per-machine scratch arenas of a job, indexed by machine id.
+/// Owned by the [`crate::job::Job`] and lent to every round, so buffer
+/// capacity survives across rounds and epochs.
+#[derive(Debug, Default)]
+pub struct RoundScratch {
+    per_machine: Vec<ScratchBuffers>,
+}
+
+impl RoundScratch {
+    /// An empty arena set; machines are added lazily on first use.
+    pub fn new() -> Self {
+        RoundScratch::default()
+    }
+
+    /// The arenas for `p` machines, growing the set if needed.
+    pub fn for_machines(&mut self, p: usize) -> &mut [ScratchBuffers] {
+        if self.per_machine.len() < p {
+            self.per_machine.resize_with(p, ScratchBuffers::default);
+        }
+        &mut self.per_machine[..p]
+    }
+
+    /// The arena of machine `i` (for fault replay).
+    pub fn machine(&mut self, i: usize) -> &mut ScratchBuffers {
+        &mut self.for_machines(i + 1)[i]
+    }
+}
+
 /// Everything a machine body can touch during a round.
 pub struct MachineCtx<'a, V> {
     /// This machine's index in `0..P`.
     pub machine_id: usize,
     /// Metered DHT access.
     pub handle: MachineHandle<'a, V>,
+    /// This machine's reusable buffer arena (see [`ScratchBuffers`]).
+    pub scratch: &'a mut ScratchBuffers,
     ops: u64,
 }
 
@@ -124,23 +215,20 @@ impl<R> RoundOutcome<R> {
 /// Reads go to the sealed generation `read`; writes (if `write` is
 /// provided) go into the next generation under construction.
 ///
-/// `budget` is the per-machine query budget (`O(S)` in the model);
-/// `batching` selects batched round-trip accounting vs the single-key
-/// baseline (see [`MachineHandle::get_many`]); `drops` arms the chaos
-/// DHT fault mode on every machine's handle (retry counters only —
-/// see [`DropPlan`]); `policy` selects inline, pooled or legacy
-/// spawn-per-machine execution. Outputs, per-machine statistics and
-/// the sealed result of `write` are identical across policies —
-/// execution policy is a wall-clock knob, never a semantic one.
-#[allow(clippy::too_many_arguments)]
+/// `spec` carries the per-round execution parameters (query budget,
+/// batching mode, chaos drops, hot-key replication); `policy` selects
+/// inline, pooled or legacy spawn-per-machine execution; `scratch`
+/// lends each machine its persistent buffer arena. Outputs, per-machine
+/// statistics and the sealed result of `write` are identical across
+/// policies — execution policy is a wall-clock knob, never a semantic
+/// one.
 pub fn run_machines<V, T, R, F>(
     read: &Generation<V>,
     write: Option<&GenerationWriter<V>>,
     chunks: &[Vec<T>],
-    budget: u64,
-    batching: bool,
-    drops: Option<DropPlan>,
+    spec: RoundSpec,
     policy: ExecPolicy,
+    scratch: &mut RoundScratch,
     body: F,
 ) -> RoundOutcome<R>
 where
@@ -151,6 +239,7 @@ where
 {
     let p = chunks.len();
     let mut results: Vec<Option<(Vec<R>, MachineRoundStats)>> = (0..p).map(|_| None).collect();
+    let arenas = scratch.for_machines(p);
 
     if policy.legacy_spawn {
         // The pre-pool baseline, bit-for-bit: one fresh scoped OS
@@ -159,12 +248,10 @@ where
         // pool existed.
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
-            for (machine_id, chunk) in chunks.iter().enumerate() {
+            for ((machine_id, chunk), arena) in chunks.iter().enumerate().zip(arenas.iter_mut()) {
                 let body = &body;
                 handles.push(scope.spawn(move || {
-                    run_one_machine(
-                        machine_id, read, write, chunk, budget, batching, drops, body,
-                    )
+                    run_one_machine(machine_id, read, write, chunk, spec, arena, body)
                 }));
             }
             for (slot, h) in results.iter_mut().zip(handles) {
@@ -174,22 +261,29 @@ where
     } else if p <= 1 || policy.threads <= 1 {
         // Single machine or single thread: no dispatch at all — run on
         // the caller thread through the replay entry point.
-        for (machine_id, (chunk, slot)) in chunks.iter().zip(results.iter_mut()).enumerate() {
+        for (machine_id, ((chunk, slot), arena)) in chunks
+            .iter()
+            .zip(results.iter_mut())
+            .zip(arenas.iter_mut())
+            .enumerate()
+        {
             *slot = Some(run_one_machine(
-                machine_id, read, write, chunk, budget, batching, drops, &body,
+                machine_id, read, write, chunk, spec, arena, &body,
             ));
         }
     } else {
-        // Machines become work items on the persistent pool.
+        // Machines become work items on the persistent pool. Each task
+        // owns disjoint `&mut` slices of the results and arenas.
         let body = &body;
         let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = chunks
             .iter()
             .zip(results.iter_mut())
+            .zip(arenas.iter_mut())
             .enumerate()
-            .map(|(machine_id, (chunk, slot))| {
+            .map(|(machine_id, ((chunk, slot), arena))| {
                 Box::new(move || {
                     *slot = Some(run_one_machine(
-                        machine_id, read, write, chunk, budget, batching, drops, body,
+                        machine_id, read, write, chunk, spec, arena, body,
                     ));
                 }) as Box<dyn FnOnce() + Send + '_>
             })
@@ -204,15 +298,13 @@ where
 /// execution path and the replay path used by fault injection —
 /// replaying against the same sealed generation necessarily reproduces
 /// the same result, whichever policy ran the original round.
-#[allow(clippy::too_many_arguments)]
 pub fn run_one_machine<V, T, R, F>(
     machine_id: usize,
     read: &Generation<V>,
     write: Option<&GenerationWriter<V>>,
     chunk: &[T],
-    budget: u64,
-    batching: bool,
-    drops: Option<DropPlan>,
+    spec: RoundSpec,
+    scratch: &mut ScratchBuffers,
     body: &F,
 ) -> (Vec<R>, MachineRoundStats)
 where
@@ -222,10 +314,12 @@ where
     let mut ctx = MachineCtx {
         machine_id,
         handle: MachineHandle::new(read, write)
-            .with_budget(budget)
+            .with_budget(spec.budget)
             .with_machine(machine_id as u32)
-            .with_batching(batching)
-            .with_chaos_drops(drops),
+            .with_batching(spec.batching)
+            .with_chaos_drops(spec.drops)
+            .with_hot_keys(spec.hot_keys),
+        scratch,
         ops: 0,
     };
     let out = body(&mut ctx, chunk);
@@ -257,15 +351,15 @@ mod tests {
     fn outputs_in_machine_order() {
         let read: Generation<u64> = Generation::from_iter((0..100u64).map(|k| (k, k * 10)));
         let chunks = partition::chunk((0..100u64).collect(), 4);
+        let mut scratch = RoundScratch::new();
         for policy in policies() {
             let outcome = run_machines(
                 &read,
                 None,
                 &chunks,
-                u64::MAX,
-                true,
-                None,
+                RoundSpec::unbudgeted(),
                 policy,
+                &mut scratch,
                 |ctx, items| {
                     items
                         .iter()
@@ -282,15 +376,15 @@ mod tests {
     fn per_machine_stats_collected() {
         let read: Generation<u64> = Generation::from_iter((0..40u64).map(|k| (k, k)));
         let chunks = partition::chunk((0..40u64).collect(), 4);
+        let mut scratch = RoundScratch::new();
         for policy in policies() {
             let outcome = run_machines(
                 &read,
                 None,
                 &chunks,
-                u64::MAX,
-                true,
-                None,
+                RoundSpec::unbudgeted(),
                 policy,
+                &mut scratch,
                 |ctx, items| {
                     for &k in items {
                         ctx.handle.get(k);
@@ -313,14 +407,14 @@ mod tests {
             let read: Generation<u64> = Generation::empty();
             let writer = GenerationWriter::new();
             let chunks = partition::chunk((0..20u64).collect(), 3);
+            let mut scratch = RoundScratch::new();
             run_machines(
                 &read,
                 Some(&writer),
                 &chunks,
-                u64::MAX,
-                true,
-                None,
+                RoundSpec::unbudgeted(),
                 policy,
+                &mut scratch,
                 |ctx, items| {
                     for &k in items {
                         ctx.handle.put(k, k + 1);
@@ -344,14 +438,14 @@ mod tests {
             // Every machine writes the shared keys with equal values
             // (the StatusWrite pattern) plus private keys.
             let chunks: Vec<Vec<u64>> = (0..8u64).map(|m| vec![m]).collect();
+            let mut scratch = RoundScratch::new();
             run_machines(
                 &read,
                 Some(&writer),
                 &chunks,
-                u64::MAX,
-                true,
-                None,
+                RoundSpec::unbudgeted(),
                 policy,
+                &mut scratch,
                 |ctx, items| {
                     for &m in items {
                         for i in 0..50u64 {
@@ -387,8 +481,10 @@ mod tests {
                 .map(|&k| *ctx.handle.get(k).unwrap())
                 .collect::<Vec<_>>()
         };
-        let (a, sa) = run_one_machine(0, &read, None, &chunk, u64::MAX, true, None, &body);
-        let (b, sb) = run_one_machine(0, &read, None, &chunk, u64::MAX, true, None, &body);
+        let mut scratch = RoundScratch::new();
+        let spec = RoundSpec::unbudgeted();
+        let (a, sa) = run_one_machine(0, &read, None, &chunk, spec, scratch.machine(0), &body);
+        let (b, sb) = run_one_machine(0, &read, None, &chunk, spec, scratch.machine(0), &body);
         assert_eq!(a, b);
         assert_eq!(sa.comm, sb.comm);
     }
@@ -405,24 +501,26 @@ mod tests {
                 .map(|v| *v.unwrap())
                 .collect::<Vec<u64>>()
         };
+        let mut scratch = RoundScratch::new();
         let on = run_machines(
             &read,
             None,
             &chunks,
-            u64::MAX,
-            true,
-            None,
+            RoundSpec::unbudgeted(),
             ExecPolicy::inline(),
+            &mut scratch,
             body,
         );
         let off = run_machines(
             &read,
             None,
             &chunks,
-            u64::MAX,
-            false,
-            None,
+            RoundSpec {
+                batching: false,
+                ..RoundSpec::unbudgeted()
+            },
             ExecPolicy::inline(),
+            &mut scratch,
             body,
         );
         assert_eq!(on.outputs, off.outputs);
@@ -441,15 +539,18 @@ mod tests {
         let read: Generation<u64> = Generation::from_iter((0..1000u64).map(|k| (k, k + 1)));
         let chunks = partition::chunk(vec![0u64, 500], 2);
         let budget = 5u64;
+        let mut scratch = RoundScratch::new();
         for policy in policies() {
             let outcome = run_machines(
                 &read,
                 None,
                 &chunks,
-                budget,
-                true,
-                None,
+                RoundSpec {
+                    budget,
+                    ..RoundSpec::unbudgeted()
+                },
                 policy,
+                &mut scratch,
                 |ctx, items| {
                     items
                         .iter()
@@ -477,15 +578,15 @@ mod tests {
     fn machine_panic_propagates_from_the_pool() {
         let read: Generation<u64> = Generation::from_iter((0..8u64).map(|k| (k, k)));
         let chunks = partition::chunk((0..8u64).collect(), 4);
+        let mut scratch = RoundScratch::new();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             run_machines(
                 &read,
                 None,
                 &chunks,
-                u64::MAX,
-                true,
-                None,
+                RoundSpec::unbudgeted(),
                 ExecPolicy::pooled(4),
+                &mut scratch,
                 |ctx, items| {
                     if ctx.machine_id == 2 {
                         panic!("injected machine failure");

@@ -2,7 +2,7 @@
 
 use crate::chaos::{ChaosSpec, FaultSchedule};
 use crate::config::AmpcConfig;
-use crate::executor::{self, MachineCtx, MachineRoundStats};
+use crate::executor::{self, MachineCtx, MachineRoundStats, RoundScratch, RoundSpec};
 use crate::fault::FaultPlan;
 use crate::partition;
 use crate::report::{JobReport, StageKind, StageReport};
@@ -22,6 +22,9 @@ pub struct Job {
     /// True between an [`Self::epoch`] mark and the next KV round: that
     /// round is the epoch's first, where `ekill=` chaos events fire.
     epoch_kv_pending: bool,
+    /// Per-machine buffer arenas, lent to every round so kernel hot
+    /// loops reuse capacity across rounds and epochs (DESIGN.md §11).
+    scratch: RoundScratch,
 }
 
 impl Job {
@@ -38,6 +41,7 @@ impl Job {
             chaos,
             stage_index: 0,
             epoch_kv_pending: false,
+            scratch: RoundScratch::new(),
         }
     }
 
@@ -133,11 +137,28 @@ impl Job {
         items: Vec<T>,
         key: impl Fn(&T) -> u64,
     ) -> Vec<Vec<T>> {
+        self.shuffle_by_key_measured(name, items, key, |t| t.size_bytes() as u64)
+    }
+
+    /// Like [`Self::shuffle_by_key`] but with caller-supplied per-record
+    /// byte measurement. The zero-copy kernel restructures (DESIGN.md
+    /// §11) shuffle a light host-side record (e.g. just a vertex id)
+    /// while the *simulated* shuffle still moves the full record the
+    /// algorithm logically redistributes; `record_bytes` must describe
+    /// that simulated record, so restructuring a kernel's host
+    /// representation never changes its reported shuffle loads.
+    pub fn shuffle_by_key_measured<T>(
+        &mut self,
+        name: &str,
+        items: Vec<T>,
+        key: impl Fn(&T) -> u64,
+        record_bytes: impl Fn(&T) -> u64,
+    ) -> Vec<Vec<T>> {
         let salt = self.cfg.seed ^ (self.stage_index as u64).wrapping_mul(0x9E37);
         let buckets = partition::by_key(items, self.cfg.num_machines, salt, key);
         let per_bytes: Vec<u64> = buckets
             .iter()
-            .map(|b| b.iter().map(|t| t.size_bytes() as u64).sum())
+            .map(|b| b.iter().map(&record_bytes).sum())
             .collect();
         let total: u64 = per_bytes.iter().sum();
         let max = per_bytes.iter().copied().max().unwrap_or(0);
@@ -226,9 +247,13 @@ impl Job {
         F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R> + Sync,
     {
         let stage = self.next_stage_index();
-        let batching = self.cfg.batching;
         let policy = self.cfg.exec_policy();
-        let drops = self.chaos.and_then(|c| c.drop_plan(stage));
+        let spec = RoundSpec {
+            budget,
+            batching: self.cfg.batching,
+            drops: self.chaos.and_then(|c| c.drop_plan(stage)),
+            hot_keys: self.cfg.hot_keys,
+        };
         // Epoch bookkeeping: the first KV round after an epoch mark is
         // where epoch kills fire; the flag is consumed either way.
         let epoch_first_kv = if self.epoch_kv_pending {
@@ -241,8 +266,11 @@ impl Job {
         // reported measurement only, never algorithm input; perf_suite --check
         // excludes it from the deterministic fields.
         let wall = Instant::now();
+        // Lend the job's persistent arenas to the round (taken out of
+        // `self` so replay below can borrow both `self` and the arenas).
+        let mut scratch = std::mem::take(&mut self.scratch);
         let mut outcome =
-            executor::run_machines(read, write, chunks, budget, batching, drops, policy, &body);
+            executor::run_machines(read, write, chunks, spec, policy, &mut scratch, &body);
 
         // Fault injection: each victim's first attempt is thrown away
         // and its chunk replayed against the same sealed input, in
@@ -274,9 +302,8 @@ impl Job {
                 read,
                 write,
                 &chunks[victim],
-                budget,
-                batching,
-                drops,
+                spec,
+                scratch.machine(victim),
                 &body,
             );
             // Splice the replayed outputs over the victim's originals
@@ -289,6 +316,7 @@ impl Job {
             extra_sim += wasted + self.machine_time_ns(&stats);
             self.report.replays += 1;
         }
+        self.scratch = scratch;
 
         let comm = CommStats::merged(outcome.per_machine.iter().map(|m| &m.comm));
         let ops: u64 = outcome.per_machine.iter().map(|m| m.ops).sum();
