@@ -19,6 +19,7 @@ use ampc_bench::util::harness_config;
 use ampc_bench::{json, util};
 use ampc_core::algorithm::{AlgoInput, AlgoOutput, Model};
 use ampc_dht::cost::Network;
+use ampc_dht::store::StoreKind;
 use ampc_graph::datasets::Scale;
 use ampc_graph::dynamic::{BatchMix, DynamicSource};
 use ampc_graph::{CsrGraph, GraphSource, WeightedCsrGraph};
@@ -51,6 +52,11 @@ RUN OPTIONS:
   --batch on|off       §5.3 batching (AMPC_BATCH equivalent)
   --caching on|off     §5.3 per-machine caching
   --network rdma|tcp   KV transport profile (Table 4)
+  --store flat|sharded|socket  sealed-storage substrate (AMPC_STORE
+                       equivalent; DESIGN.md §12). socket serves sealed
+                       values from shard-server processes over
+                       Unix-domain sockets; outputs, rounds and
+                       CommStats are identical for every value
   --threshold <E>      switch-to-in-memory edge threshold
   --walkers <W>        walks: walkers per vertex (default 1)
   --steps <K>          walks: hops per walk (default 8)
@@ -87,7 +93,7 @@ struct Cli {
     flags: HashMap<String, String>,
 }
 
-const VALUE_FLAGS: [&str; 19] = [
+const VALUE_FLAGS: [&str; 20] = [
     "--graph",
     "--model",
     "--machines",
@@ -107,6 +113,7 @@ const VALUE_FLAGS: [&str; 19] = [
     "--mix",
     "--dyn-seed",
     "--chaos",
+    "--store",
 ];
 const SWITCHES: [&str; 3] = ["--validate", "--quiet", "--help"];
 
@@ -327,7 +334,7 @@ fn run_record(
     format!(
         "{{\n  \"tool\": \"ampc\",\n  \"algorithm\": {},\n  \"model\": {},\n  \
          \"graph\": {},\n  \"scale\": {},\n  \"n\": {n},\n  \"m\": {m},\n  \
-         \"seed\": {},\n  \"machines\": {},\n  \"chaos\": {},\n  \
+         \"seed\": {},\n  \"machines\": {},\n  \"chaos\": {},\n  \"store\": {},\n  \
          \"params\": {{\"walkers_per_node\": {}, \
          \"steps\": {}, \"sample_inv\": {}, \"dyn_batches\": {}, \"dyn_ops\": {}, \
          \"dyn_mix\": {}, \"dyn_seed\": {}}},\n  \"output\": {{\"kind\": {}, \"size\": {}, \
@@ -341,6 +348,12 @@ fn run_record(
         spec.cfg
             .chaos
             .map_or("null".to_string(), |c| json_string(&c.describe())),
+        json_string(
+            spec.cfg
+                .store
+                .unwrap_or_else(ampc_dht::store::store_kind)
+                .as_str()
+        ),
         spec.params.walkers_per_node,
         spec.params.steps,
         spec.params.sample_inv,
@@ -388,6 +401,13 @@ fn spec_from_cli(cli: &Cli) -> Result<RunSpec, String> {
         None => None,
         Some(v) => Some(ChaosSpec::parse(v).map_err(|e| format!("--chaos: {e}"))?),
     };
+    let store = match cli.get("--store") {
+        None => None,
+        Some(v) => Some(
+            StoreKind::parse(v)
+                .ok_or_else(|| format!("--store: expected flat|sharded|socket, got {v:?}"))?,
+        ),
+    };
     let opts = DriverOptions {
         machines: cli.parse_num("--machines")?,
         seed: cli.parse_num("--seed")?,
@@ -397,6 +417,7 @@ fn spec_from_cli(cli: &Cli) -> Result<RunSpec, String> {
         network,
         in_memory_threshold: cli.parse_num("--threshold")?,
         chaos,
+        store,
         ..Default::default()
     };
     let cfg = opts.apply(harness_config(scale));

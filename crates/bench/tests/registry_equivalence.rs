@@ -344,6 +344,61 @@ fn dynamic_cc_both_models_identical_through_registry() {
     assert!(direct_m.report.num_shuffles() > p.dyn_batches);
 }
 
+/// Socket-backed substrate through the driver path (DESIGN.md §12):
+/// every registered family, run with the socket store — shards in
+/// separate OS processes, reached over Unix-domain sockets — is
+/// byte-identical to the flat run on outputs, stage sequence and
+/// CommStats across 1/2/8 worker threads. One test, all families: the
+/// store override is process-global, so it is never racing another
+/// store-sensitive assertion.
+#[test]
+fn socket_substrate_identical_through_registry() {
+    use ampc_dht::store::{force_store, StoreKind};
+    let g = tiny();
+    let w = gen::degree_weights(&g);
+    let cycles = gen::two_cycles(200, 11);
+    for family in registry::FAMILIES {
+        let unweighted = AlgoInput::Unweighted(&g);
+        let weighted = AlgoInput::Weighted(&w);
+        let two_regular = AlgoInput::Unweighted(&cycles);
+        let input = match family {
+            "msf" => &weighted,
+            "one-vs-two" => &two_regular,
+            _ => &unweighted,
+        };
+        let p = match family {
+            "walks" => AlgoParams {
+                walkers_per_node: 2,
+                steps: 5,
+                ..Default::default()
+            },
+            "dyn-cc" => AlgoParams {
+                dyn_batches: 3,
+                dyn_ops: 40,
+                ..Default::default()
+            },
+            _ => AlgoParams::default(),
+        };
+        let flat = registry::run_family_with(
+            family,
+            Model::Ampc,
+            input,
+            &cfg().with_store(StoreKind::Flat),
+            &p,
+        )
+        .unwrap_or_else(|e| panic!("{family}/flat: {e}"));
+        for threads in [1usize, 2, 8] {
+            let c = cfg().with_threads(threads).with_store(StoreKind::Socket);
+            let what = format!("{family}/socket/threads-{threads}");
+            let got = registry::run_family_with(family, Model::Ampc, input, &c, &p)
+                .unwrap_or_else(|e| panic!("{what}: {e}"));
+            assert_eq!(got.output, flat.output, "{what}: outputs differ");
+            assert_reports_identical(&what, &got.report, &flat.report);
+        }
+    }
+    force_store(None);
+}
+
 /// Driver knobs reach the kernels through the registry: seeds change
 /// outputs, machine counts don't, batching changes round trips only.
 #[test]

@@ -1,0 +1,40 @@
+//! `ampc-shardd` — one socket-substrate shard server (DESIGN.md §12).
+//!
+//! Usage: `ampc-shardd <socket-path>`. Binds a Unix-domain listener at
+//! the given path and serves the shard protocol
+//! ([`ampc_dht::socket::serve_listener`]) until it receives `SHUTDOWN`
+//! or its stdin closes. The supervising client spawns it with stdin
+//! piped: if the client crashes, the pipe closes and the watchdog below
+//! exits the process, so no orphan servers outlive their job.
+
+use std::io::Read;
+
+fn main() {
+    let mut args = std::env::args_os().skip(1);
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("usage: ampc-shardd <socket-path>");
+        std::process::exit(2);
+    };
+    let path = std::path::PathBuf::from(path);
+
+    // Orphan watchdog: the supervisor holds our stdin pipe open for as
+    // long as it lives. EOF means the supervising process is gone, so
+    // the accept loop (blocked in `accept`/`read`) must not linger.
+    // ampc-lint: allow(no-raw-spawn) -- this is a standalone server
+    // binary, not runtime machine work; the executor pool does not
+    // exist in this process.
+    std::thread::spawn(|| {
+        let mut sink = [0u8; 64];
+        let mut stdin = std::io::stdin().lock();
+        while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+        std::process::exit(0);
+    });
+
+    if let Err(e) = ampc_dht::socket::run_server(&path) {
+        eprintln!("ampc-shardd: {}: {e}", path.display());
+        std::process::exit(1);
+    }
+    // Orderly SHUTDOWN: remove the socket file so a stale path never
+    // masquerades as a live server.
+    let _ = std::fs::remove_file(&path);
+}

@@ -54,6 +54,18 @@ fn mix64(mut z: u64) -> u64 {
 }
 
 impl DropPlan {
+    /// Backoff units waited by a batch that was dropped `attempts`
+    /// times before succeeding: `1 + 2 + … + 2^{attempts−1} =
+    /// 2^attempts − 1`. This one definition is shared by the simulated
+    /// accounting ([`crate::metrics::CommStats::backoff_units`], via
+    /// `MachineHandle::account_batch`) and the socket substrate's
+    /// *real* reconnect sleeps ([`crate::socket`]), so both retry paths
+    /// follow the same capped exponential shape.
+    #[inline]
+    pub fn backoff_units(attempts: u32) -> u64 {
+        (1u64 << attempts.min(63)) - 1
+    }
+
     /// How many attempts of batch `ordinal` on `machine` are dropped
     /// before the successful one. Deterministic: a pure function of the
     /// plan and the arguments, independent of thread schedule, storage

@@ -35,6 +35,7 @@ use crate::measured::Measured;
 use crate::metrics::CommStats;
 use crate::probe;
 use crate::store::{Generation, GenerationWriter};
+use crate::wire::Wire;
 
 /// Signal returned by the `try_*` accessors when the next request would
 /// exceed the handle's `O(S)` query budget. Algorithm-1-style truncated
@@ -88,7 +89,7 @@ pub struct MachineHandle<'a, V> {
     batch_ordinal: u64,
 }
 
-impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
+impl<'a, V: Measured + Clone + PartialEq + Send + Wire> MachineHandle<'a, V> {
     /// A handle reading `read` and writing to `write`.
     pub fn new(read: &'a Generation<V>, write: Option<&'a GenerationWriter<V>>) -> Self {
         MachineHandle {
@@ -153,7 +154,7 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
             if k > 0 {
                 self.stats.retries += u64::from(k);
                 self.stats.wasted_batches += 1;
-                self.stats.backoff_units += (1u64 << k) - 1;
+                self.stats.backoff_units += DropPlan::backoff_units(k);
             }
         }
     }
@@ -175,6 +176,111 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
     #[inline]
     pub fn can_query(&self) -> bool {
         self.stats.queries < self.budget
+    }
+
+    /// The batched-read core behind [`Self::get_many`],
+    /// [`Self::get_many_into`] and [`Self::try_get_many`]: one
+    /// accounted batch (or per-key round trips with batching off),
+    /// `f` called once per key in key order with a reference carrying
+    /// the **generation lifetime** `'a`. Hot-key replicas never serve
+    /// this path — their references cannot outlive a visit — which is
+    /// exactly the split between this core and
+    /// [`Self::read_batch_hot_with`].
+    fn read_batch_with(&mut self, keys: &[u64], f: &mut dyn FnMut(usize, Option<&'a V>)) {
+        if keys.is_empty() {
+            return;
+        }
+        if !self.batching {
+            for (i, &k) in keys.iter().enumerate() {
+                f(i, self.get(k));
+            }
+            return;
+        }
+        debug_assert!(
+            self.stats.queries.saturating_add(keys.len() as u64) <= self.budget,
+            "machine {} batch of {} keys exceeds its O(S) query budget of {}",
+            self.machine_id,
+            keys.len(),
+            self.budget
+        );
+        self.account_batch();
+        // Whole-batch accounting: one add for the queries, one
+        // accumulator for the bytes — same totals as per-key
+        // `charge_read`, without 2 counter bumps per element — and the
+        // substrate's batched pipeline serves the lookups.
+        self.stats.queries += keys.len() as u64;
+        let mut bytes_read = 0u64;
+        self.read.get_many_with(keys, |i, v| {
+            bytes_read += match v {
+                Some(v) => 8 + v.size_bytes() as u64,
+                None => 8, // the miss response
+            };
+            f(i, v);
+        });
+        self.stats.bytes_read += bytes_read;
+    }
+
+    /// The short-lived-reference twin of [`Self::read_batch_with`],
+    /// behind [`Self::get_many_with`], [`Self::get_many_expect_into`]
+    /// and the cacheless [`Self::get_many_through_with`] branch:
+    /// identical accounting (the `CommStats` regression tests pin it),
+    /// but references only live for the visit, which lets hot-key
+    /// replicas (`AMPC_HOT_KEYS`) serve repeats from machine-local
+    /// memory at the same charged cost.
+    fn read_batch_hot_with(&mut self, keys: &[u64], f: &mut dyn FnMut(usize, Option<&V>)) {
+        if keys.is_empty() {
+            return;
+        }
+        if !self.batching {
+            for (i, &k) in keys.iter().enumerate() {
+                let v = self.get(k);
+                f(i, v.map(|v| -> &V { v }));
+            }
+            return;
+        }
+        debug_assert!(
+            self.stats.queries.saturating_add(keys.len() as u64) <= self.budget,
+            "machine {} batch of {} keys exceeds its O(S) query budget of {}",
+            self.machine_id,
+            keys.len(),
+            self.budget
+        );
+        self.account_batch();
+        self.stats.queries += keys.len() as u64;
+        let mut bytes_read = 0u64;
+        if let Some(mut hot) = self.hot.take() {
+            for (i, &k) in keys.iter().enumerate() {
+                // A replica hit charges exactly what the DHT read would
+                // — replication never changes CommStats.
+                match hot.get(k) {
+                    Some(v) => {
+                        bytes_read += 8 + v.size_bytes() as u64;
+                        f(i, Some(v));
+                    }
+                    None => match self.read.get(k) {
+                        Some(v) => {
+                            bytes_read += 8 + v.size_bytes() as u64;
+                            hot.observe(k, v);
+                            f(i, Some(v));
+                        }
+                        None => {
+                            bytes_read += 8;
+                            f(i, None);
+                        }
+                    },
+                }
+            }
+            self.hot = Some(hot);
+        } else {
+            self.read.get_many_with(keys, |i, v| {
+                bytes_read += match v {
+                    Some(v) => 8 + v.size_bytes() as u64,
+                    None => 8,
+                };
+                f(i, v.map(|v| -> &V { v }));
+            });
+        }
+        self.stats.bytes_read += bytes_read;
     }
 
     /// Counts and performs one keyed read (no batch accounting).
@@ -252,35 +358,23 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
     /// query budget.
     pub fn get_many_into(&mut self, keys: &[u64], out: &mut Vec<Option<&'a V>>) {
         out.clear();
-        if keys.is_empty() {
-            return;
-        }
-        if !self.batching {
-            out.extend(keys.iter().map(|&k| self.get(k)));
-            return;
-        }
-        debug_assert!(
-            self.stats.queries.saturating_add(keys.len() as u64) <= self.budget,
-            "machine {} batch of {} keys exceeds its O(S) query budget of {}",
-            self.machine_id,
-            keys.len(),
-            self.budget
-        );
-        self.account_batch();
-        // Whole-batch accounting: one add for the queries, one pass for
-        // the bytes — same totals as per-key `charge_read`, without 2
-        // counter bumps per element — and the generation's prefetch
-        // pipeline serves the lookups.
-        self.stats.queries += keys.len() as u64;
-        self.read.get_many_into(keys, out);
-        let mut bytes_read = 0u64;
-        for v in out.iter() {
-            bytes_read += match v {
-                Some(v) => 8 + v.size_bytes() as u64,
-                None => 8, // the miss response
-            };
-        }
-        self.stats.bytes_read += bytes_read;
+        out.reserve(keys.len());
+        self.read_batch_with(keys, &mut |_, v| out.push(v));
+    }
+
+    /// Visitor form of [`Self::get_many`], the leanest member of the
+    /// batch family: one accounted batch, `f` called once per key in
+    /// key order with the index and the value — no output buffer at
+    /// all. Hot-key replicas may serve repeats, so the references live
+    /// only for the visit (take [`Self::get_many_into`] when the batch
+    /// results must outlive the call). Accounting is identical to
+    /// [`Self::get_many`] by construction.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the batch would exceed the `O(S)`
+    /// query budget.
+    pub fn get_many_with(&mut self, keys: &[u64], mut f: impl FnMut(usize, Option<&V>)) {
+        self.read_batch_hot_with(keys, &mut f);
     }
 
     /// Fixed-size fast path of the batch family: **copies** each value
@@ -304,49 +398,10 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
         V: Copy,
     {
         out.clear();
-        if keys.is_empty() {
-            return;
-        }
-        if !self.batching {
-            out.reserve(keys.len());
-            for &k in keys {
-                let v = *self.get(k).expect("get_many_expect_into: key absent");
-                out.push(v);
-            }
-            return;
-        }
-        debug_assert!(
-            self.stats.queries.saturating_add(keys.len() as u64) <= self.budget,
-            "machine {} batch of {} keys exceeds its O(S) query budget of {}",
-            self.machine_id,
-            keys.len(),
-            self.budget
-        );
-        self.account_batch();
-        self.stats.queries += keys.len() as u64;
-        if let Some(mut hot) = self.hot.take() {
-            out.reserve(keys.len());
-            for &k in keys {
-                let v = match hot.get(k) {
-                    Some(v) => *v,
-                    None => {
-                        let v = self.read.get(k).expect("get_many_expect_into: key absent");
-                        hot.observe(k, v);
-                        *v
-                    }
-                };
-                self.stats.bytes_read += 8 + v.size_bytes() as u64;
-                out.push(v);
-            }
-            self.hot = Some(hot);
-            return;
-        }
-        self.read.get_many_copied_into(keys, out);
-        let mut bytes_read = 0u64;
-        for v in out.iter() {
-            bytes_read += 8 + v.size_bytes() as u64;
-        }
-        self.stats.bytes_read += bytes_read;
+        out.reserve(keys.len());
+        self.read_batch_hot_with(keys, &mut |_, v| {
+            out.push(*v.expect("get_many_expect_into: key absent"));
+        });
     }
 
     /// Budget-enforcing batch lookup: the whole batch is rejected with
@@ -359,18 +414,9 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
         if self.remaining_budget() < keys.len() as u64 {
             return Err(BudgetExhausted);
         }
-        if self.batching {
-            self.account_batch();
-            Ok(keys.iter().map(|&k| self.charge_read(k)).collect())
-        } else {
-            Ok(keys
-                .iter()
-                .map(|&k| {
-                    self.account_batch();
-                    self.charge_read(k)
-                })
-                .collect())
-        }
+        let mut out = Vec::with_capacity(keys.len());
+        self.read_batch_with(keys, &mut |_, v| out.push(v));
+        Ok(out)
     }
 
     /// Read-through lookup against the mounted cache: a hit is answered
@@ -463,59 +509,9 @@ impl<'a, V: Measured + Clone + PartialEq + Send> MachineHandle<'a, V> {
         }
         let Some(mut cache) = self.cache.take() else {
             // No cache mounted: a plain batch (same accounting as
-            // `get_many_into`), served by reference.
-            if !self.batching {
-                for (i, &k) in keys.iter().enumerate() {
-                    let v = self.get(k);
-                    f(i, v.map(|v| -> &V { v }));
-                }
-                return;
-            }
-            debug_assert!(
-                self.stats.queries.saturating_add(keys.len() as u64) <= self.budget,
-                "machine {} batch of {} keys exceeds its O(S) query budget of {}",
-                self.machine_id,
-                keys.len(),
-                self.budget
-            );
-            self.account_batch();
-            self.stats.queries += keys.len() as u64;
-            if let Some(mut hot) = self.hot.take() {
-                for (i, &k) in keys.iter().enumerate() {
-                    // A replica hit charges exactly what the DHT read
-                    // would — replication never changes CommStats.
-                    match hot.get(k) {
-                        Some(v) => {
-                            self.stats.bytes_read += 8 + v.size_bytes() as u64;
-                            f(i, Some(v));
-                        }
-                        None => match self.read.get(k) {
-                            Some(v) => {
-                                self.stats.bytes_read += 8 + v.size_bytes() as u64;
-                                hot.observe(k, v);
-                                f(i, Some(v));
-                            }
-                            None => {
-                                self.stats.bytes_read += 8;
-                                f(i, None);
-                            }
-                        },
-                    }
-                }
-                self.hot = Some(hot);
-                return;
-            }
-            // Bytes accumulate in a local so the per-key hot loop keeps
-            // the counter in a register instead of a `&mut self` store.
-            let mut bytes_read = 0u64;
-            self.read.get_many_with(keys, |i, v| {
-                bytes_read += match v {
-                    Some(v) => 8 + v.size_bytes() as u64,
-                    None => 8,
-                };
-                f(i, v.map(|v| -> &V { v }));
-            });
-            self.stats.bytes_read += bytes_read;
+            // `get_many_into`), served by reference through the
+            // hot-aware core.
+            self.read_batch_hot_with(keys, &mut f);
             return;
         };
         let mut fetch: Vec<u64> = Vec::new();
@@ -835,6 +831,22 @@ mod tests {
     impl crate::measured::Measured for CloneCounter {
         fn size_bytes(&self) -> usize {
             8
+        }
+    }
+
+    impl crate::wire::Wire for CloneCounter {
+        fn wire_encode(&self, out: &mut Vec<u8>) {
+            self.0.wire_encode(out);
+        }
+
+        fn wire_decode(buf: &mut &[u8]) -> Option<Self> {
+            // A decoded counter starts a fresh tally: clone counts are
+            // a host-side test probe, not part of the value.
+            let v = u64::wire_decode(buf)?;
+            Some(CloneCounter(
+                v,
+                std::sync::Arc::new(std::sync::atomic::AtomicUsize::new(0)),
+            ))
         }
     }
 

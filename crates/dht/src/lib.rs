@@ -54,7 +54,10 @@ pub mod hasher;
 pub mod measured;
 pub mod metrics;
 pub mod probe;
+pub mod socket;
 pub mod store;
+pub mod substrate;
+pub mod wire;
 
 pub use cache::{DenseCache, HotSet};
 pub use cost::{CostConfig, Network};
@@ -62,4 +65,10 @@ pub use fault::DropPlan;
 pub use handle::{BudgetExhausted, MachineHandle};
 pub use measured::Measured;
 pub use metrics::CommStats;
-pub use store::{ampc_threads, Dht, Generation, GenerationWriter, ReprKind, StripeArena};
+pub use socket::{wire_metrics, SocketCluster, WireMetrics};
+pub use store::{
+    ampc_threads, force_store, force_store_layout, store_kind, Dht, Generation, GenerationWriter,
+    ReprKind, StoreKind, StripeArena,
+};
+pub use substrate::{StoreBackend, Substrate};
+pub use wire::Wire;

@@ -28,9 +28,20 @@
 //! The pre-flat shard-of-hashmaps layout is retained as
 //! [`ReprKind::Sharded`] behind the `AMPC_STORE=sharded` knob so the
 //! perf suite can measure old-vs-new on identical workloads and the
-//! regression tests can pin `get`/`get_many` equivalence. All three
-//! layouts are observationally identical: same values, same
-//! `len`/`size_bytes`, same communication accounting.
+//! regression tests can pin `get`/`get_many` equivalence. All layouts
+//! are observationally identical: same values, same `len`/`size_bytes`,
+//! same communication accounting.
+//!
+//! # Substrates (DESIGN.md §12)
+//!
+//! The physical layouts now live behind the
+//! [`crate::substrate::Substrate`] trait. Besides the in-memory
+//! substrates above, `AMPC_STORE=socket` ([`StoreKind::Socket`]) seals
+//! the same flat layout and then **offloads the values to shard-server
+//! processes** over Unix-domain sockets ([`crate::socket`]), keeping
+//! only the key index in this process. The socket substrate reports the
+//! same [`ReprKind`] and layout fingerprint as the flat layout it
+//! mirrors; [`Generation::backend`] tells the two apart.
 //!
 //! Both flat layouts are **canonical**: the physical slot assignment is
 //! a pure function of the sealed key-value set, never of thread
@@ -43,7 +54,14 @@
 
 use crate::hasher::{mix64, FxHashMap};
 use crate::measured::Measured;
+use crate::substrate::{
+    BitIter, DenseSubstrate, OpenSubstrate, ShardedSubstrate, SocketSubstrate, Substrate,
+    DENSE_MAX_WASTE,
+};
+use crate::wire::Wire;
 use parking_lot::Mutex;
+
+pub use crate::substrate::{ReprKind, StoreBackend};
 
 /// Number of lock stripes in a writer. Plenty for the machine counts the
 /// simulator runs (≤ a few hundred).
@@ -54,12 +72,6 @@ const DEFAULT_SHARDS: usize = 64;
 /// finishes faster than workers can be handed their stripes.
 const PARALLEL_SEAL_MIN: usize = 1 << 16;
 
-/// A dense direct-index layout is chosen when the largest key indexes an
-/// array at most `DENSE_MAX_WASTE` times larger than the entry count
-/// (≥ 50% occupancy) — the `0..n` vertex-id domain every kernel uses
-/// gives 100%.
-const DENSE_MAX_WASTE: usize = 2;
-
 /// The `AMPC_THREADS` environment knob (cached after the first read):
 /// the worker count used by parallel seals here and by the runtime's
 /// persistent executor pool. The read itself lives in the
@@ -67,44 +79,100 @@ const DENSE_MAX_WASTE: usize = 2;
 /// point callers already use.
 pub use ampc_knobs::ampc_threads;
 
-/// Sealed-layout mode: resolved once from `AMPC_STORE`, overridable at
-/// runtime by [`force_store_layout`] (an atomic, so the hot write path
-/// never touches the process environment lock).
+/// Store mode: resolved once from `AMPC_STORE`, overridable at runtime
+/// by [`force_store`] (an atomic, so the hot write path never touches
+/// the process environment lock).
 const MODE_ENV: u8 = 0;
 const MODE_FLAT: u8 = 1;
 const MODE_SHARDED: u8 = 2;
+const MODE_SOCKET: u8 = 3;
 static STORE_MODE: std::sync::atomic::AtomicU8 = std::sync::atomic::AtomicU8::new(MODE_ENV);
 
-/// True when the pre-flat sharded sealed layout is in force
-/// (`AMPC_STORE=sharded`, or a [`force_store_layout`] override).
-fn sharded_store_requested() -> bool {
-    use std::sync::atomic::Ordering;
-    match STORE_MODE.load(Ordering::Relaxed) {
-        MODE_FLAT => false,
-        MODE_SHARDED => true,
-        _ => {
-            let sharded = ampc_knobs::ampc_store_sharded();
-            let mode = if sharded { MODE_SHARDED } else { MODE_FLAT };
-            STORE_MODE.store(mode, Ordering::Relaxed);
-            sharded
+/// Which substrate [`GenerationWriter::seal`] produces — the
+/// `AMPC_STORE` knob as a type (DESIGN.md §12).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StoreKind {
+    /// The flat in-memory layouts (dense or open) — the default.
+    Flat,
+    /// The pre-flat shard-of-hashmaps in-memory baseline.
+    Sharded,
+    /// Values in shard-server processes behind Unix-domain sockets.
+    Socket,
+}
+
+impl StoreKind {
+    /// Parses an `AMPC_STORE` value (case-insensitive). `None` for
+    /// anything that is not `flat`, `sharded` or `socket` — callers
+    /// (the CLI's `--store` flag) reject loudly rather than default.
+    pub fn parse(s: &str) -> Option<StoreKind> {
+        match s.to_ascii_lowercase().as_str() {
+            "flat" => Some(StoreKind::Flat),
+            "sharded" => Some(StoreKind::Sharded),
+            "socket" => Some(StoreKind::Socket),
+            _ => None,
+        }
+    }
+
+    /// The knob value naming this substrate (inverse of
+    /// [`StoreKind::parse`]; echoed into run records).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StoreKind::Flat => "flat",
+            StoreKind::Sharded => "sharded",
+            StoreKind::Socket => "socket",
         }
     }
 }
 
-/// Overrides the sealed-layout choice at runtime, as `AMPC_STORE`
-/// would, without mutating the process environment: `Some(true)` forces
-/// the pre-flat sharded baseline, `Some(false)` the flat layout, and
-/// `None` re-reads `AMPC_STORE` on next use. Process-global — intended
-/// for the perf suite's A/B runs, not for concurrent use under live
-/// jobs (the layouts are observationally equivalent, so a racing seal
-/// merely picks either layout).
-pub fn force_store_layout(sharded: Option<bool>) {
-    let mode = match sharded {
-        Some(true) => MODE_SHARDED,
-        Some(false) => MODE_FLAT,
+/// The store kind currently in force: a [`force_store`] override if one
+/// is set, else `AMPC_STORE` (resolved once and cached).
+pub fn store_kind() -> StoreKind {
+    use std::sync::atomic::Ordering;
+    match STORE_MODE.load(Ordering::Relaxed) {
+        MODE_FLAT => StoreKind::Flat,
+        MODE_SHARDED => StoreKind::Sharded,
+        MODE_SOCKET => StoreKind::Socket,
+        _ => {
+            let kind = StoreKind::parse(ampc_knobs::ampc_store()).unwrap_or(StoreKind::Flat);
+            force_store(Some(kind));
+            kind
+        }
+    }
+}
+
+/// Overrides the substrate choice at runtime, as `AMPC_STORE` would,
+/// without mutating the process environment: `Some(kind)` forces that
+/// substrate for subsequent seals, `None` re-reads `AMPC_STORE` on next
+/// use. Process-global — intended for the perf suite's A/B runs and the
+/// runtime's `--store` flag, not for concurrent use under live jobs
+/// (the substrates are observationally equivalent, so a racing seal
+/// merely picks either one).
+pub fn force_store(kind: Option<StoreKind>) {
+    let mode = match kind {
+        Some(StoreKind::Flat) => MODE_FLAT,
+        Some(StoreKind::Sharded) => MODE_SHARDED,
+        Some(StoreKind::Socket) => MODE_SOCKET,
         None => MODE_ENV,
     };
     STORE_MODE.store(mode, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Historical two-way form of [`force_store`]: `Some(true)` forces the
+/// pre-flat sharded baseline, `Some(false)` the flat layout, `None`
+/// re-reads `AMPC_STORE`. Kept for the perf suite's existing A/B entry
+/// points.
+pub fn force_store_layout(sharded: Option<bool>) {
+    force_store(kind_of_legacy(sharded));
+}
+
+fn kind_of_legacy(sharded: Option<bool>) -> Option<StoreKind> {
+    sharded.map(|s| {
+        if s {
+            StoreKind::Sharded
+        } else {
+            StoreKind::Flat
+        }
+    })
 }
 
 /// One logged write: `(key, writing machine, value)`. Stripes are
@@ -169,7 +237,7 @@ pub struct GenerationWriter<V> {
     strict: bool,
 }
 
-impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
+impl<V: Measured + Clone + PartialEq + Send + Wire> GenerationWriter<V> {
     /// New writer with the default shard count.
     pub fn new() -> Self {
         Self::with_shards(DEFAULT_SHARDS)
@@ -259,28 +327,22 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
         (written, total_bytes)
     }
 
-    /// Seals the writer into an immutable flat generation (see the
-    /// module docs for the layout selection rule), parallelizing across
-    /// the writer's stripes with [`ampc_threads`] workers for large
-    /// generations. Under `AMPC_STORE=sharded`, seals into the pre-flat
-    /// sharded layout instead (the perf-suite baseline).
+    /// Seals the writer into an immutable generation on the substrate
+    /// [`store_kind`] currently selects (see the module docs for the
+    /// in-memory layout selection rule; large flat seals parallelize
+    /// across the writer's stripes with [`ampc_threads`] workers).
+    /// Under `AMPC_STORE=socket` the flat seal runs first — same
+    /// canonical layout, byte for byte — and the values are then
+    /// offloaded to the shard servers.
     pub fn seal(self) -> Generation<V> {
-        if sharded_store_requested() {
-            self.seal_sharded_drain()
-        } else {
-            self.seal_flat(ampc_threads())
-        }
+        self.seal_current_mode()
     }
 
     /// [`Self::seal`], returning the drained stripe buffers to `arena`
     /// for the next epoch's writer. The sealed generation is identical
     /// to a plain `seal`; only the allocation lifecycle differs.
     pub fn seal_recycle(self, arena: &StripeArena<V>) -> Generation<V> {
-        let g = if sharded_store_requested() {
-            self.seal_sharded_drain()
-        } else {
-            self.seal_flat(ampc_threads())
-        };
+        let g = self.seal_current_mode();
         let mut pooled = arena.bufs.lock();
         pooled.extend(self.shards.into_iter().map(|m| {
             let mut buf = m.into_inner();
@@ -290,11 +352,22 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
         g
     }
 
+    /// Seal dispatch over the process-wide store mode.
+    fn seal_current_mode(&self) -> Generation<V> {
+        match store_kind() {
+            StoreKind::Sharded => self.seal_sharded_drain(),
+            StoreKind::Flat => self.seal_flat(ampc_threads()),
+            StoreKind::Socket => self.seal_flat(ampc_threads()).offload_to_socket(),
+        }
+    }
+
     /// Seals into the flat layout with an explicit worker count
-    /// (`threads = 1` seals entirely on the calling thread). The sealed
-    /// layout is byte-identical for every `threads` value: the dense
-    /// scatter distributes whole stripes over workers, and the physical
-    /// layout is canonical (see module docs).
+    /// (`threads = 1` seals entirely on the calling thread), ignoring
+    /// the store mode — the determinism suites use this to pin the
+    /// canonical in-memory layout regardless of `AMPC_STORE`. The
+    /// sealed layout is byte-identical for every `threads` value: the
+    /// dense scatter distributes whole stripes over workers, and the
+    /// physical layout is canonical (see module docs).
     pub fn seal_with_threads(self, threads: usize) -> Generation<V> {
         self.seal_flat(threads)
     }
@@ -485,7 +558,7 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
                 }
             }
             Generation {
-                repr: Repr::Dense { slots, occupied },
+                repr: Repr::Dense(DenseSubstrate { slots, occupied }),
                 len,
                 size_bytes,
             }
@@ -550,24 +623,14 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
     }
 
     /// Builds the canonical open-addressed layout from resolved pairs
-    /// in ascending key order: capacity keeps load ≤ 50%, and the
-    /// insertion order makes the probe layout a pure function of the
-    /// key set.
+    /// in ascending key order (the substrate's canonical seal input:
+    /// capacity keeps load ≤ 50%, insertion order makes the probe
+    /// layout a pure function of the key set).
     fn build_open(pairs: Vec<(u64, V)>) -> Generation<V> {
         let len = pairs.len();
         let size_bytes = pairs.iter().map(|(_, v)| 8 + v.size_bytes()).sum();
-        let cap = len.saturating_mul(2).next_power_of_two().max(16);
-        let mask = cap as u64 - 1;
-        let mut slots: Vec<Option<(u64, V)>> = vec![None; cap];
-        for (k, v) in pairs {
-            let mut i = (mix64(k) & mask) as usize;
-            while slots[i].is_some() {
-                i = (i + 1) & mask as usize;
-            }
-            slots[i] = Some((k, v));
-        }
         Generation {
-            repr: Repr::Open { slots, mask },
+            repr: Repr::Open(OpenSubstrate::seal_pairs(pairs)),
             len,
             size_bytes,
         }
@@ -623,50 +686,45 @@ impl<V: Measured + Clone + PartialEq + Send> GenerationWriter<V> {
             })
             .collect();
         Generation {
-            repr: Repr::Sharded { shards },
+            repr: Repr::Sharded(ShardedSubstrate { shards }),
             len,
             size_bytes,
         }
     }
 }
 
-impl<V: Measured + Clone + PartialEq + Send> Default for GenerationWriter<V> {
+impl<V: Measured + Clone + PartialEq + Send + Wire> Default for GenerationWriter<V> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-/// The physical layout a sealed generation chose (see module docs).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum ReprKind {
-    /// Direct-index array over a dense key domain; zero hashes per read.
-    Dense,
-    /// Single open-addressed table; one hash per read.
-    Open,
-    /// Pre-flat shard-of-hashmaps (two hashes per read); the
-    /// `AMPC_STORE=sharded` baseline.
-    Sharded,
+/// Sealed storage: one of the four substrates behind the
+/// [`Substrate`] narrow waist. The enum (rather than a boxed trait
+/// object) keeps every in-memory read statically dispatched — the trait
+/// is the contract, the `match` is the (zero-cost) vtable.
+enum Repr<V> {
+    /// Direct-index array over a dense key domain.
+    Dense(DenseSubstrate<V>),
+    /// Single open-addressed table.
+    Open(OpenSubstrate<V>),
+    /// Pre-flat shard-of-hashmaps baseline.
+    Sharded(ShardedSubstrate<V>),
+    /// Values in shard-server processes, key index local.
+    Socket(SocketSubstrate<V>),
 }
 
-/// Sealed storage: one of the three layouts.
-enum Repr<V> {
-    /// `slots[k]` holds key `k`'s value; `occupied` is the bitmap over
-    /// slot indices (word `i`, bit `j` ⇒ slot `64 i + j`), letting
-    /// iteration skip empty runs 64 slots at a time.
-    Dense {
-        slots: Vec<Option<V>>,
-        occupied: Vec<u64>,
-    },
-    /// Open-addressed with linear probing at ≤ 50% load. Capacity is a
-    /// power of two; a key probes from `mix64(key) & mask`. Entries were
-    /// inserted in ascending key order, making the layout canonical.
-    Open {
-        slots: Vec<Option<(u64, V)>>,
-        mask: u64,
-    },
-    /// The pre-flat layout: `mix64` picks a shard, the shard's map
-    /// hashes again.
-    Sharded { shards: Vec<FxHashMap<u64, V>> },
+/// Statically dispatches a [`Substrate`] method over the concrete
+/// substrate held by a generation.
+macro_rules! with_substrate {
+    ($gen:expr, $s:ident => $body:expr) => {
+        match &$gen.repr {
+            Repr::Dense($s) => $body,
+            Repr::Open($s) => $body,
+            Repr::Sharded($s) => $body,
+            Repr::Socket($s) => $body,
+        }
+    };
 }
 
 /// An immutable, sealed generation: reads need no locks.
@@ -678,178 +736,17 @@ pub struct Generation<V> {
     size_bytes: usize,
 }
 
-impl<V: Measured + Clone> Generation<V> {
+impl<V> Generation<V> {
     /// An empty generation.
     pub fn empty() -> Self {
         Generation {
-            repr: Repr::Dense {
+            repr: Repr::Dense(DenseSubstrate {
                 slots: Vec::new(),
                 occupied: Vec::new(),
-            },
+            }),
             len: 0,
             size_bytes: 0,
         }
-    }
-
-    /// Looks a key up. Returns a reference into the sealed store.
-    ///
-    /// Dense layout: one bounds check, no hash. Open layout: one
-    /// [`mix64`] and a linear probe. Sharded (baseline) layout: the
-    /// historical double hash.
-    #[inline]
-    pub fn get(&self, key: u64) -> Option<&V> {
-        match &self.repr {
-            Repr::Dense { slots, .. } => match slots.get(key as usize) {
-                Some(slot) => slot.as_ref(),
-                None => None,
-            },
-            Repr::Open { slots, mask } => {
-                let mut i = (mix64(key) & mask) as usize;
-                loop {
-                    match &slots[i] {
-                        None => return None,
-                        Some((k, v)) if *k == key => return Some(v),
-                        Some(_) => i = (i + 1) & *mask as usize,
-                    }
-                }
-            }
-            Repr::Sharded { shards } => {
-                shards[(mix64(key) % shards.len() as u64) as usize].get(&key)
-            }
-        }
-    }
-
-    /// Issues a software prefetch for the slot `key` would occupy, so a
-    /// batched lookup loop can overlap the memory latency of lookup
-    /// `i + d` with the work of lookup `i`. Purely advisory: a no-op on
-    /// non-x86 targets and for the sharded baseline layout (whose
-    /// double indirection the prefetcher cannot see through anyway).
-    #[inline]
-    fn prefetch(&self, key: u64) {
-        #[cfg(target_arch = "x86_64")]
-        {
-            use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
-            match &self.repr {
-                Repr::Dense { slots, .. } => {
-                    let i = key as usize;
-                    if i < slots.len() {
-                        // SAFETY: the index is bounds-checked above and
-                        // prefetch dereferences nothing — it is a pure
-                        // cache hint with no semantic effect.
-                        unsafe { _mm_prefetch(slots.as_ptr().add(i) as *const i8, _MM_HINT_T0) }
-                    }
-                }
-                Repr::Open { slots, mask } => {
-                    let i = (mix64(key) & *mask) as usize;
-                    // SAFETY: `mask` is `capacity - 1` for a power-of-two
-                    // capacity, so the index is in bounds; prefetch
-                    // dereferences nothing.
-                    unsafe { _mm_prefetch(slots.as_ptr().add(i) as *const i8, _MM_HINT_T0) }
-                }
-                Repr::Sharded { .. } => {}
-            }
-        }
-        #[cfg(not(target_arch = "x86_64"))]
-        let _ = key;
-    }
-
-    /// How far ahead the batched lookup loops prefetch. Large enough to
-    /// cover a main-memory miss at a few cycles per element, small
-    /// enough not to thrash L1.
-    const PREFETCH_AHEAD: usize = 16;
-
-    /// Looks up a batch of keys, appending one `Option<&V>` per key to
-    /// `out` (which is cleared first). The allocation-free counterpart
-    /// of collecting [`Self::get`] results — lockstep kernels reuse one
-    /// buffer across hops instead of allocating a fresh `Vec` per batch.
-    /// Lookups are software-pipelined: slot `i + 16` is prefetched
-    /// while slot `i` is read, hiding most of the random-access latency
-    /// on large generations.
-    pub fn get_many_into<'a>(&'a self, keys: &[u64], out: &mut Vec<Option<&'a V>>) {
-        out.clear();
-        out.reserve(keys.len());
-        for (i, &k) in keys.iter().enumerate() {
-            if let Some(&ahead) = keys.get(i + Self::PREFETCH_AHEAD) {
-                self.prefetch(ahead);
-            }
-            out.push(self.get(k));
-        }
-    }
-
-    /// Batched lookup fast path for fixed-size `Copy` values: copies
-    /// each value into `out` (cleared first) instead of collecting
-    /// references, so the caller can reuse one flat scratch buffer
-    /// across hops with no borrow tying it to the generation. Same
-    /// prefetch pipeline as [`Self::get_many_into`].
-    ///
-    /// # Panics
-    /// When a key is absent — callers use this for keys they wrote
-    /// themselves (the workspace invariant for chase/label tables).
-    pub fn get_many_copied_into(&self, keys: &[u64], out: &mut Vec<V>)
-    where
-        V: Copy,
-    {
-        out.clear();
-        out.reserve(keys.len());
-        for (i, &k) in keys.iter().enumerate() {
-            if let Some(&ahead) = keys.get(i + Self::PREFETCH_AHEAD) {
-                self.prefetch(ahead);
-            }
-            out.push(*self.get(k).expect("get_many_copied_into: key absent"));
-        }
-    }
-
-    /// Visitor form of the batched lookup: `f` is called once per key,
-    /// in key order, with the index and the result — no output buffer
-    /// at all. Same prefetch pipeline as [`Self::get_many_into`].
-    pub fn get_many_with<'a>(&'a self, keys: &[u64], mut f: impl FnMut(usize, Option<&'a V>)) {
-        for (i, &k) in keys.iter().enumerate() {
-            if let Some(&ahead) = keys.get(i + Self::PREFETCH_AHEAD) {
-                self.prefetch(ahead);
-            }
-            f(i, self.get(k));
-        }
-    }
-
-    /// Which physical layout this generation sealed into.
-    pub fn repr_kind(&self) -> ReprKind {
-        match &self.repr {
-            Repr::Dense { .. } => ReprKind::Dense,
-            Repr::Open { .. } => ReprKind::Open,
-            Repr::Sharded { .. } => ReprKind::Sharded,
-        }
-    }
-
-    /// The physical slot layout, for determinism tests: the key stored
-    /// at every slot index in slot order (`u64::MAX` marks an empty
-    /// slot), prefixed by the layout kind. Two generations with equal
-    /// fingerprints and equal [`Self::iter`] contents are byte-identical
-    /// in memory layout. Sharded generations report per-shard key sets
-    /// in sorted order (their in-shard layout is not canonical).
-    pub fn layout_fingerprint(&self) -> (ReprKind, Vec<u64>) {
-        let kind = self.repr_kind();
-        let slots = match &self.repr {
-            Repr::Dense { slots, .. } => slots
-                .iter()
-                .enumerate()
-                .map(|(k, s)| if s.is_some() { k as u64 } else { u64::MAX })
-                .collect(),
-            Repr::Open { slots, .. } => slots
-                .iter()
-                .map(|s| s.as_ref().map_or(u64::MAX, |(k, _)| *k))
-                .collect(),
-            Repr::Sharded { shards } => {
-                let mut out = Vec::with_capacity(self.len + shards.len());
-                for shard in shards {
-                    let mut keys: Vec<u64> = shard.keys().copied().collect();
-                    keys.sort_unstable();
-                    out.extend(keys);
-                    out.push(u64::MAX); // shard boundary
-                }
-                out
-            }
-        };
-        (kind, slots)
     }
 
     /// Number of key-value pairs stored (cached at seal time).
@@ -865,66 +762,140 @@ impl<V: Measured + Clone> Generation<V> {
     }
 
     /// Total serialized size of all pairs (cached at seal time — the
-    /// per-round report path reads this in O(1)).
+    /// per-round report path reads this in O(1)). Substrate-independent
+    /// by construction: the socket offload copies the flat seal's
+    /// figure, so simulated accounting never depends on `AMPC_STORE`.
     #[inline]
     pub fn size_bytes(&self) -> usize {
         self.size_bytes
     }
+}
+
+impl<V: Measured + Clone + Wire> Generation<V> {
+    /// Looks a key up. Returns a reference into the sealed store.
+    ///
+    /// Dense layout: one bounds check, no hash. Open layout: one
+    /// [`mix64`] and a linear probe. Sharded (baseline) layout: the
+    /// historical double hash. Socket substrate: index lookup locally,
+    /// one wire fetch on first touch of a present key (memoized after).
+    #[inline]
+    pub fn get(&self, key: u64) -> Option<&V> {
+        with_substrate!(self, s => s.get(key))
+    }
+
+    /// Looks up a batch of keys, appending one `Option<&V>` per key to
+    /// `out` (which is cleared first). The allocation-free counterpart
+    /// of collecting [`Self::get`] results — lockstep kernels reuse one
+    /// buffer across hops instead of allocating a fresh `Vec` per batch.
+    /// In-memory substrates software-pipeline the lookups (slot `i + 16`
+    /// prefetched while slot `i` is read); the socket substrate fetches
+    /// the batch in one wire request per shard.
+    pub fn get_many_into<'a>(&'a self, keys: &[u64], out: &mut Vec<Option<&'a V>>) {
+        out.clear();
+        out.reserve(keys.len());
+        with_substrate!(self, s => s.get_batch_with(keys, &mut |_, v| out.push(v)));
+    }
+
+    /// Batched lookup fast path for fixed-size `Copy` values: copies
+    /// each value into `out` (cleared first) instead of collecting
+    /// references, so the caller can reuse one flat scratch buffer
+    /// across hops with no borrow tying it to the generation. Same
+    /// batched pipeline as [`Self::get_many_into`].
+    ///
+    /// # Panics
+    /// When a key is absent — callers use this for keys they wrote
+    /// themselves (the workspace invariant for chase/label tables).
+    pub fn get_many_copied_into(&self, keys: &[u64], out: &mut Vec<V>)
+    where
+        V: Copy,
+    {
+        out.clear();
+        out.reserve(keys.len());
+        with_substrate!(self, s => s.get_batch_with(keys, &mut |_, v| {
+            out.push(*v.expect("get_many_copied_into: key absent"));
+        }));
+    }
+
+    /// Visitor form of the batched lookup: `f` is called once per key,
+    /// in key order, with the index and the result — no output buffer
+    /// at all. This is [`Substrate::get_batch_with`], the narrow waist
+    /// every batched read funnels through.
+    pub fn get_many_with<'a>(&'a self, keys: &[u64], mut f: impl FnMut(usize, Option<&'a V>)) {
+        with_substrate!(self, s => s.get_batch_with(keys, &mut f));
+    }
+
+    /// Which physical layout this generation sealed into. A
+    /// socket-backed generation reports the layout of its local key
+    /// index (the flat layout it mirrors); see [`Self::backend`].
+    pub fn repr_kind(&self) -> ReprKind {
+        with_substrate!(self, s => s.kind())
+    }
+
+    /// Where this generation's values physically live: in this
+    /// process's memory, or in shard-server processes behind the
+    /// socket substrate (DESIGN.md §12).
+    pub fn backend(&self) -> StoreBackend {
+        with_substrate!(self, s => s.backend())
+    }
+
+    /// The physical slot layout, for determinism tests: the key stored
+    /// at every slot index in slot order (`u64::MAX` marks an empty
+    /// slot), prefixed by the layout kind. Two generations with equal
+    /// fingerprints and equal [`Self::iter`] contents are byte-identical
+    /// in memory layout. Sharded generations report per-shard key sets
+    /// in sorted order (their in-shard layout is not canonical); a
+    /// socket generation's fingerprint equals the flat layout's by
+    /// construction (the key index *is* the flat slot structure).
+    pub fn layout_fingerprint(&self) -> (ReprKind, Vec<u64>) {
+        (
+            self.repr_kind(),
+            with_substrate!(self, s => s.fingerprint_slots()),
+        )
+    }
 
     /// Iterates all pairs. Dense generations iterate in ascending key
     /// order (driven by the occupancy bitmap); other layouts iterate in
-    /// slot/shard order.
+    /// slot/shard order. Socket generations fetch any not-yet-memoized
+    /// values first (in bounded per-shard batches), then iterate
+    /// locally in the same order as the flat layout they mirror.
     pub fn iter(&self) -> impl Iterator<Item = (u64, &V)> + '_ {
-        // Three layout-specific iterators unified behind one box; the
-        // store is read far more than iterated, so the indirection is
-        // irrelevant.
-        let it: Box<dyn Iterator<Item = (u64, &V)> + '_> = match &self.repr {
-            Repr::Dense { slots, occupied } => Box::new(
-                occupied
-                    .iter()
-                    .enumerate()
-                    .flat_map(move |(w, &bits)| BitIter {
-                        bits,
-                        base: w as u64 * 64,
-                    })
-                    .map(move |k| (k, slots[k as usize].as_ref().expect("bitmap/slot agree"))),
-            ),
-            Repr::Open { slots, .. } => Box::new(
-                slots
-                    .iter()
-                    .filter_map(|s| s.as_ref().map(|(k, v)| (*k, v))),
-            ),
-            Repr::Sharded { shards } => {
-                Box::new(shards.iter().flat_map(|s| s.iter().map(|(&k, v)| (k, v))))
-            }
-        };
-        it
+        with_substrate!(self, s => s.iter_pairs())
     }
-}
 
-/// Iterator over the set bits of one bitmap word.
-struct BitIter {
-    bits: u64,
-    base: u64,
-}
-
-impl Iterator for BitIter {
-    type Item = u64;
-
-    #[inline]
-    fn next(&mut self) -> Option<u64> {
-        if self.bits == 0 {
-            return None;
+    /// Moves a flat-sealed generation's values to the socket shard
+    /// servers, keeping the key index (and the cached `len`/
+    /// `size_bytes`) local. Sharded and empty generations pass through
+    /// untouched — an empty generation has nothing to serve, so it
+    /// never costs wire traffic.
+    fn offload_to_socket(self) -> Generation<V> {
+        let Generation {
+            repr,
+            len,
+            size_bytes,
+        } = self;
+        if len == 0 {
+            return Generation {
+                repr,
+                len,
+                size_bytes,
+            };
         }
-        let tz = self.bits.trailing_zeros() as u64;
-        self.bits &= self.bits - 1;
-        Some(self.base + tz)
+        let repr = match repr {
+            Repr::Dense(d) => Repr::Socket(SocketSubstrate::offload_dense(d.slots, d.occupied)),
+            Repr::Open(o) => Repr::Socket(SocketSubstrate::offload_open(o.slots, o.mask)),
+            other => other,
+        };
+        Generation {
+            repr,
+            len,
+            size_bytes,
+        }
     }
 }
 
 /// Builds a generation directly from an iterator (single-threaded load
 /// path for `D0`).
-impl<V: Measured + Clone + PartialEq + Send> FromIterator<(u64, V)> for Generation<V> {
+impl<V: Measured + Clone + PartialEq + Send + Wire> FromIterator<(u64, V)> for Generation<V> {
     fn from_iter<I: IntoIterator<Item = (u64, V)>>(items: I) -> Self {
         let w = GenerationWriter::with_shards(DEFAULT_SHARDS);
         for (k, v) in items {
@@ -1146,8 +1117,8 @@ mod tests {
         assert_eq!(sparse.get(12345), None);
     }
 
-    /// The three layouts must agree on every lookup: dense, sparse and
-    /// shard-colliding adversarial key sets, hits and misses alike.
+    /// The in-memory layouts must agree on every lookup: dense, sparse
+    /// and shard-colliding adversarial key sets, hits and misses alike.
     #[test]
     fn flat_layouts_match_sharded_baseline() {
         // Keys that all land in mix64 bucket 0 of the 64 writer stripes
@@ -1193,6 +1164,49 @@ mod tests {
             b.sort_unstable();
             assert_eq!(a, b);
         }
+    }
+
+    /// A socket-mode seal must be observationally identical to the flat
+    /// seal it offloaded: same layout fingerprint, same lookups, same
+    /// iteration, same cached `len`/`size_bytes` — with the values
+    /// demonstrably living behind the wire.
+    #[test]
+    fn socket_mode_seal_matches_flat() {
+        let build = || {
+            let w: GenerationWriter<u64> = GenerationWriter::new();
+            for k in 0..400u64 {
+                w.put(k, mix64(k));
+            }
+            w
+        };
+        let flat = build().seal_with_threads(1);
+        force_store(Some(StoreKind::Socket));
+        let socket = build().seal();
+        force_store(None);
+        assert_eq!(socket.backend(), StoreBackend::Socket);
+        assert_eq!(flat.backend(), StoreBackend::InMemory);
+        assert_eq!(socket.layout_fingerprint(), flat.layout_fingerprint());
+        assert_eq!(socket.len(), flat.len());
+        assert_eq!(socket.size_bytes(), flat.size_bytes());
+        for k in 0..500u64 {
+            assert_eq!(socket.get(k), flat.get(k), "key {k}");
+        }
+        let a: Vec<(u64, u64)> = socket.iter().map(|(k, v)| (k, *v)).collect();
+        let b: Vec<(u64, u64)> = flat.iter().map(|(k, v)| (k, *v)).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn store_kind_parse_round_trips() {
+        for kind in [StoreKind::Flat, StoreKind::Sharded, StoreKind::Socket] {
+            assert_eq!(StoreKind::parse(kind.as_str()), Some(kind));
+            assert_eq!(
+                StoreKind::parse(&kind.as_str().to_ascii_uppercase()),
+                Some(kind)
+            );
+        }
+        assert_eq!(StoreKind::parse("tcp"), None);
+        assert_eq!(StoreKind::parse(""), None);
     }
 
     #[test]

@@ -1,0 +1,161 @@
+//! Property suite for the socket-substrate wire codec (DESIGN.md §12).
+//!
+//! The codec laws the `Wire` trait documents are pinned here over
+//! adversarial inputs: `decode ∘ encode = id` with the buffer fully
+//! consumed (round trip), equal values encode to equal bytes
+//! (determinism), concatenated encodings decode back in order
+//! (self-framing — what the batched `LOAD`/`GET` frames rely on), every
+//! strict prefix of an encoding decodes to `None` (truncation is loud),
+//! and arbitrary junk never panics the decoder.
+
+use ampc_dht::wire::{encode_to_vec, Wire};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Round-trips one value, asserting full consumption.
+fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+    let enc = encode_to_vec(v);
+    let mut buf = &enc[..];
+    let back = T::wire_decode(&mut buf);
+    assert_eq!(back.as_ref(), Some(v), "decode(encode(v)) != v");
+    assert!(buf.is_empty(), "decode left {} bytes unread", buf.len());
+}
+
+/// Every strict prefix of an encoding must decode to `None` — a
+/// truncated frame is a corrupt frame, never a shorter value.
+fn prefixes_fail<T: Wire + PartialEq + std::fmt::Debug>(v: &T) {
+    let enc = encode_to_vec(v);
+    for cut in 0..enc.len() {
+        let mut buf = &enc[..cut];
+        assert_eq!(
+            T::wire_decode(&mut buf),
+            None,
+            "strict prefix of length {cut}/{} decoded",
+            enc.len()
+        );
+    }
+}
+
+/// Uniform 64 random bits (the shim's range strategies are half-open,
+/// so the full domain is assembled from two 32-bit halves).
+fn bits64() -> impl Strategy<Value = u64> {
+    ((0u64..(1 << 32)), (0u64..(1 << 32))).prop_map(|(h, l)| (h << 32) | l)
+}
+
+/// Keys with the edge cases the substrate index cares about (0, MAX —
+/// the open-index empty sentinel — and dense small ids) mixed into the
+/// uniform stream.
+fn adversarial_key() -> impl Strategy<Value = u64> {
+    ((0usize..8), bits64()).prop_map(|(sel, r)| match sel {
+        0 => 0,
+        1 => u64::MAX,
+        2 => u64::MAX - 1,
+        3 | 4 => r % 4096,
+        _ => r,
+    })
+}
+
+/// Adjacency-shaped values: what the kernels actually store.
+fn adjacency() -> impl Strategy<Value = Vec<u32>> {
+    vec(bits64().prop_map(|r| r as u32), 0..48)
+}
+
+/// `Option<u64>` from a tag bit plus a payload.
+fn opt64() -> impl Strategy<Value = Option<u64>> {
+    ((0u64..2), bits64()).prop_map(|(tag, v)| (tag == 1).then_some(v))
+}
+
+/// Arbitrary bytes.
+fn junk_bytes() -> impl Strategy<Value = Vec<u8>> {
+    vec((0u64..256).prop_map(|b| b as u8), 0..96)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn primitives_round_trip(a in bits64(), (b, c) in (bits64(), bits64())) {
+        round_trip(&a);
+        round_trip(&(a as i64));
+        round_trip(&(b as u32));
+        round_trip(&(b as u8));
+        round_trip(&(((a as u128) << 64) | b as u128));
+        round_trip(&(c % 2 == 0));
+        round_trip(&(a, b as u32));
+        round_trip(&(a as u8, b as i64, c));
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exact(bits in bits64()) {
+        // NaN payloads included: compare bit patterns, not float eq.
+        let v = f64::from_bits(bits);
+        let enc = encode_to_vec(&v);
+        let mut buf = &enc[..];
+        let back = f64::wire_decode(&mut buf).expect("f64 decodes");
+        prop_assert_eq!(back.to_bits(), bits);
+        prop_assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn containers_round_trip(keys in vec(adversarial_key(), 0..64),
+                             adj in adjacency(),
+                             opt in opt64()) {
+        round_trip(&keys);
+        round_trip(&adj);
+        round_trip(&opt);
+        round_trip(&keys.clone().into_boxed_slice());
+    }
+
+    #[test]
+    fn key_value_batches_are_self_framing(
+        batch in vec((adversarial_key(), adjacency()), 0..32),
+    ) {
+        // Encode the whole batch back-to-back — the shape of a LOAD
+        // frame body — and decode it entry by entry.
+        let mut frame = Vec::new();
+        for (k, v) in &batch {
+            k.wire_encode(&mut frame);
+            v.wire_encode(&mut frame);
+        }
+        let mut buf = &frame[..];
+        for (k, v) in &batch {
+            prop_assert_eq!(u64::wire_decode(&mut buf), Some(*k));
+            prop_assert_eq!(Vec::<u32>::wire_decode(&mut buf).as_ref(), Some(v));
+        }
+        prop_assert!(buf.is_empty(), "batch decode left bytes unread");
+    }
+
+    #[test]
+    fn encoding_is_deterministic(batch in vec((adversarial_key(), adjacency()), 0..16)) {
+        let copy = batch.clone();
+        prop_assert_eq!(encode_to_vec(&batch), encode_to_vec(&copy));
+    }
+
+    #[test]
+    fn truncation_always_fails(keys in vec(adversarial_key(), 0..8),
+                               adj in adjacency(),
+                               k in adversarial_key()) {
+        prefixes_fail(&k);
+        prefixes_fail(&keys);
+        prefixes_fail(&adj);
+        prefixes_fail(&Some(k));
+        prefixes_fail(&(k, adj));
+    }
+
+    #[test]
+    fn junk_never_panics(junk in junk_bytes()) {
+        // Whatever the bytes, decoding returns (it may succeed — junk
+        // can be a valid encoding — but it must not panic and must not
+        // read past the buffer).
+        let mut buf = &junk[..];
+        let _ = u64::wire_decode(&mut buf);
+        let mut buf = &junk[..];
+        let _ = Vec::<u64>::wire_decode(&mut buf);
+        let mut buf = &junk[..];
+        let _ = Vec::<Vec<u32>>::wire_decode(&mut buf);
+        let mut buf = &junk[..];
+        let _ = Option::<(u64, u32)>::wire_decode(&mut buf);
+        let mut buf = &junk[..];
+        let _ = bool::wire_decode(&mut buf);
+    }
+}

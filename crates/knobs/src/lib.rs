@@ -80,13 +80,23 @@ pub const KNOBS: &[KnobSpec] = &[
               (DESIGN.md §5). Purely an input-size knob.",
     },
     KnobSpec {
+        name: "AMPC_SOCKET_SHARDS",
+        accepts: "a positive integer",
+        default: "4",
+        doc: "How many shard-server processes the socket substrate \
+              spawns (DESIGN.md §12). Only read when `AMPC_STORE=socket` \
+              brings the substrate up; a layout knob only — outputs and \
+              CommStats are identical for every value.",
+    },
+    KnobSpec {
         name: "AMPC_STORE",
-        accepts: "flat | sharded",
+        accepts: "flat | sharded | socket",
         default: "flat",
-        doc: "Sealed-generation storage layout (DESIGN.md §5.4): the \
-              flat dense/open-addressed layout, or the pre-flat \
-              shard-of-hashmaps baseline kept for perf A/B runs. \
-              Observationally identical outputs either way.",
+        doc: "Sealed-generation storage substrate (DESIGN.md §5.4, §12): \
+              the flat dense/open-addressed layout, the pre-flat \
+              shard-of-hashmaps baseline kept for perf A/B runs, or \
+              shard-server processes behind Unix-domain sockets. \
+              Observationally identical outputs in every mode.",
     },
     KnobSpec {
         name: "AMPC_THREADS",
@@ -155,11 +165,36 @@ pub fn ampc_scale() -> &'static str {
     }
 }
 
+/// `AMPC_STORE`: the requested storage substrate, normalized to
+/// `"flat"`, `"sharded"` or `"socket"` (unset or unrecognized values
+/// default to `"flat"`). The store module caches the resolved mode in
+/// an atomic (and offers a runtime override); this is only the
+/// environment half. Callers map the token onto their own enum so this
+/// crate stays dependency-free.
+pub fn ampc_store() -> &'static str {
+    match raw("AMPC_STORE").map(|v| v.to_ascii_lowercase()).as_deref() {
+        Some("sharded") => "sharded",
+        Some("socket") => "socket",
+        _ => "flat",
+    }
+}
+
 /// `AMPC_STORE`: true when the pre-flat sharded sealed layout is
-/// requested. The store module caches the resolved mode in an atomic
-/// (and offers a runtime override); this is only the environment half.
+/// requested. Historical boolean view of [`ampc_store`], kept for the
+/// perf suite's existing A/B entry points.
 pub fn ampc_store_sharded() -> bool {
-    matches!(raw("AMPC_STORE"), Some(v) if v.eq_ignore_ascii_case("sharded"))
+    ampc_store() == "sharded"
+}
+
+/// `AMPC_SOCKET_SHARDS`: how many shard-server processes the socket
+/// substrate spawns. Unset, malformed or zero falls back to 4. Read
+/// once when the process-global cluster comes up (the fleet cannot be
+/// resized afterwards).
+pub fn ampc_socket_shards() -> usize {
+    raw("AMPC_SOCKET_SHARDS")
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or(4)
 }
 
 /// `AMPC_THREADS`: the worker count used by parallel seals and the
@@ -206,6 +241,8 @@ mod tests {
         let _ = ampc_batch();
         let _ = ampc_store_sharded();
         let _ = ampc_hot_keys();
+        assert!(matches!(ampc_store(), "flat" | "sharded" | "socket"));
+        assert!(ampc_socket_shards() >= 1);
         // Chaos is never silently on: only a set, non-empty value
         // yields a spec string for the runtime to parse.
         if let Some(v) = ampc_chaos() {

@@ -21,6 +21,7 @@ pub const PER_KEY_GETS: &[&str] = &["get", "try_get"];
 pub const BATCHED_REQUESTS: &[&str] = &[
     "get_many",
     "get_many_into",
+    "get_many_with",
     "get_many_expect_into",
     "try_get_many",
     "get_many_through",

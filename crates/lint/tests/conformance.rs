@@ -109,7 +109,11 @@ fn r5_passes_block_above_and_same_line() {
 #[test]
 fn r6_flags_direct_env_reads() {
     let (rules, _) = run(CORE, include_str!("fixtures/r6_flag.rs"));
-    assert_eq!(rules, vec![R6, R6, R6], "var, var_os, and the chaos knob");
+    assert_eq!(
+        rules,
+        vec![R6, R6, R6, R6],
+        "var, var_os, the chaos knob, and the socket-shards knob"
+    );
 }
 
 #[test]

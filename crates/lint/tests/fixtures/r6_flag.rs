@@ -1,8 +1,9 @@
 // Positive fixture for R6 (env-knob-registry): direct environment
 // reads outside the ampc-knobs registry crate.
-pub fn rogue_knobs() -> (Option<String>, bool, Option<String>) {
+pub fn rogue_knobs() -> (Option<String>, bool, Option<String>, Option<String>) {
     let scale = std::env::var("AMPC_SCALE").ok();
     let raw = std::env::var_os("AMPC_STORE").is_some();
     let chaos = std::env::var("AMPC_CHAOS").ok();
-    (scale, raw, chaos)
+    let shards = std::env::var("AMPC_SOCKET_SHARDS").ok();
+    (scale, raw, chaos, shards)
 }

@@ -12,3 +12,7 @@ pub fn consumer() -> usize {
 pub fn chaos_consumer() -> Option<String> {
     ampc_knobs::ampc_chaos()
 }
+
+pub fn socket_consumers() -> (&'static str, usize) {
+    (ampc_knobs::ampc_store(), ampc_knobs::ampc_socket_shards())
+}

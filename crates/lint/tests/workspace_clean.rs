@@ -37,6 +37,8 @@ fn suppression_inventory_is_pinned() {
         .collect();
     actual.sort();
     let mut expected: Vec<(String, String)> = [
+        ("no-raw-spawn", "crates/dht/src/bin/ampc-shardd.rs"),
+        ("no-raw-spawn", "crates/dht/src/socket.rs"),
         ("no-unbatched-get", "crates/core/src/msf/common.rs"),
         (
             "no-wall-clock-or-ambient-rng",

@@ -9,6 +9,7 @@
 use crate::chaos::ChaosSpec;
 use crate::fault::FaultPlan;
 use ampc_dht::cost::CostConfig;
+use ampc_dht::store::StoreKind;
 
 pub use ampc_knobs as knobs;
 
@@ -65,6 +66,14 @@ pub struct AmpcConfig {
     /// Seed for all algorithm randomness (vertex/edge priorities,
     /// sampling). Two runs with equal seeds produce identical outputs.
     pub seed: u64,
+    /// Sealed-generation storage substrate override (DESIGN.md §12).
+    /// `None` — the default — leaves the ambient mode in force (the
+    /// `AMPC_STORE` knob, or whatever a suite forced programmatically);
+    /// `Some(kind)` makes [`crate::driver::drive`] force that substrate
+    /// before the job starts. Like the layout itself, purely an
+    /// execution-strategy knob: outputs, round counts and `CommStats`
+    /// are identical for every value.
+    pub store: Option<StoreKind>,
     /// The "switch to in-memory" threshold used by the paper's MPC
     /// implementations: once a (sub)problem has at most this many edges
     /// it is solved on a single machine (§5.4: `s = 5 × 10⁷`, scaled
@@ -101,6 +110,7 @@ impl Default for AmpcConfig {
             hot_keys: knobs::ampc_hot_keys(),
             threads: ampc_dht::store::ampc_threads(),
             legacy_spawn: false,
+            store: None,
             seed: 0xA3C5,
             // Paper uses 5e7 on billion-edge graphs (~1/1000 of the
             // largest input); our bench analogues are ~1000x smaller.
@@ -169,6 +179,13 @@ impl AmpcConfig {
     /// baseline).
     pub fn with_legacy_spawn(mut self, legacy: bool) -> Self {
         self.legacy_spawn = legacy;
+        self
+    }
+
+    /// Forces a sealed-storage substrate for jobs driven under this
+    /// configuration (see [`Self::store`]).
+    pub fn with_store(mut self, kind: StoreKind) -> Self {
+        self.store = Some(kind);
         self
     }
 

@@ -48,6 +48,13 @@ pub struct Driven<R> {
 /// `ampc` CLI use so that every algorithm shares one code path from
 /// configuration to report.
 pub fn drive<R>(cfg: &AmpcConfig, body: impl FnOnce(&mut Job) -> R) -> Driven<R> {
+    if cfg.store.is_some() {
+        ampc_dht::store::force_store(cfg.store);
+    }
+    // Shard-process lifecycle, job-start edge: under the socket
+    // substrate, every shard server must be alive before the first
+    // seal (a no-op otherwise — DESIGN.md §12).
+    ampc_dht::socket::ensure_if_active();
     // ampc-lint: allow(no-wall-clock-or-ambient-rng) -- wall_ns is a reported
     // measurement only: it never feeds algorithm state, and perf_suite --check
     // excludes it from the deterministic fields.
@@ -174,6 +181,9 @@ pub struct DriverOptions {
     pub fault: Option<FaultPlan>,
     /// Chaos schedule (multi-fault kills + DHT drops; `--chaos`).
     pub chaos: Option<ChaosSpec>,
+    /// Sealed-storage substrate (`--store`, mirroring `AMPC_STORE`;
+    /// DESIGN.md §12).
+    pub store: Option<ampc_dht::store::StoreKind>,
 }
 
 impl DriverOptions {
@@ -212,6 +222,9 @@ impl DriverOptions {
         }
         if let Some(c) = self.chaos {
             base = base.with_chaos(c);
+        }
+        if let Some(s) = self.store {
+            base = base.with_store(s);
         }
         base
     }

@@ -20,6 +20,7 @@ use ampc_dht::handle::MachineHandle;
 use ampc_dht::measured::Measured;
 use ampc_dht::metrics::CommStats;
 use ampc_dht::store::{Generation, GenerationWriter};
+use ampc_dht::wire::Wire;
 
 /// How a round's machines are executed.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -160,7 +161,7 @@ pub struct MachineCtx<'a, V> {
     ops: u64,
 }
 
-impl<'a, V: Measured + Clone + PartialEq + Send> MachineCtx<'a, V> {
+impl<'a, V: Measured + Clone + PartialEq + Send + Wire> MachineCtx<'a, V> {
     /// Records `n` units of local computation (charged by the cost
     /// model at `compute_ns_per_op` each).
     #[inline]
@@ -232,7 +233,7 @@ pub fn run_machines<V, T, R, F>(
     body: F,
 ) -> RoundOutcome<R>
 where
-    V: Measured + Clone + PartialEq + Sync + Send,
+    V: Measured + Clone + PartialEq + Sync + Send + Wire,
     T: Sync,
     R: Send,
     F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R> + Sync,
@@ -308,7 +309,7 @@ pub fn run_one_machine<V, T, R, F>(
     body: &F,
 ) -> (Vec<R>, MachineRoundStats)
 where
-    V: Measured + Clone + PartialEq + Send,
+    V: Measured + Clone + PartialEq + Send + Wire,
     F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R>,
 {
     let mut ctx = MachineCtx {

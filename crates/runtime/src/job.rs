@@ -9,6 +9,7 @@ use crate::report::{JobReport, StageKind, StageReport};
 use ampc_dht::measured::Measured;
 use ampc_dht::metrics::CommStats;
 use ampc_dht::store::{Generation, GenerationWriter};
+use ampc_dht::wire::Wire;
 use std::time::Instant;
 
 /// An executing job: the sequence of stages an algorithm runs, with
@@ -178,7 +179,7 @@ impl Job {
         body: F,
     ) -> Vec<R>
     where
-        V: Measured + Clone + PartialEq + Sync + Send,
+        V: Measured + Clone + PartialEq + Sync + Send + Wire,
         T: Sync + Send,
         R: Send,
         F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R> + Sync,
@@ -201,7 +202,7 @@ impl Job {
         body: F,
     ) -> Vec<R>
     where
-        V: Measured + Clone + PartialEq + Sync + Send,
+        V: Measured + Clone + PartialEq + Sync + Send + Wire,
         T: Sync + Send,
         R: Send,
         F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R> + Sync,
@@ -221,7 +222,7 @@ impl Job {
         body: F,
     ) -> Vec<R>
     where
-        V: Measured + Clone + PartialEq + Sync + Send,
+        V: Measured + Clone + PartialEq + Sync + Send + Wire,
         T: Sync,
         R: Send,
         F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R> + Sync,
@@ -241,7 +242,7 @@ impl Job {
         body: F,
     ) -> Vec<R>
     where
-        V: Measured + Clone + PartialEq + Sync + Send,
+        V: Measured + Clone + PartialEq + Sync + Send + Wire,
         T: Sync,
         R: Send,
         F: Fn(&mut MachineCtx<'_, V>, &[T]) -> Vec<R> + Sync,
@@ -262,6 +263,11 @@ impl Job {
             None
         };
         self.epoch_kv_pending = false;
+        // Shard-process lifecycle, round edge: a socket shard server
+        // that died mid-job is respawned (and the surviving generations
+        // it lost will fail loudly rather than silently read stale
+        // data). No-op under the in-memory substrates (DESIGN.md §12).
+        ampc_dht::socket::ensure_if_active();
         // ampc-lint: allow(no-wall-clock-or-ambient-rng) -- stage wall time is a
         // reported measurement only, never algorithm input; perf_suite --check
         // excludes it from the deterministic fields.

@@ -12,7 +12,9 @@
 use ampc::prelude::*;
 use ampc_core::one_vs_two;
 use ampc_dht::hasher::mix64;
-use ampc_dht::store::{Generation, GenerationWriter, ReprKind};
+use ampc_dht::store::{
+    force_store, Generation, GenerationWriter, ReprKind, StoreBackend, StoreKind,
+};
 use ampc_graph::gen;
 use ampc_runtime::JobReport;
 
@@ -102,6 +104,63 @@ fn kernels_identical_across_layouts_and_executors() {
         let got = observe(ampc_core::mis::ampc_mis(&g, &c));
         assert_eq!(got, reference, "{label}");
     }
+}
+
+/// The socket-backed substrate (DESIGN.md §12) is observationally
+/// identical to flat: same layout fingerprints, gets and batched gets
+/// on adversarial keys — with the shards living outside the sealing
+/// thread — and a full kernel produces identical outputs, rounds and
+/// CommStats across 1/2/8 threads. Generation- and kernel-level checks
+/// share one test because the store override is process-global.
+#[test]
+fn socket_substrate_matches_flat_generations_and_kernels() {
+    let keys: Vec<u64> = (1..1_200u64)
+        .map(|k| k.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .collect();
+    let build = || {
+        let w: GenerationWriter<Vec<u32>> = GenerationWriter::new();
+        for &k in &keys {
+            w.put(k, vec![k as u32, (k >> 32) as u32]);
+        }
+        w
+    };
+    let flat = build().seal_with_threads(2);
+    force_store(Some(StoreKind::Socket));
+    let socket = build().seal();
+    assert_eq!(socket.backend(), StoreBackend::Socket);
+    assert_eq!(flat.backend(), StoreBackend::InMemory);
+    assert_eq!(socket.layout_fingerprint(), flat.layout_fingerprint());
+    assert_eq!(socket.len(), flat.len());
+    assert_eq!(socket.size_bytes(), flat.size_bytes());
+    let probes: Vec<u64> = keys.iter().flat_map(|&k| [k, k ^ 1, !k]).collect();
+    for &p in &probes {
+        assert_eq!(socket.get(p), flat.get(p), "key {p}");
+    }
+    let (mut a, mut b) = (Vec::new(), Vec::new());
+    socket.get_many_into(&probes, &mut a);
+    flat.get_many_into(&probes, &mut b);
+    assert_eq!(a, b, "batched gets diverge");
+
+    // Kernel level: identical outputs, rounds and CommStats under the
+    // socket substrate at every thread count (the §3 contract).
+    let observe = |r: ampc_core::mis::MisOutcome| {
+        (
+            r.in_mis,
+            r.report.num_kv_rounds(),
+            r.report.num_shuffles(),
+            r.report.kv_comm(),
+            r.report.peak_generation_bytes(),
+        )
+    };
+    let g = gen::rmat(8, 1_200, gen::RmatParams::SOCIAL, 5);
+    force_store(Some(StoreKind::Flat));
+    let reference = observe(ampc_core::mis::ampc_mis(&g, &cfg().with_threads(1)));
+    force_store(Some(StoreKind::Socket));
+    for threads in [1usize, 2, 8] {
+        let got = observe(ampc_core::mis::ampc_mis(&g, &cfg().with_threads(threads)));
+        assert_eq!(got, reference, "socket, {threads} threads");
+    }
+    force_store(None);
 }
 
 /// Lockstep kernels using the buffer-reusing batched lookups must be
